@@ -1,0 +1,206 @@
+package toplists
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (one benchmark per artifact) and reports the headline shape
+// numbers as benchmark metrics, so `go test -bench=. -benchmem` doubles as
+// the reproduction run. Absolute wall-clock is dominated by the simulation;
+// the reported custom metrics are what EXPERIMENTS.md records against the
+// paper's values.
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"toplists/internal/core"
+	"toplists/internal/experiments"
+	"toplists/internal/world"
+)
+
+var (
+	benchOnce  sync.Once
+	benchStudy *core.Study
+)
+
+// benchScale is the shared study used by the artifact benchmarks: big
+// enough for every shape to be visible, small enough to build in seconds.
+func getBenchStudy(b *testing.B) *core.Study {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchStudy = core.NewStudy(core.Config{
+			Seed:           2022,
+			NumSites:       20000,
+			NumClients:     3000,
+			Days:           14,
+			TrackAllCombos: true,
+			EvalMagIdx:     1,
+		})
+		benchStudy.Run()
+	})
+	return benchStudy
+}
+
+func BenchmarkStudyBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := core.NewStudy(core.Config{
+			Seed: uint64(i), NumSites: 2000, NumClients: 400, Days: 3,
+		})
+		s.Run()
+		s.Close()
+	}
+}
+
+func BenchmarkFig1IntraCloudflare(b *testing.B) {
+	s := getBenchStudy(b)
+	var lo, hi float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig1(s)
+		lo, hi = r.OffDiagonalRange()
+	}
+	b.ReportMetric(lo, "jj-band-lo")
+	b.ReportMetric(hi, "jj-band-hi")
+}
+
+func BenchmarkFig2ListsVsCloudflare(b *testing.B) {
+	s := getBenchStudy(b)
+	var r *experiments.Fig2Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.RunFig2(s)
+	}
+	b.ReportMetric(r.MeanJaccard("CrUX"), "jj-crux")
+	b.ReportMetric(r.MeanJaccard("Umbrella"), "jj-umbrella")
+	b.ReportMetric(r.MeanJaccard("Alexa"), "jj-alexa")
+	b.ReportMetric(r.MeanJaccard("Secrank"), "jj-secrank")
+	b.ReportMetric(r.MinMetricAgreement(), "metric-agreement")
+}
+
+func BenchmarkFig3Temporal(b *testing.B) {
+	s := getBenchStudy(b)
+	var r *experiments.Fig3Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.RunFig3(s)
+	}
+	wd, we, _, _ := r.WeekdayWeekendSplit("Umbrella")
+	b.ReportMetric(wd-we, "umbrella-weekday-minus-weekend-jj")
+	b.ReportMetric(r.LateMonthImprovement("Alexa"), "alexa-late-month-jj-delta")
+}
+
+func BenchmarkFig4Platform(b *testing.B) {
+	s := getBenchStudy(b)
+	var r *experiments.Fig4Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.RunFig4(s)
+	}
+	var mean float64
+	for _, l := range r.Lists {
+		mean += r.DesktopAdvantage(l)
+	}
+	b.ReportMetric(mean/float64(len(r.Lists)), "mean-desktop-advantage")
+}
+
+func BenchmarkFig5Movement(b *testing.B) {
+	s := getBenchStudy(b)
+	var r *experiments.Fig5Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.RunFig5(s)
+	}
+	b.ReportMetric(r.OverrankFor("Alexa", 1).OverrankedPct, "alexa-overranked-pct")
+	b.ReportMetric(r.OverrankFor("Alexa", 1).Overranked2Pct, "alexa-2mag-pct")
+	b.ReportMetric(r.OverrankFor("CrUX", 1).OverrankedPct, "crux-overranked-pct")
+}
+
+func BenchmarkFig6IntraChrome(b *testing.B) {
+	s := getBenchStudy(b)
+	var lo, hi float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig6(s)
+		lo, hi = r.OffDiagonalRange()
+	}
+	b.ReportMetric(lo, "jj-band-lo")
+	b.ReportMetric(hi, "jj-band-hi")
+}
+
+func BenchmarkFig7Country(b *testing.B) {
+	s := getBenchStudy(b)
+	var r *experiments.Fig7Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.RunFig7(s)
+	}
+	b.ReportMetric(r.JaccardFor("Secrank", world.CN), "secrank-cn-jj")
+	b.ReportMetric(r.JaccardFor("Umbrella", world.US), "umbrella-us-jj")
+	b.ReportMetric(r.JaccardFor("Alexa", world.JP), "alexa-jp-jj")
+}
+
+func BenchmarkFig8AllCombos(b *testing.B) {
+	s := getBenchStudy(b)
+	var r *experiments.Fig8Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.RunFig8(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Spearman[0][6], "all-vs-200-spearman")
+	b.ReportMetric(r.Jaccard[0][6], "all-vs-200-jaccard")
+}
+
+func BenchmarkTable1Coverage(b *testing.B) {
+	s := getBenchStudy(b)
+	var r *experiments.Table1Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.RunTable1(s)
+	}
+	b.ReportMetric(r.Coverage("CrUX", 3), "crux-coverage-pct")
+	b.ReportMetric(r.Coverage("Alexa", 3), "alexa-coverage-pct")
+	b.ReportMetric(r.Coverage("Umbrella", 3), "umbrella-coverage-pct")
+	b.ReportMetric(r.Coverage("Secrank", 3), "secrank-coverage-pct")
+}
+
+func BenchmarkTable2PSL(b *testing.B) {
+	s := getBenchStudy(b)
+	var r *experiments.Table2Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.RunTable2(s)
+	}
+	b.ReportMetric(r.Deviation("Umbrella", 3), "umbrella-deviation-pct")
+	b.ReportMetric(r.Deviation("CrUX", 3), "crux-deviation-pct")
+	b.ReportMetric(r.Deviation("Tranco", 3), "tranco-deviation-pct")
+}
+
+func BenchmarkTable3Categories(b *testing.B) {
+	s := getBenchStudy(b)
+	var r *experiments.Table3Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.RunTable3(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if o, ok := r.OddsFor("Alexa", world.Adult); ok {
+		b.ReportMetric(o.OddsRatio, "alexa-adult-or")
+	}
+	if o, ok := r.OddsFor("CrUX", world.Adult); ok {
+		b.ReportMetric(o.OddsRatio, "crux-adult-or")
+	}
+	if o, ok := r.OddsFor("Majestic", world.Government); ok {
+		b.ReportMetric(o.OddsRatio, "majestic-gov-or")
+	}
+}
+
+// BenchmarkRenderAll measures the full artifact rendering path end to end.
+func BenchmarkRenderAll(b *testing.B) {
+	s := getBenchStudy(b)
+	for i := 0; i < b.N; i++ {
+		for _, runner := range experiments.All() {
+			res, err := runner.Run(s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := res.Render(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Command toplists runs the study end to end and regenerates the paper's
+// tables and figures.
+//
+// Usage:
+//
+//	toplists [flags]
+//
+//	-seed       study seed (default 2022)
+//	-sites      universe size (default 50000)
+//	-clients    browsing population (default 6000)
+//	-days       measurement window in days (default 28)
+//	-experiment artifact to regenerate: fig1..fig8, tab1..tab3, or "all"
+//	-list       print the available experiments and exit
+//
+// Example:
+//
+//	toplists -sites 20000 -clients 3000 -days 14 -experiment fig2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"toplists"
+)
+
+func main() {
+	var (
+		seed       = flag.Uint64("seed", 2022, "study seed")
+		sites      = flag.Int("sites", 50000, "number of websites in the universe")
+		clients    = flag.Int("clients", 6000, "number of simulated clients")
+		days       = flag.Int("days", 28, "measurement window in days")
+		experiment = flag.String("experiment", "all", "experiment id (fig1..fig8, tab1..tab3, stability) or 'all'")
+		list       = flag.Bool("list", false, "list available experiments and exit")
+		outdir     = flag.String("outdir", "", "also write each artifact to <outdir>/<id>.txt")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range toplists.Experiments() {
+			fmt.Printf("%-6s %s\n", e.ID, e.Name)
+		}
+		fmt.Printf("%-6s %s\n", "ablate", "Mechanism ablations (extension; runs 7 studies)")
+		fmt.Printf("%-6s %s\n", "robust", "Headline robustness over 5 seeds (extension; runs 5 studies)")
+		fmt.Printf("%-6s %s\n", "attack", "Sybil panel-manipulation attack (extension; runs 4 studies)")
+		return
+	}
+
+	if *experiment == "attack" {
+		res, err := toplists.RunAttack(toplists.Config{
+			Seed: *seed, Sites: *sites, Clients: *clients, Days: *days,
+		}, []int{1, 3, 10})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "toplists:", err)
+			os.Exit(1)
+		}
+		if err := res.Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "toplists:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *experiment == "robust" {
+		res, err := toplists.RunRobustness(toplists.Config{
+			Sites: *sites, Clients: *clients, Days: *days,
+		}, []uint64{*seed, *seed + 1, *seed + 2, *seed + 3, *seed + 4})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "toplists:", err)
+			os.Exit(1)
+		}
+		if err := res.Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "toplists:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *experiment == "ablate" {
+		res, err := toplists.RunAblations(toplists.Config{
+			Seed: *seed, Sites: *sites, Clients: *clients, Days: *days,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "toplists:", err)
+			os.Exit(1)
+		}
+		if err := res.Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "toplists:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "building study: %d sites, %d clients, %d days (seed %d)...\n",
+		*sites, *clients, *days, *seed)
+	study, err := toplists.Run(toplists.Config{
+		Seed:      *seed,
+		Sites:     *sites,
+		Clients:   *clients,
+		Days:      *days,
+		AllCombos: true,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "toplists:", err)
+		os.Exit(1)
+	}
+	defer study.Close()
+	fmt.Fprintf(os.Stderr, "%s (built in %v)\n\n", study.Describe(), time.Since(start).Round(time.Millisecond))
+
+	ids := []string{*experiment}
+	if *experiment == "all" {
+		ids = ids[:0]
+		for _, e := range toplists.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range ids {
+		res, err := study.Experiment(id)
+		if err != nil {
+			if id == "fig8" && *experiment == "all" {
+				fmt.Fprintf(os.Stderr, "[%s skipped: %v]\n", id, err)
+				continue
+			}
+			fmt.Fprintln(os.Stderr, "toplists:", err)
+			os.Exit(1)
+		}
+		if err := renderTo(res, *outdir); err != nil {
+			fmt.Fprintln(os.Stderr, "toplists:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+// renderTo writes the artifact to stdout and, when outdir is set, to
+// <outdir>/<id>.txt as well.
+func renderTo(res toplists.Result, outdir string) error {
+	if err := res.Render(os.Stdout); err != nil {
+		return err
+	}
+	if outdir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(outdir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(outdir, res.ID()+".txt"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return res.Render(f)
+}

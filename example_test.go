@@ -1,0 +1,52 @@
+package toplists_test
+
+import (
+	"fmt"
+	"log"
+
+	"toplists"
+)
+
+// Example runs a miniature study and reports which lists were evaluated.
+func Example() {
+	study, err := toplists.Run(toplists.Config{
+		Seed: 1, Sites: 500, Clients: 100, Days: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer study.Close()
+
+	fmt.Println(len(study.Lists()), "lists evaluated")
+	for _, name := range study.Lists() {
+		fmt.Println(name)
+	}
+	// Output:
+	// 7 lists evaluated
+	// Alexa
+	// Majestic
+	// Secrank
+	// Tranco
+	// Trexa
+	// Umbrella
+	// CrUX
+}
+
+// ExampleStudy_Experiment regenerates one artifact by its paper identifier.
+func ExampleStudy_Experiment() {
+	study, err := toplists.Run(toplists.Config{
+		Seed: 1, Sites: 500, Clients: 100, Days: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer study.Close()
+
+	res, err := study.Experiment("tab2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.ID())
+	// Output:
+	// tab2
+}

@@ -1,0 +1,37 @@
+// Manipulation: the Sybil panel-infiltration attack as a standalone
+// program — the threat model behind Tranco's hardening (Le Pochat et al.,
+// NDSS 2019) and the infiltration attacks of Rweyemamu et al. (ISC 2019),
+// both cited by the paper.
+//
+// An attacker enrolls a handful of machines in the Alexa extension panel
+// and has them browse one obscure target site all week. The same real
+// traffic is invisible at the Cloudflare edge (a rounding error among
+// thousands of clients) but enormous inside the sparse panel, so the
+// target rockets up Alexa while the amalgamated Tranco list and the
+// server-side truth barely move.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"toplists"
+)
+
+func main() {
+	log.SetFlags(0)
+	fmt.Fprintln(os.Stderr, "running baseline + 3 attacked studies (this takes a few seconds)...")
+	res, err := toplists.RunAttack(toplists.Config{
+		Seed:    2024,
+		Sites:   6000,
+		Clients: 1500,
+		Days:    7,
+	}, []int{1, 3, 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module toplists
+
+go 1.24

@@ -1,0 +1,417 @@
+// Package cfmetrics implements the server-side popularity metrics of
+// Section 3: the Cloudflare log pipeline. It observes the HTTP footprint of
+// Cloudflare-served sites only, applies the paper's seven filters and three
+// aggregations (21 combinations, Figure 8), and produces daily ranked lists
+// per metric. The seven canonical metrics of Figure 1 are the named subset
+// used for the top-list evaluation.
+package cfmetrics
+
+import (
+	"fmt"
+	"sort"
+
+	"toplists/internal/rank"
+	"toplists/internal/sketch"
+	"toplists/internal/traffic"
+	"toplists/internal/world"
+)
+
+// Filter is one of the seven request filters of Section 3.1.
+type Filter uint8
+
+// The filters.
+const (
+	FilterAll         Filter = iota // all HTTP(S) requests
+	FilterHTML                      // limited to text/html responses
+	Filter200                       // limited to 200 responses
+	FilterReferer                   // limited to non-null Referer
+	FilterTopBrowsers               // limited to the top 5 browsers
+	FilterTLS                       // TLS handshakes
+	FilterRoot                      // root page loads (GET /)
+	NumFilters        = 7
+)
+
+// String implements fmt.Stringer.
+func (f Filter) String() string {
+	return [...]string{
+		"all-requests", "html-requests", "200-requests", "referer-requests",
+		"top-browser-requests", "tls-handshakes", "root-loads",
+	}[f]
+}
+
+// Agg is one of the three aggregations of Section 3.1.
+type Agg uint8
+
+// The aggregations.
+const (
+	AggCount      Agg = iota // raw request count
+	AggUniqueIP              // unique client IPs per day
+	AggUniqueIPUA            // unique (client IP, user agent) tuples per day
+	NumAggs       = 3
+)
+
+// String implements fmt.Stringer.
+func (a Agg) String() string {
+	return [...]string{"count", "unique-ip", "unique-ip-ua"}[a]
+}
+
+// Combo is a (filter, aggregation) pair — one of the 21 candidate popularity
+// definitions.
+type Combo struct {
+	Filter Filter
+	Agg    Agg
+}
+
+// String implements fmt.Stringer.
+func (c Combo) String() string { return fmt.Sprintf("%s/%s", c.Filter, c.Agg) }
+
+// AllCombos returns all 21 filter-aggregation combinations, in filter-major
+// order (the layout of Figure 8).
+func AllCombos() []Combo {
+	out := make([]Combo, 0, NumFilters*NumAggs)
+	for f := Filter(0); f < NumFilters; f++ {
+		for a := Agg(0); a < NumAggs; a++ {
+			out = append(out, Combo{f, a})
+		}
+	}
+	return out
+}
+
+// Metric names one of the seven canonical Cloudflare metrics selected in
+// Section 3.3 (Figure 1).
+type Metric uint8
+
+// The canonical metrics, in the order of Figure 1.
+const (
+	MAllRequests        Metric = iota // (1) all HTTP(S) requests
+	MTLSHandshakes                    // (2) TLS handshakes
+	MRootRequests                     // (3) HTTP requests for root page
+	MTopBrowserRequests               // (4) requests from top 5 browsers
+	MUniqueIP                         // (5) unique client IPs
+	MUniqueIPRoot                     // (6) unique IPs accessing root page
+	MUniqueIPBrowsers                 // (7) unique IPs from top 5 browsers
+	NumMetrics          = 7
+)
+
+// String implements fmt.Stringer.
+func (m Metric) String() string {
+	return [...]string{
+		"All HTTP Requests", "TLS Handshakes", "Root Page Requests",
+		"Top-Browser Requests", "Unique IPs", "Unique IPs (Root)",
+		"Unique IPs (Browsers)",
+	}[m]
+}
+
+// Combo returns the metric's filter-aggregation pair.
+func (m Metric) Combo() Combo {
+	switch m {
+	case MAllRequests:
+		return Combo{FilterAll, AggCount}
+	case MTLSHandshakes:
+		return Combo{FilterTLS, AggCount}
+	case MRootRequests:
+		return Combo{FilterRoot, AggCount}
+	case MTopBrowserRequests:
+		return Combo{FilterTopBrowsers, AggCount}
+	case MUniqueIP:
+		return Combo{FilterAll, AggUniqueIP}
+	case MUniqueIPRoot:
+		return Combo{FilterRoot, AggUniqueIP}
+	default:
+		return Combo{FilterTopBrowsers, AggUniqueIP}
+	}
+}
+
+// RequestBased reports whether the metric counts requests (as opposed to
+// requestors); Section 5.1 observes perfect agreement among request-based
+// metrics when rank-ordering top lists.
+func (m Metric) RequestBased() bool {
+	return m.Combo().Agg == AggCount
+}
+
+// AllMetrics returns the seven canonical metrics in order.
+func AllMetrics() []Metric {
+	out := make([]Metric, NumMetrics)
+	for i := range out {
+		out[i] = Metric(i)
+	}
+	return out
+}
+
+// MetricCombos returns the combos of the seven canonical metrics.
+func MetricCombos() []Combo {
+	out := make([]Combo, NumMetrics)
+	for i, m := range AllMetrics() {
+		out[i] = m.Combo()
+	}
+	return out
+}
+
+// filterContribution returns how many of a page load's requests pass the
+// filter.
+func filterContribution(f Filter, pl *traffic.PageLoad) int {
+	switch f {
+	case FilterAll:
+		return pl.Requests()
+	case FilterHTML:
+		return pl.HTMLRequests
+	case Filter200:
+		return pl.Requests() - pl.Non200
+	case FilterReferer:
+		return pl.RefererRequests
+	case FilterTopBrowsers:
+		if pl.Client.Browser.TopFive() {
+			return pl.Requests()
+		}
+		return 0
+	case FilterTLS:
+		return pl.TLSConns
+	default: // FilterRoot
+		if pl.Root {
+			return 1
+		}
+		return 0
+	}
+}
+
+// botContribution returns how many of a bot batch's requests pass the
+// filter. Bots are never top-5 browsers.
+func botContribution(f Filter, bb *traffic.BotBatch) int {
+	switch f {
+	case FilterAll:
+		return bb.Requests
+	case FilterHTML:
+		return bb.HTMLRequests
+	case Filter200:
+		return bb.Requests - bb.Non200
+	case FilterReferer:
+		return bb.RefererRequests
+	case FilterTopBrowsers:
+		return 0
+	case FilterTLS:
+		return bb.TLSConns
+	default: // FilterRoot
+		return bb.RootRequests
+	}
+}
+
+// Pipeline is the Cloudflare log processor. It implements traffic.Sink and
+// accumulates, for each tracked combo, a ranked site list per day.
+type Pipeline struct {
+	traffic.BaseSink
+
+	w       *world.World
+	combos  []Combo
+	factory sketch.Factory
+
+	// isCF[i] reports whether site i is served by Cloudflare.
+	isCF []bool
+
+	// Current-day state, one entry per tracked combo.
+	counts   [][]float64                 // combo -> site -> score
+	distinct []map[int32]sketch.Distinct // combo -> site -> counter (unique aggs)
+
+	// days[d][comboIdx] is the ranked site-ID list for that day and combo.
+	days [][][]int32
+}
+
+// NewPipeline builds a pipeline tracking the given combos. A nil factory
+// defaults to exact distinct counting.
+func NewPipeline(w *world.World, combos []Combo, factory sketch.Factory) *Pipeline {
+	if factory == nil {
+		factory = sketch.ExactFactory
+	}
+	p := &Pipeline{
+		w:       w,
+		combos:  combos,
+		factory: factory,
+		isCF:    make([]bool, w.NumSites()),
+	}
+	for i := 0; i < w.NumSites(); i++ {
+		p.isCF[i] = w.Site(int32(i)).Cloudflare
+	}
+	p.counts = make([][]float64, len(combos))
+	p.distinct = make([]map[int32]sketch.Distinct, len(combos))
+	for i, c := range combos {
+		if c.Agg == AggCount {
+			p.counts[i] = make([]float64, w.NumSites())
+		} else {
+			p.distinct[i] = make(map[int32]sketch.Distinct)
+		}
+	}
+	return p
+}
+
+// BeginDay implements traffic.Sink.
+func (p *Pipeline) BeginDay(day int, weekend bool) {
+	for i := range p.combos {
+		if p.counts[i] != nil {
+			for j := range p.counts[i] {
+				p.counts[i][j] = 0
+			}
+		}
+		if p.distinct[i] != nil {
+			clear(p.distinct[i])
+		}
+	}
+}
+
+// OnPageLoad implements traffic.Sink.
+func (p *Pipeline) OnPageLoad(pl *traffic.PageLoad) {
+	if !p.isCF[pl.Site] {
+		return
+	}
+	for i, c := range p.combos {
+		n := filterContribution(c.Filter, pl)
+		if n <= 0 {
+			continue
+		}
+		switch c.Agg {
+		case AggCount:
+			p.counts[i][pl.Site] += float64(n)
+		case AggUniqueIP:
+			p.addDistinct(i, pl.Site, uint64(pl.IP))
+		default:
+			p.addDistinct(i, pl.Site, ipua(pl.IP, pl.Client.UA))
+		}
+	}
+}
+
+// OnBotBatch implements traffic.Sink.
+func (p *Pipeline) OnBotBatch(bb *traffic.BotBatch) {
+	if !p.isCF[bb.Site] {
+		return
+	}
+	for i, c := range p.combos {
+		n := botContribution(c.Filter, bb)
+		if n <= 0 {
+			continue
+		}
+		switch c.Agg {
+		case AggCount:
+			p.counts[i][bb.Site] += float64(n)
+		default:
+			// All of the batch's IPs pass proportionally to the share of
+			// requests passing the filter, at least one.
+			k := len(bb.IPs) * n / bb.Requests
+			if k < 1 {
+				k = 1
+			}
+			for _, ip := range bb.IPs[:k] {
+				key := uint64(ip)
+				if c.Agg == AggUniqueIPUA {
+					key = ipua(ip, botUA)
+				}
+				p.addDistinct(i, bb.Site, key)
+			}
+		}
+	}
+}
+
+// botUA is the user-agent hash bucket for non-browser clients.
+const botUA = 0xb07b07b07b07b07
+
+func ipua(ip uint32, ua uint64) uint64 {
+	x := uint64(ip) ^ ua*0x9e3779b97f4a7c15
+	x ^= x >> 29
+	return x
+}
+
+func (p *Pipeline) addDistinct(combo int, site int32, key uint64) {
+	d, ok := p.distinct[combo][site]
+	if !ok {
+		d = p.factory()
+		p.distinct[combo][site] = d
+	}
+	d.Add(key)
+}
+
+// EndDay implements traffic.Sink: it freezes the day's ranked lists.
+func (p *Pipeline) EndDay(day int) {
+	lists := make([][]int32, len(p.combos))
+	for i, c := range p.combos {
+		var scored []scoredSite
+		if c.Agg == AggCount {
+			for site, v := range p.counts[i] {
+				if v > 0 {
+					scored = append(scored, scoredSite{int32(site), v})
+				}
+			}
+		} else {
+			for site, d := range p.distinct[i] {
+				if v := d.Count(); v > 0 {
+					scored = append(scored, scoredSite{site, v})
+				}
+			}
+		}
+		sort.Slice(scored, func(a, b int) bool {
+			if scored[a].score != scored[b].score {
+				return scored[a].score > scored[b].score
+			}
+			// Deterministic information-free tiebreak.
+			return mix32(scored[a].site) < mix32(scored[b].site)
+		})
+		ids := make([]int32, len(scored))
+		for j, s := range scored {
+			ids[j] = s.site
+		}
+		lists[i] = ids
+	}
+	p.days = append(p.days, lists)
+}
+
+type scoredSite struct {
+	site  int32
+	score float64
+}
+
+func mix32(v int32) uint32 {
+	x := uint32(v) * 0x85ebca6b
+	x ^= x >> 13
+	x *= 0xc2b2ae35
+	x ^= x >> 16
+	return x
+}
+
+// NumDays returns how many days have been frozen.
+func (p *Pipeline) NumDays() int { return len(p.days) }
+
+// Tracks reports whether the pipeline was configured with the combo.
+func (p *Pipeline) Tracks(c Combo) bool {
+	for _, have := range p.combos {
+		if have == c {
+			return true
+		}
+	}
+	return false
+}
+
+// comboIndex returns the tracked index of a combo.
+func (p *Pipeline) comboIndex(c Combo) int {
+	for i, have := range p.combos {
+		if have == c {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("cfmetrics: combo %v not tracked", c))
+}
+
+// DayList returns the ranked site IDs for a day and combo.
+func (p *Pipeline) DayList(day int, c Combo) []int32 {
+	return p.days[day][p.comboIndex(c)]
+}
+
+// DayRanking returns the day's ranked list for a combo as a domain Ranking.
+func (p *Pipeline) DayRanking(day int, c Combo) *rank.Ranking {
+	ids := p.DayList(day, c)
+	names := make([]string, len(ids))
+	for i, id := range ids {
+		names[i] = p.w.Site(id).Domain
+	}
+	return rank.MustNew(names)
+}
+
+// MetricRanking returns the day's ranking for a canonical metric.
+func (p *Pipeline) MetricRanking(day int, m Metric) *rank.Ranking {
+	return p.DayRanking(day, m.Combo())
+}

@@ -1,0 +1,50 @@
+package cfmetrics
+
+import (
+	"testing"
+
+	"toplists/internal/sketch"
+	"toplists/internal/stats"
+	"toplists/internal/traffic"
+	"toplists/internal/world"
+)
+
+// TestHLLPipelineApproximatesExact verifies the large-scale configuration:
+// a pipeline using HyperLogLog distinct counters produces nearly the same
+// ranked lists as exact counting.
+func TestHLLPipelineApproximatesExact(t *testing.T) {
+	w := world.Generate(world.Config{Seed: 61, NumSites: 2000})
+	exact := NewPipeline(w, MetricCombos(), nil)
+	approx := NewPipeline(w, MetricCombos(), sketch.HLLFactory(14))
+
+	e := traffic.NewEngine(w, traffic.Config{Seed: 62, NumClients: 800, Days: 2})
+	e.AddSink(exact)
+	e.AddSink(approx)
+	e.Run()
+
+	for _, m := range []Metric{MUniqueIP, MUniqueIPRoot, MUniqueIPBrowsers} {
+		a := exact.MetricRanking(0, m)
+		b := approx.MetricRanking(0, m)
+		k := 200
+		if k > a.Len() {
+			k = a.Len()
+		}
+		jj := stats.Jaccard(a.TopSet(k), b.TopSet(k))
+		if jj < 0.9 {
+			t.Errorf("%v: HLL vs exact top-%d Jaccard = %.3f, want >= 0.9", m, k, jj)
+		}
+	}
+	// Count-based metrics are unaffected by the distinct-counter choice.
+	for _, m := range []Metric{MAllRequests, MRootRequests} {
+		a := exact.DayList(0, m.Combo())
+		b := approx.DayList(0, m.Combo())
+		if len(a) != len(b) {
+			t.Fatalf("%v: lengths differ", m)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: count metric diverged at %d", m, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Package chrome implements the Chrome telemetry vantage point of Section 6:
+// per-(country, platform) popularity metrics computed from the page loads of
+// Chrome users who opted into history sync and usage-statistics reporting.
+//
+// Three client metrics are produced (Figure 6): initiated page loads,
+// completed page loads, and total time on site. The public CrUX dataset
+// (the list evaluated in Section 5) is derived from the same data: monthly
+// completed page loads, keyed by web origin, subject to a per-country
+// minimum-visitors privacy threshold, and published as rank-magnitude
+// buckets only.
+package chrome
+
+import (
+	"toplists/internal/rank"
+	"toplists/internal/sketch"
+	"toplists/internal/traffic"
+	"toplists/internal/world"
+)
+
+// TelemetryMetric is one of the three client-side popularity metrics.
+type TelemetryMetric uint8
+
+// The metrics of Figure 6.
+const (
+	InitiatedPageLoads TelemetryMetric = iota
+	CompletedPageLoads
+	TimeOnSite
+	NumTelemetryMetrics = 3
+)
+
+// String implements fmt.Stringer.
+func (m TelemetryMetric) String() string {
+	return [...]string{"Initiated Pageloads", "Completed Pageloads", "Time On Site"}[m]
+}
+
+// AllTelemetryMetrics returns the three metrics in order.
+func AllTelemetryMetrics() []TelemetryMetric {
+	return []TelemetryMetric{InitiatedPageLoads, CompletedPageLoads, TimeOnSite}
+}
+
+// cellKey identifies a (country, platform, metric) accumulator slice.
+func cellKey(c world.Country, p world.Platform, m TelemetryMetric) int {
+	return (int(c)*world.NumPlatforms+int(p))*int(NumTelemetryMetrics) + int(m)
+}
+
+// originKey identifies a (site, subdomain) origin for CrUX accounting.
+type originKey struct {
+	site int32
+	sub  uint8
+}
+
+// Telemetry is the Chrome data collector. It implements traffic.Sink.
+//
+// Only page loads from clients with ChromeSync are observed; private-mode
+// loads never enter history and are excluded, as are loads of non-public
+// domains (Section 6.1).
+type Telemetry struct {
+	traffic.BaseSink
+
+	w *world.World
+
+	// cells[cellKey] -> per-site accumulated metric value.
+	cells [][]float64
+
+	// originCompleted accumulates monthly completed page loads per origin
+	// for the CrUX derivation.
+	originCompleted map[originKey]float64
+	// countryVisitors tracks distinct visitors per (country, site) for the
+	// privacy threshold.
+	countryVisitors map[int64]sketch.Distinct
+}
+
+// NewTelemetry builds a collector for the world.
+func NewTelemetry(w *world.World) *Telemetry {
+	t := &Telemetry{
+		w:               w,
+		cells:           make([][]float64, world.NumCountries*world.NumPlatforms*int(NumTelemetryMetrics)),
+		originCompleted: make(map[originKey]float64),
+		countryVisitors: make(map[int64]sketch.Distinct),
+	}
+	for i := range t.cells {
+		t.cells[i] = make([]float64, w.NumSites())
+	}
+	return t
+}
+
+// OnPageLoad implements traffic.Sink.
+func (t *Telemetry) OnPageLoad(pl *traffic.PageLoad) {
+	c := pl.Client
+	if !c.ChromeSync || pl.Private {
+		return
+	}
+	site := t.w.Site(pl.Site)
+	if site.NonPublic {
+		return
+	}
+	t.cells[cellKey(c.Country, c.Platform, InitiatedPageLoads)][pl.Site]++
+	if pl.Completed {
+		t.cells[cellKey(c.Country, c.Platform, CompletedPageLoads)][pl.Site]++
+		t.cells[cellKey(c.Country, c.Platform, TimeOnSite)][pl.Site] += pl.DwellSec
+
+		t.originCompleted[originKey{pl.Site, pl.SubIdx}]++
+		vk := int64(c.Country)<<32 | int64(pl.Site)
+		d, ok := t.countryVisitors[vk]
+		if !ok {
+			d = sketch.NewExact()
+			t.countryVisitors[vk] = d
+		}
+		d.Add(uint64(c.ID))
+	}
+}
+
+// Ranking returns the month-aggregated ranked domain list for a country,
+// platform, and metric. Sites with zero observed value are absent.
+func (t *Telemetry) Ranking(c world.Country, p world.Platform, m TelemetryMetric) *rank.Ranking {
+	vals := t.cells[cellKey(c, p, m)]
+	scored := make([]rank.Scored, 0, 1024)
+	for site, v := range vals {
+		if v > 0 {
+			scored = append(scored, rank.Scored{Name: t.w.Site(int32(site)).Domain, Score: v})
+		}
+	}
+	return rank.FromScores(scored, rank.TieHashed)
+}
+
+// CruxEntry is one origin in the public CrUX dataset.
+type CruxEntry struct {
+	Origin string
+	// Bucket is the published rank magnitude; CrUX does not publish exact
+	// ranks (Section 2).
+	Bucket rank.Bucket
+}
+
+// CruxList is the public CrUX dataset for the month: origins with
+// rank-magnitude buckets only.
+type CruxList struct {
+	Entries []CruxEntry
+	// ranking preserves the internal (unpublished) completed-page-load
+	// order used to assign buckets; the evaluation uses it only to truncate
+	// to magnitudes, mirroring how researchers consume CrUX as a set.
+	ranking *rank.Ranking
+}
+
+// DeriveCrux computes the public CrUX list: origins ordered by monthly
+// completed page loads, filtered to origins of sites with at least
+// minVisitors distinct visitors in some country, bucketed by the given
+// bucketer.
+func (t *Telemetry) DeriveCrux(minVisitors int, bk rank.Bucketer) *CruxList {
+	passes := make(map[int32]bool)
+	for vk, d := range t.countryVisitors {
+		if int(d.Count()) >= minVisitors {
+			passes[int32(vk&0xffffffff)] = true
+		}
+	}
+	scored := make([]rank.Scored, 0, len(t.originCompleted))
+	for key, v := range t.originCompleted {
+		if !passes[key.site] {
+			continue
+		}
+		site := t.w.Site(key.site)
+		scheme := "https://"
+		if !site.HTTPS {
+			scheme = "http://"
+		}
+		scored = append(scored, rank.Scored{Name: scheme + site.Hostname(int(key.sub)), Score: v})
+	}
+	r := rank.FromScores(scored, rank.TieHashed)
+	entries := make([]CruxEntry, r.Len())
+	for i := 1; i <= r.Len(); i++ {
+		entries[i-1] = CruxEntry{Origin: r.At(i), Bucket: bk.BucketOf(i)}
+	}
+	return &CruxList{Entries: entries, ranking: r}
+}
+
+// OriginRanking returns the internal origin ordering (not public in the real
+// dataset; used for truncation to magnitude sets).
+func (c *CruxList) OriginRanking() *rank.Ranking { return c.ranking }
+
+// DeriveCruxCountry computes a per-country CrUX dataset, mirroring the real
+// dataset's country-specific tables: origins ranked by the month's
+// completed page loads from that country's clients (both platforms),
+// subject to the same privacy threshold.
+func (t *Telemetry) DeriveCruxCountry(country world.Country, minVisitors int, bk rank.Bucketer) *CruxList {
+	// Per-country completed loads are tracked per (site, platform) in the
+	// telemetry cells; the per-origin split is global, so the per-country
+	// list distributes the site's completed loads across its origins using
+	// the global origin shares.
+	siteTotals := make(map[int32]float64)
+	for key, v := range t.originCompleted {
+		siteTotals[key.site] += v
+	}
+	scored := make([]rank.Scored, 0, len(t.originCompleted))
+	for key, v := range t.originCompleted {
+		vk := int64(country)<<32 | int64(key.site)
+		d, ok := t.countryVisitors[vk]
+		if !ok || int(d.Count()) < minVisitors {
+			continue
+		}
+		countryLoads := t.cells[cellKey(country, world.Windows, CompletedPageLoads)][key.site] +
+			t.cells[cellKey(country, world.Android, CompletedPageLoads)][key.site]
+		if countryLoads == 0 {
+			continue
+		}
+		share := v / siteTotals[key.site]
+		site := t.w.Site(key.site)
+		scheme := "https://"
+		if !site.HTTPS {
+			scheme = "http://"
+		}
+		scored = append(scored, rank.Scored{
+			Name:  scheme + site.Hostname(int(key.sub)),
+			Score: countryLoads * share,
+		})
+	}
+	r := rank.FromScores(scored, rank.TieHashed)
+	entries := make([]CruxEntry, r.Len())
+	for i := 1; i <= r.Len(); i++ {
+		entries[i-1] = CruxEntry{Origin: r.At(i), Bucket: bk.BucketOf(i)}
+	}
+	return &CruxList{Entries: entries, ranking: r}
+}
+
+// Len returns the number of published origins.
+func (c *CruxList) Len() int { return len(c.Entries) }

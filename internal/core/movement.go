@@ -1,0 +1,98 @@
+package core
+
+import (
+	"toplists/internal/rank"
+)
+
+// AgreedBuckets returns the domains that two Cloudflare metric rankings
+// place into the same rank-magnitude bucket, with that bucket — the
+// consensus baseline of Section 5.3 ("we restrict our analysis to the set
+// of domains that two metrics that bookend pageloads ... both place into a
+// given bucket").
+func AgreedBuckets(m1, m3 *rank.Ranking, bk rank.Bucketer) map[string]rank.Bucket {
+	out := make(map[string]rank.Bucket)
+	for i := 1; i <= m1.Len(); i++ {
+		name := m1.At(i)
+		b1 := bk.BucketOf(i)
+		if b1 == rank.BucketBeyond {
+			continue
+		}
+		r3, ok := m3.RankOf(name)
+		if !ok {
+			continue
+		}
+		if bk.BucketOf(r3) == b1 {
+			out[name] = b1
+		}
+	}
+	return out
+}
+
+// Movement is the rank-magnitude flow between the Cloudflare consensus
+// buckets and a top list's buckets (the Sankey of Figure 5).
+type Movement struct {
+	// Matrix[cf][list] counts domains the Cloudflare consensus places in
+	// bucket cf and the list places in bucket list.
+	Matrix [rank.NumBuckets][rank.NumBuckets]int
+	// Bucketer carries the cutoffs used.
+	Bucketer rank.Bucketer
+}
+
+// ComputeMovement builds the flow between the agreed Cloudflare buckets and
+// a (normalized) top list. Only domains present in the agreed set are
+// considered, matching "we only consider movement of domains that are
+// Cloudflare operated".
+func ComputeMovement(agreed map[string]rank.Bucket, list *rank.Ranking, bk rank.Bucketer) Movement {
+	m := Movement{Bucketer: bk}
+	for name, cfB := range agreed {
+		listB := rank.BucketBeyond
+		if r, ok := list.RankOf(name); ok {
+			listB = bk.BucketOf(r)
+		}
+		m.Matrix[cfB][listB]++
+	}
+	return m
+}
+
+// OverrankStats quantifies the Section 5.3 headline numbers for the list's
+// "top magnitude" prefix (topIdx indexes Bucketer.Magnitudes; 1 means the
+// scaled "top 10K"): among agreed domains the list ranks within that
+// prefix, the fraction Cloudflare places in a strictly less popular bucket,
+// and the fraction two or more magnitudes less popular.
+type OverrankStats struct {
+	// N is the number of agreed Cloudflare domains in the list prefix.
+	N int
+	// OverrankedPct is the percentage with a less popular Cloudflare
+	// bucket than the list bucket implies.
+	OverrankedPct float64
+	// Overranked2Pct is the percentage overranked by >= 2 magnitudes.
+	Overranked2Pct float64
+}
+
+// ComputeOverrank computes OverrankStats for a list prefix.
+func ComputeOverrank(agreed map[string]rank.Bucket, list *rank.Ranking, bk rank.Bucketer, topIdx int) OverrankStats {
+	limit := bk.Magnitudes[topIdx]
+	var st OverrankStats
+	var over, over2 int
+	top := list.Top(limit)
+	for i := 1; i <= top.Len(); i++ {
+		name := top.At(i)
+		cfB, ok := agreed[name]
+		if !ok {
+			continue
+		}
+		st.N++
+		listB := bk.BucketOf(i)
+		if cfB > listB {
+			over++
+			if int(cfB)-int(listB) >= 2 {
+				over2++
+			}
+		}
+	}
+	if st.N > 0 {
+		st.OverrankedPct = 100 * float64(over) / float64(st.N)
+		st.Overranked2Pct = 100 * float64(over2) / float64(st.N)
+	}
+	return st
+}

@@ -1,0 +1,268 @@
+// Package core assembles the end-to-end study and implements the paper's
+// evaluation methodology: the Cloudflare-filtered list comparisons of
+// Section 4.3, the rank-magnitude movement analysis of Section 5.3, and the
+// bias analyses of Section 6.
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"toplists/internal/cfmetrics"
+	"toplists/internal/chrome"
+	"toplists/internal/httpsim"
+	"toplists/internal/linkgraph"
+	"toplists/internal/providers"
+	"toplists/internal/psl"
+	"toplists/internal/rank"
+	"toplists/internal/simrand"
+	"toplists/internal/traffic"
+	"toplists/internal/world"
+)
+
+// Config parameterizes a full study run.
+type Config struct {
+	// Seed drives the whole study.
+	Seed uint64
+	// NumSites is the universe size (default 10000).
+	NumSites int
+	// NumClients is the browsing population (default 3000).
+	NumClients int
+	// Days is the measurement window (default 28, February 2022).
+	Days int
+	// CruxMinVisitors is the CrUX privacy threshold (default 2).
+	CruxMinVisitors int
+	// TrackAllCombos enables all 21 filter-aggregation combinations in the
+	// Cloudflare pipeline (needed for Figure 8); the seven canonical
+	// metrics are always tracked.
+	TrackAllCombos bool
+	// EvalMagIdx selects the rank magnitude (index into the bucketer's
+	// cutoffs) at which set-intersection (Jaccard) comparisons run. The
+	// paper compares million-entry lists drawn from a quarter-billion-
+	// domain web; in a compressed simulated universe the same head-vs-tail
+	// tension lives at a smaller fraction of the universe, so the default
+	// is index 2 (the scaled "100K"). See DESIGN.md, "Scale".
+	EvalMagIdx int
+	// SpearmanMagIdx selects the magnitude for rank-correlation
+	// comparisons (default 3, the full scaled list). The paper's single
+	// top-1M cut is simultaneously a tiny fraction of the web (set
+	// scarcity) and the full depth of every list (rank-noise exposure); a
+	// compressed universe needs two cuts to express both regimes.
+	SpearmanMagIdx int
+	// Ablate disables selected mechanisms across the world and the
+	// traffic engine for ablation studies (see experiments.RunAblations).
+	Ablate Ablations
+	// Sybils adds attacker-controlled clients (see experiments.RunAttack).
+	Sybils []traffic.SybilSpec
+}
+
+// Ablations aggregates the mechanism switches of the world and engine.
+type Ablations struct {
+	NoPrivateBrowsing bool
+	NoOpenness        bool
+	NoWeightBoost     bool
+	NoPanelDistortion bool
+	NoWorkSkew        bool
+	NoRevisits        bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumSites == 0 {
+		c.NumSites = 10_000
+	}
+	if c.NumClients == 0 {
+		c.NumClients = 3_000
+	}
+	if c.Days == 0 {
+		c.Days = 28
+	}
+	if c.CruxMinVisitors == 0 {
+		c.CruxMinVisitors = 2
+	}
+	if c.EvalMagIdx == 0 {
+		c.EvalMagIdx = 2
+	}
+	if c.SpearmanMagIdx == 0 {
+		c.SpearmanMagIdx = 3
+	}
+	return c
+}
+
+// Study is one fully-wired simulation run plus the observers needed for
+// every experiment in the paper.
+type Study struct {
+	Cfg Config
+
+	World     *world.World
+	Engine    *traffic.Engine
+	Pipeline  *cfmetrics.Pipeline
+	Telemetry *chrome.Telemetry
+	Graph     *linkgraph.Graph
+	PSL       *psl.List
+	Bucketer  rank.Bucketer
+
+	Alexa    *providers.Alexa
+	Umbrella *providers.Umbrella
+	Majestic *providers.Majestic
+	Secrank  *providers.Secrank
+	Tranco   *providers.Tranco
+	Trexa    *providers.Trexa
+	Crux     *providers.Crux
+
+	// Network is the virtual HTTP layer used by the probe-based filtering.
+	Network *httpsim.Network
+
+	// cfDomains caches the probed set of Cloudflare-served registrable
+	// domains (the cf-ray filter of Section 4.3).
+	cfDomains map[string]struct{}
+
+	ran bool
+}
+
+// NewStudy builds the world and wires every observer. Run must be called
+// before reading lists or metrics.
+func NewStudy(cfg Config) *Study {
+	cfg = cfg.withDefaults()
+	w := world.Generate(world.Config{
+		Seed:     cfg.Seed,
+		NumSites: cfg.NumSites,
+		Ablate: world.Ablations{
+			NoPrivateBrowsing: cfg.Ablate.NoPrivateBrowsing,
+			NoOpenness:        cfg.Ablate.NoOpenness,
+			NoWeightBoost:     cfg.Ablate.NoWeightBoost,
+		},
+	})
+	l := psl.Default()
+
+	s := &Study{
+		Cfg:      cfg,
+		World:    w,
+		PSL:      l,
+		Bucketer: rank.ScaledMagnitudes(cfg.NumSites),
+		Graph:    linkgraph.Build(w, linkgraph.Config{}, simrand.New(cfg.Seed).Derive("linkgraph")),
+	}
+
+	combos := cfmetrics.MetricCombos()
+	if cfg.TrackAllCombos {
+		combos = cfmetrics.AllCombos()
+	}
+	s.Pipeline = cfmetrics.NewPipeline(w, combos, nil)
+	s.Telemetry = chrome.NewTelemetry(w)
+	s.Alexa = providers.NewAlexa(w)
+	s.Umbrella = providers.NewUmbrella(w, l)
+	s.Majestic = providers.NewMajestic(w, s.Graph)
+	s.Secrank = providers.NewSecrank(w, l)
+
+	s.Engine = traffic.NewEngine(w, traffic.Config{
+		Seed:       cfg.Seed + 1,
+		NumClients: cfg.NumClients,
+		Days:       cfg.Days,
+		Ablate: traffic.Ablations{
+			NoPanelDistortion: cfg.Ablate.NoPanelDistortion,
+			NoWorkSkew:        cfg.Ablate.NoWorkSkew,
+			NoRevisits:        cfg.Ablate.NoRevisits,
+		},
+		Sybils: cfg.Sybils,
+	})
+	s.Engine.AddSink(s.Pipeline)
+	s.Engine.AddSink(s.Telemetry)
+	s.Engine.AddSink(s.Alexa)
+	s.Engine.AddSink(s.Umbrella)
+	s.Engine.AddSink(s.Secrank)
+	return s
+}
+
+// Run simulates the month and finalizes the amalgam and monthly lists.
+func (s *Study) Run() {
+	if s.ran {
+		return
+	}
+	s.Engine.Run()
+	s.Tranco = providers.NewTranco(s.Alexa, s.Umbrella, s.Majestic, s.PSL)
+	s.Trexa = providers.NewTrexa(s.Alexa, s.Tranco, s.PSL)
+	for d := 0; d < s.Cfg.Days; d++ {
+		s.Tranco.ComputeDay(d)
+		s.Trexa.ComputeDay(d)
+	}
+	s.Crux = providers.NewCrux(s.Telemetry, s.Cfg.CruxMinVisitors, s.Bucketer)
+	s.ran = true
+}
+
+// Lists returns the seven providers in canonical table order.
+func (s *Study) Lists() []providers.List {
+	s.mustRun()
+	return []providers.List{
+		s.Alexa, s.Majestic, s.Secrank, s.Tranco, s.Trexa, s.Umbrella, s.Crux,
+	}
+}
+
+// RankedLists returns the providers that publish exact ranks (everything
+// but CrUX), for analyses that need Spearman correlation.
+func (s *Study) RankedLists() []providers.List {
+	s.mustRun()
+	return []providers.List{
+		s.Alexa, s.Majestic, s.Secrank, s.Tranco, s.Trexa, s.Umbrella,
+	}
+}
+
+func (s *Study) mustRun() {
+	if !s.ran {
+		panic("core: Study.Run not called")
+	}
+}
+
+// CFDomains returns the set of Cloudflare-served registrable domains,
+// established the way the paper does it: a HEAD probe of every domain over
+// the (virtual) network, keeping those that answer with a cf-ray header.
+func (s *Study) CFDomains() map[string]struct{} {
+	if s.cfDomains != nil {
+		return s.cfDomains
+	}
+	if s.Network == nil {
+		s.Network = httpsim.NewNetwork()
+		s.Network.AddWorld(s.World)
+		s.Network.Start()
+	}
+	prober := httpsim.NewProber(s.Network.Client())
+	prober.Concurrency = 64
+	hosts := make([]string, s.World.NumSites())
+	for i := range hosts {
+		hosts[i] = s.World.Site(int32(i)).Domain
+	}
+	s.cfDomains = prober.CloudflareSet(context.Background(), hosts)
+	return s.cfDomains
+}
+
+// ProbeHosts probes arbitrary hostnames (FQDN or origin-host form) and
+// reports which are Cloudflare-served; used for the per-entry coverage of
+// Table 1.
+func (s *Study) ProbeHosts(hosts []string) map[string]struct{} {
+	s.CFDomains() // ensures the network is up
+	prober := httpsim.NewProber(s.Network.Client())
+	prober.Concurrency = 64
+	return prober.CloudflareSet(context.Background(), hosts)
+}
+
+// Close releases the virtual network, if started.
+func (s *Study) Close() {
+	if s.Network != nil {
+		s.Network.Close()
+		s.Network = nil
+	}
+}
+
+// EvalK returns the list magnitude at which set comparisons run.
+func (s *Study) EvalK() int {
+	return s.Bucketer.Magnitudes[s.Cfg.EvalMagIdx]
+}
+
+// SpearmanK returns the magnitude at which rank correlations run.
+func (s *Study) SpearmanK() int {
+	return s.Bucketer.Magnitudes[s.Cfg.SpearmanMagIdx]
+}
+
+// Describe summarizes the run for logs.
+func (s *Study) Describe() string {
+	return fmt.Sprintf("study: seed=%d sites=%d clients=%d days=%d",
+		s.Cfg.Seed, s.Cfg.NumSites, s.Cfg.NumClients, s.Cfg.Days)
+}

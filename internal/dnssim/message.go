@@ -1,0 +1,360 @@
+// Package dnssim implements a minimal DNS substrate: wire-format message
+// encoding/decoding, an authoritative+caching resolver, and a UDP server
+// and stub client.
+//
+// The paper's second- and third-best lists (Cisco Umbrella and Secrank) are
+// computed from recursive-resolver query logs, not web traffic. This
+// package is that substrate: the simulated universe is served by an
+// authoritative backend, clients resolve through a caching recursive
+// resolver, and the resolver's query log is the vantage point the Umbrella
+// and Secrank providers rank from. TTL-driven cache suppression — one of
+// the mechanisms the paper cites for DNS lists' poor rank fidelity
+// (Section 5.2) — falls out of the cache implementation.
+package dnssim
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Type is a DNS record type.
+type Type uint16
+
+// Supported record types.
+const (
+	TypeA     Type = 1
+	TypeNS    Type = 2
+	TypeCNAME Type = 5
+	TypeTXT   Type = 16
+	TypeAAAA  Type = 28
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case TypeA:
+		return "A"
+	case TypeNS:
+		return "NS"
+	case TypeCNAME:
+		return "CNAME"
+	case TypeTXT:
+		return "TXT"
+	case TypeAAAA:
+		return "AAAA"
+	default:
+		return fmt.Sprintf("TYPE%d", uint16(t))
+	}
+}
+
+// Class is a DNS class; only IN is used.
+const ClassIN uint16 = 1
+
+// RCode is a DNS response code.
+type RCode uint8
+
+// Response codes.
+const (
+	RCodeNoError  RCode = 0
+	RCodeFormErr  RCode = 1
+	RCodeServFail RCode = 2
+	RCodeNXDomain RCode = 3
+)
+
+// Header is the fixed 12-byte DNS header (flags unpacked).
+type Header struct {
+	ID                 uint16
+	Response           bool
+	Opcode             uint8
+	Authoritative      bool
+	Truncated          bool
+	RecursionDesired   bool
+	RecursionAvailable bool
+	RCode              RCode
+}
+
+// Question is a DNS question.
+type Question struct {
+	Name  string
+	Type  Type
+	Class uint16
+}
+
+// RR is a resource record.
+type RR struct {
+	Name  string
+	Type  Type
+	Class uint16
+	TTL   uint32
+	Data  []byte // type-specific RDATA (4-byte IP for A, encoded name for CNAME/NS, raw for TXT)
+}
+
+// Message is a complete DNS message.
+type Message struct {
+	Header    Header
+	Questions []Question
+	Answers   []RR
+}
+
+// Wire-format errors.
+var (
+	ErrShortMessage = errors.New("dnssim: short message")
+	ErrBadName      = errors.New("dnssim: malformed name")
+	ErrLoop         = errors.New("dnssim: compression pointer loop")
+	ErrNameTooLong  = errors.New("dnssim: name exceeds 255 octets")
+)
+
+// appendName encodes a domain name in uncompressed wire format.
+func appendName(b []byte, name string) ([]byte, error) {
+	name = strings.TrimSuffix(name, ".")
+	if name != "" {
+		if len(name) > 253 {
+			return nil, ErrNameTooLong
+		}
+		for _, label := range strings.Split(name, ".") {
+			if len(label) == 0 || len(label) > 63 {
+				return nil, ErrBadName
+			}
+			b = append(b, byte(len(label)))
+			b = append(b, label...)
+		}
+	}
+	return append(b, 0), nil
+}
+
+// parseName decodes a (possibly compressed) name starting at off, returning
+// the name and the offset just past it in the original stream.
+func parseName(msg []byte, off int) (string, int, error) {
+	var sb strings.Builder
+	jumped := false
+	end := off
+	hops := 0
+	for {
+		if off >= len(msg) {
+			return "", 0, ErrShortMessage
+		}
+		l := int(msg[off])
+		switch {
+		case l == 0:
+			if !jumped {
+				end = off + 1
+			}
+			name := sb.String()
+			if len(name) > 253 {
+				return "", 0, ErrNameTooLong
+			}
+			return name, end, nil
+		case l&0xc0 == 0xc0:
+			if off+1 >= len(msg) {
+				return "", 0, ErrShortMessage
+			}
+			ptr := int(binary.BigEndian.Uint16(msg[off:]) & 0x3fff)
+			if !jumped {
+				end = off + 2
+				jumped = true
+			}
+			hops++
+			if hops > 32 || ptr >= len(msg) {
+				return "", 0, ErrLoop
+			}
+			off = ptr
+		case l&0xc0 != 0:
+			return "", 0, ErrBadName
+		default:
+			if off+1+l > len(msg) {
+				return "", 0, ErrShortMessage
+			}
+			if sb.Len() > 0 {
+				sb.WriteByte('.')
+			}
+			sb.Write(msg[off+1 : off+1+l])
+			off += 1 + l
+		}
+	}
+}
+
+func (h *Header) flags() uint16 {
+	var f uint16
+	if h.Response {
+		f |= 1 << 15
+	}
+	f |= uint16(h.Opcode&0xf) << 11
+	if h.Authoritative {
+		f |= 1 << 10
+	}
+	if h.Truncated {
+		f |= 1 << 9
+	}
+	if h.RecursionDesired {
+		f |= 1 << 8
+	}
+	if h.RecursionAvailable {
+		f |= 1 << 7
+	}
+	f |= uint16(h.RCode) & 0xf
+	return f
+}
+
+func headerFromFlags(id, f uint16) Header {
+	return Header{
+		ID:                 id,
+		Response:           f&(1<<15) != 0,
+		Opcode:             uint8(f >> 11 & 0xf),
+		Authoritative:      f&(1<<10) != 0,
+		Truncated:          f&(1<<9) != 0,
+		RecursionDesired:   f&(1<<8) != 0,
+		RecursionAvailable: f&(1<<7) != 0,
+		RCode:              RCode(f & 0xf),
+	}
+}
+
+// Encode serializes the message without name compression (always valid).
+func (m *Message) Encode() ([]byte, error) {
+	return m.encode(nil)
+}
+
+// EncodeCompressed serializes the message using RFC 1035 §4.1.4 name
+// compression: repeated names (and repeated suffixes) become two-byte
+// pointers to their first occurrence. Decode understands both forms.
+func (m *Message) EncodeCompressed() ([]byte, error) {
+	return m.encode(make(map[string]int))
+}
+
+func (m *Message) encode(offsets map[string]int) ([]byte, error) {
+	b := make([]byte, 12, 128)
+	binary.BigEndian.PutUint16(b[0:], m.Header.ID)
+	binary.BigEndian.PutUint16(b[2:], m.Header.flags())
+	binary.BigEndian.PutUint16(b[4:], uint16(len(m.Questions)))
+	binary.BigEndian.PutUint16(b[6:], uint16(len(m.Answers)))
+	// NSCOUNT and ARCOUNT remain zero.
+	var err error
+	writeName := func(name string) error {
+		if offsets == nil {
+			b, err = appendName(b, name)
+			return err
+		}
+		b, err = appendNameCompressed(b, name, offsets)
+		return err
+	}
+	for _, q := range m.Questions {
+		if err := writeName(q.Name); err != nil {
+			return nil, err
+		}
+		b = binary.BigEndian.AppendUint16(b, uint16(q.Type))
+		b = binary.BigEndian.AppendUint16(b, q.Class)
+	}
+	for _, rr := range m.Answers {
+		if err := writeName(rr.Name); err != nil {
+			return nil, err
+		}
+		b = binary.BigEndian.AppendUint16(b, uint16(rr.Type))
+		b = binary.BigEndian.AppendUint16(b, rr.Class)
+		b = binary.BigEndian.AppendUint32(b, rr.TTL)
+		if len(rr.Data) > 0xffff {
+			return nil, errors.New("dnssim: rdata too long")
+		}
+		b = binary.BigEndian.AppendUint16(b, uint16(len(rr.Data)))
+		b = append(b, rr.Data...)
+	}
+	return b, nil
+}
+
+// appendNameCompressed encodes a name, replacing any suffix already present
+// in the message with a compression pointer and recording new suffix
+// offsets for later names.
+func appendNameCompressed(b []byte, name string, offsets map[string]int) ([]byte, error) {
+	name = strings.TrimSuffix(name, ".")
+	if len(name) > 253 {
+		return nil, ErrNameTooLong
+	}
+	rest := name
+	for rest != "" {
+		if off, ok := offsets[rest]; ok && off <= 0x3fff {
+			return binary.BigEndian.AppendUint16(b, 0xc000|uint16(off)), nil
+		}
+		label, remainder, _ := strings.Cut(rest, ".")
+		if len(label) == 0 || len(label) > 63 {
+			return nil, ErrBadName
+		}
+		if len(b) <= 0x3fff {
+			offsets[rest] = len(b)
+		}
+		b = append(b, byte(len(label)))
+		b = append(b, label...)
+		rest = remainder
+	}
+	return append(b, 0), nil
+}
+
+// Decode parses a wire-format message. Authority and additional sections
+// are tolerated but discarded.
+func Decode(b []byte) (*Message, error) {
+	if len(b) < 12 {
+		return nil, ErrShortMessage
+	}
+	m := &Message{
+		Header: headerFromFlags(binary.BigEndian.Uint16(b[0:]), binary.BigEndian.Uint16(b[2:])),
+	}
+	qd := int(binary.BigEndian.Uint16(b[4:]))
+	an := int(binary.BigEndian.Uint16(b[6:]))
+	ns := int(binary.BigEndian.Uint16(b[8:]))
+	ar := int(binary.BigEndian.Uint16(b[10:]))
+	off := 12
+	for i := 0; i < qd; i++ {
+		name, next, err := parseName(b, off)
+		if err != nil {
+			return nil, err
+		}
+		if next+4 > len(b) {
+			return nil, ErrShortMessage
+		}
+		m.Questions = append(m.Questions, Question{
+			Name:  name,
+			Type:  Type(binary.BigEndian.Uint16(b[next:])),
+			Class: binary.BigEndian.Uint16(b[next+2:]),
+		})
+		off = next + 4
+	}
+	for i := 0; i < an+ns+ar; i++ {
+		name, next, err := parseName(b, off)
+		if err != nil {
+			return nil, err
+		}
+		if next+10 > len(b) {
+			return nil, ErrShortMessage
+		}
+		rr := RR{
+			Name:  name,
+			Type:  Type(binary.BigEndian.Uint16(b[next:])),
+			Class: binary.BigEndian.Uint16(b[next+2:]),
+			TTL:   binary.BigEndian.Uint32(b[next+4:]),
+		}
+		rdlen := int(binary.BigEndian.Uint16(b[next+8:]))
+		if next+10+rdlen > len(b) {
+			return nil, ErrShortMessage
+		}
+		rr.Data = append([]byte(nil), b[next+10:next+10+rdlen]...)
+		off = next + 10 + rdlen
+		if i < an {
+			m.Answers = append(m.Answers, rr)
+		}
+	}
+	return m, nil
+}
+
+// ARecord builds an A record for a 4-byte IPv4 address given as uint32.
+func ARecord(name string, ttl uint32, ip uint32) RR {
+	var d [4]byte
+	binary.BigEndian.PutUint32(d[:], ip)
+	return RR{Name: name, Type: TypeA, Class: ClassIN, TTL: ttl, Data: d[:]}
+}
+
+// AIP extracts the IPv4 address from an A record.
+func AIP(rr RR) (uint32, error) {
+	if rr.Type != TypeA || len(rr.Data) != 4 {
+		return 0, fmt.Errorf("dnssim: not an A record: %v/%d bytes", rr.Type, len(rr.Data))
+	}
+	return binary.BigEndian.Uint32(rr.Data), nil
+}

@@ -1,0 +1,295 @@
+package dnssim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	m := &Message{
+		Header: Header{
+			ID: 0x1234, Response: true, Authoritative: true,
+			RecursionDesired: true, RecursionAvailable: true,
+			RCode: RCodeNoError,
+		},
+		Questions: []Question{{Name: "www.example.com", Type: TypeA, Class: ClassIN}},
+		Answers: []RR{
+			ARecord("www.example.com", 300, 0x0A0B0C0D),
+			{Name: "example.com", Type: TypeTXT, Class: ClassIN, TTL: 60, Data: []byte("hello")},
+		},
+	}
+	raw, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header != m.Header {
+		t.Errorf("header = %+v, want %+v", got.Header, m.Header)
+	}
+	if len(got.Questions) != 1 || got.Questions[0] != m.Questions[0] {
+		t.Errorf("questions = %+v", got.Questions)
+	}
+	if len(got.Answers) != 2 {
+		t.Fatalf("answers = %d", len(got.Answers))
+	}
+	ip, err := AIP(got.Answers[0])
+	if err != nil || ip != 0x0A0B0C0D {
+		t.Errorf("AIP = %x, %v", ip, err)
+	}
+	if !bytes.Equal(got.Answers[1].Data, []byte("hello")) {
+		t.Errorf("TXT data = %q", got.Answers[1].Data)
+	}
+}
+
+func TestHeaderFlagsRoundTrip(t *testing.T) {
+	err := quick.Check(func(id uint16, resp, aa, tc, rd, ra bool, op, rc uint8) bool {
+		h := Header{
+			ID: id, Response: resp, Opcode: op & 0xf, Authoritative: aa,
+			Truncated: tc, RecursionDesired: rd, RecursionAvailable: ra,
+			RCode: RCode(rc & 0xf),
+		}
+		return headerFromFlags(id, h.flags()) == h
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNameRoundTripProperty(t *testing.T) {
+	err := quick.Check(func(labels []uint8) bool {
+		if len(labels) == 0 || len(labels) > 5 {
+			return true
+		}
+		parts := make([]string, len(labels))
+		for i, l := range labels {
+			parts[i] = strings.Repeat("a", int(l%20)+1)
+		}
+		name := strings.Join(parts, ".")
+		b, err := appendName(nil, name)
+		if err != nil {
+			return false
+		}
+		got, off, err := parseName(b, 0)
+		return err == nil && got == name && off == len(b)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRootName(t *testing.T) {
+	b, err := appendName(nil, "")
+	if err != nil || len(b) != 1 || b[0] != 0 {
+		t.Fatalf("root encode = %v, %v", b, err)
+	}
+	name, off, err := parseName(b, 0)
+	if err != nil || name != "" || off != 1 {
+		t.Fatalf("root decode = %q, %d, %v", name, off, err)
+	}
+}
+
+func TestNameErrors(t *testing.T) {
+	if _, err := appendName(nil, strings.Repeat("a", 64)+".com"); err == nil {
+		t.Error("64-byte label must fail")
+	}
+	if _, err := appendName(nil, strings.Repeat("abcdefgh.", 32)+"com"); err == nil {
+		t.Error("overlong name must fail")
+	}
+	if _, err := appendName(nil, "a..b"); err == nil {
+		t.Error("empty label must fail")
+	}
+}
+
+func TestCompressionPointerDecode(t *testing.T) {
+	// Hand-build a message whose answer name is a pointer to the question
+	// name, the classic compression layout.
+	m := &Message{
+		Header:    Header{ID: 7},
+		Questions: []Question{{Name: "a.example.com", Type: TypeA, Class: ClassIN}},
+	}
+	raw, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append an answer with a compression pointer to offset 12.
+	raw[7] = 1 // ANCOUNT = 1
+	raw = append(raw, 0xc0, 12)
+	raw = append(raw, 0, 1, 0, 1) // TYPE A, CLASS IN
+	raw = append(raw, 0, 0, 1, 44)
+	raw = append(raw, 0, 4)
+	raw = append(raw, 10, 1, 2, 3)
+	got, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Answers) != 1 || got.Answers[0].Name != "a.example.com" {
+		t.Fatalf("answers = %+v", got.Answers)
+	}
+	if got.Answers[0].TTL != 300 {
+		t.Errorf("TTL = %d", got.Answers[0].TTL)
+	}
+}
+
+func TestPointerLoopRejected(t *testing.T) {
+	raw := make([]byte, 12)
+	raw[5] = 1                  // QDCOUNT = 1
+	raw = append(raw, 0xc0, 12) // pointer to itself
+	raw = append(raw, 0, 1, 0, 1)
+	if _, err := Decode(raw); err == nil {
+		t.Fatal("pointer loop must be rejected")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Error("nil must fail")
+	}
+	if _, err := Decode(make([]byte, 11)); err == nil {
+		t.Error("11 bytes must fail")
+	}
+	// Truncated question.
+	raw := make([]byte, 12)
+	raw[5] = 1
+	raw = append(raw, 3, 'a', 'b') // label promises 3 bytes, has 2
+	if _, err := Decode(raw); err == nil {
+		t.Error("truncated label must fail")
+	}
+}
+
+func TestDecodeFuzzSafety(t *testing.T) {
+	// Decode must never panic on arbitrary input.
+	err := quick.Check(func(b []byte) bool {
+		_, _ = Decode(b)
+		return true
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAIPErrors(t *testing.T) {
+	if _, err := AIP(RR{Type: TypeTXT, Data: []byte{1, 2, 3, 4}}); err == nil {
+		t.Error("wrong type must fail")
+	}
+	if _, err := AIP(RR{Type: TypeA, Data: []byte{1, 2}}); err == nil {
+		t.Error("short data must fail")
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	if TypeA.String() != "A" || TypeCNAME.String() != "CNAME" {
+		t.Error("type names")
+	}
+	if Type(999).String() != "TYPE999" {
+		t.Error("unknown type format")
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	m := &Message{
+		Header:    Header{ID: 1},
+		Questions: []Question{{Name: "www.example.com", Type: TypeA, Class: ClassIN}},
+		Answers:   []RR{ARecord("www.example.com", 300, 0x01020304)},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Encode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	m := &Message{
+		Header:    Header{ID: 1},
+		Questions: []Question{{Name: "www.example.com", Type: TypeA, Class: ClassIN}},
+		Answers:   []RR{ARecord("www.example.com", 300, 0x01020304)},
+	}
+	raw, _ := m.Encode()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestEncodeCompressedRoundTrip(t *testing.T) {
+	m := &Message{
+		Header:    Header{ID: 5, Response: true},
+		Questions: []Question{{Name: "www.example.com", Type: TypeA, Class: ClassIN}},
+		Answers: []RR{
+			ARecord("www.example.com", 300, 0x01020304),
+			ARecord("mail.example.com", 300, 0x01020305),
+			ARecord("example.com", 300, 0x01020306),
+		},
+	}
+	flat, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := m.EncodeCompressed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(packed) >= len(flat) {
+		t.Errorf("compressed %d bytes not smaller than flat %d", len(packed), len(flat))
+	}
+	got, err := Decode(packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Answers) != 3 {
+		t.Fatalf("answers = %d", len(got.Answers))
+	}
+	want := []string{"www.example.com", "mail.example.com", "example.com"}
+	for i, rr := range got.Answers {
+		if rr.Name != want[i] {
+			t.Errorf("answer %d name = %q, want %q", i, rr.Name, want[i])
+		}
+	}
+}
+
+func TestEncodeCompressedProperty(t *testing.T) {
+	// Compressed and flat encodings decode to identical messages for
+	// arbitrary label structures sharing suffixes.
+	err := quick.Check(func(a, b uint8, n uint8) bool {
+		base := strings.Repeat(string(rune('a'+a%26)), int(a%8)+1) + ".example.org"
+		m := &Message{
+			Header:    Header{ID: 1, Response: true},
+			Questions: []Question{{Name: base, Type: TypeA, Class: ClassIN}},
+		}
+		for i := 0; i < int(n%5)+1; i++ {
+			sub := strings.Repeat(string(rune('a'+b%26)), i+1) + "." + base
+			m.Answers = append(m.Answers, ARecord(sub, 60, uint32(i)))
+		}
+		flat, err1 := m.Encode()
+		packed, err2 := m.EncodeCompressed()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		d1, err1 := Decode(flat)
+		d2, err2 := Decode(packed)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if len(d1.Answers) != len(d2.Answers) {
+			return false
+		}
+		for i := range d1.Answers {
+			if d1.Answers[i].Name != d2.Answers[i].Name {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,209 @@
+package dnssim
+
+import (
+	"sync"
+
+	"toplists/internal/domain"
+	"toplists/internal/world"
+)
+
+// Authority answers queries authoritatively. Implementations must be safe
+// for concurrent use.
+type Authority interface {
+	// Lookup returns the records for (name, type) and whether the name
+	// exists at all (for NXDOMAIN vs empty answer).
+	Lookup(name string, t Type) (rrs []RR, exists bool)
+}
+
+// WorldAuthority serves the synthetic universe: every site hostname and
+// infrastructure name resolves to a deterministic address with the site's
+// configured TTL.
+type WorldAuthority struct {
+	w     *world.World
+	hosts map[string]RR
+}
+
+// NewWorldAuthority indexes the world's hostnames.
+func NewWorldAuthority(w *world.World) *WorldAuthority {
+	a := &WorldAuthority{w: w, hosts: make(map[string]RR)}
+	for i := 0; i < w.NumSites(); i++ {
+		s := w.Site(int32(i))
+		for sub := range s.Subdomains {
+			name := s.Hostname(sub)
+			a.hosts[name] = ARecord(name, uint32(s.DNSTTL), siteIP(s.ID, uint8(sub)))
+		}
+	}
+	for i, inf := range w.Infra {
+		a.hosts[inf.FQDN] = ARecord(inf.FQDN, uint32(inf.TTL), 0xC0000000|uint32(i))
+	}
+	return a
+}
+
+// siteIP derives a stable fake address for a hostname.
+func siteIP(site int32, sub uint8) uint32 {
+	x := uint32(site)<<8 | uint32(sub)
+	x ^= x << 13
+	x *= 0x85ebca6b
+	x ^= x >> 16
+	// Stay out of multicast/reserved-looking space for realism.
+	return 0x0A000000 | x&0x00ffffff
+}
+
+// Lookup implements Authority.
+func (a *WorldAuthority) Lookup(name string, t Type) ([]RR, bool) {
+	rr, ok := a.hosts[domain.Normalize(name)]
+	if !ok {
+		return nil, false
+	}
+	if t != TypeA {
+		return nil, true // name exists, no records of that type
+	}
+	return []RR{rr}, true
+}
+
+// QueryLog receives one entry per query arriving at the resolver (i.e.
+// post-client-cache, pre-resolver-cache): the vantage DNS-based top lists
+// are computed from.
+type QueryLog func(clientIP uint32, name string, cacheHit bool)
+
+// Resolver is a recursive resolver with a TTL cache over an Authority.
+// The clock is virtual: callers advance time explicitly, which keeps
+// simulation runs deterministic and fast.
+type Resolver struct {
+	auth Authority
+	log  QueryLog
+
+	mu    sync.Mutex
+	now   int64 // virtual seconds
+	cache map[cacheKey]cacheEntry
+
+	hits, misses, nxdomain int64
+}
+
+type cacheKey struct {
+	name string
+	t    Type
+}
+
+type cacheEntry struct {
+	rrs     []RR
+	exists  bool
+	expires int64
+}
+
+// NewResolver builds a resolver over the authority. log may be nil.
+func NewResolver(auth Authority, log QueryLog) *Resolver {
+	return &Resolver{auth: auth, log: log, cache: make(map[cacheKey]cacheEntry)}
+}
+
+// Advance moves the virtual clock forward by d seconds.
+func (r *Resolver) Advance(d int64) {
+	r.mu.Lock()
+	r.now += d
+	r.mu.Unlock()
+}
+
+// SetTime sets the virtual clock.
+func (r *Resolver) SetTime(t int64) {
+	r.mu.Lock()
+	r.now = t
+	r.mu.Unlock()
+}
+
+// Resolve answers a question on behalf of clientIP, consulting the cache
+// first. The returned RCode is NXDomain for nonexistent names.
+func (r *Resolver) Resolve(clientIP uint32, name string, t Type) ([]RR, RCode) {
+	name = domain.Normalize(name)
+	key := cacheKey{name, t}
+
+	r.mu.Lock()
+	e, ok := r.cache[key]
+	hit := ok && e.expires > r.now
+	if hit {
+		r.hits++
+	} else {
+		r.misses++
+	}
+	now := r.now
+	r.mu.Unlock()
+
+	if r.log != nil {
+		r.log(clientIP, name, hit)
+	}
+	if hit {
+		if !e.exists {
+			return nil, RCodeNXDomain
+		}
+		return remainTTL(e.rrs, e.expires-now), RCodeNoError
+	}
+
+	rrs, exists := r.auth.Lookup(name, t)
+	ttl := int64(300) // negative-cache and empty-answer TTL
+	if len(rrs) > 0 {
+		ttl = int64(rrs[0].TTL)
+	}
+	r.mu.Lock()
+	r.cache[key] = cacheEntry{rrs: rrs, exists: exists, expires: now + ttl}
+	if !exists {
+		r.nxdomain++
+	}
+	r.mu.Unlock()
+
+	if !exists {
+		return nil, RCodeNXDomain
+	}
+	return rrs, RCodeNoError
+}
+
+// remainTTL rewrites record TTLs to the remaining cache lifetime.
+func remainTTL(rrs []RR, remain int64) []RR {
+	if remain < 0 {
+		remain = 0
+	}
+	out := make([]RR, len(rrs))
+	copy(out, rrs)
+	for i := range out {
+		out[i].TTL = uint32(remain)
+	}
+	return out
+}
+
+// Stats returns cumulative cache hit/miss/NXDOMAIN counters.
+func (r *Resolver) Stats() (hits, misses, nxdomain int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.hits, r.misses, r.nxdomain
+}
+
+// HandleMessage processes one wire-format query and returns the wire-format
+// response, implementing the subset of DNS a stub client needs.
+func (r *Resolver) HandleMessage(clientIP uint32, raw []byte) []byte {
+	reply := func(m *Message) []byte {
+		out, err := m.Encode()
+		if err != nil {
+			return nil
+		}
+		return out
+	}
+	q, err := Decode(raw)
+	if err != nil || len(q.Questions) != 1 || q.Header.Response {
+		h := Header{Response: true, RCode: RCodeFormErr}
+		if err == nil {
+			h.ID = q.Header.ID
+		}
+		return reply(&Message{Header: h})
+	}
+	question := q.Questions[0]
+	rrs, rcode := r.Resolve(clientIP, question.Name, question.Type)
+	return reply(&Message{
+		Header: Header{
+			ID:                 q.Header.ID,
+			Response:           true,
+			RecursionDesired:   q.Header.RecursionDesired,
+			RecursionAvailable: true,
+			RCode:              rcode,
+		},
+		Questions: []Question{question},
+		Answers:   rrs,
+	})
+}

@@ -1,0 +1,218 @@
+package dnssim
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"toplists/internal/world"
+)
+
+func testAuthority(t testing.TB) (*world.World, *WorldAuthority) {
+	t.Helper()
+	w := world.Generate(world.Config{Seed: 41, NumSites: 300})
+	return w, NewWorldAuthority(w)
+}
+
+func TestAuthorityLookup(t *testing.T) {
+	w, auth := testAuthority(t)
+	s := w.Site(0)
+	rrs, exists := auth.Lookup(s.Domain, TypeA)
+	if !exists || len(rrs) != 1 {
+		t.Fatalf("apex lookup: %v, %v", rrs, exists)
+	}
+	if rrs[0].TTL != uint32(s.DNSTTL) {
+		t.Errorf("TTL = %d, want %d", rrs[0].TTL, s.DNSTTL)
+	}
+	if _, exists := auth.Lookup("definitely-not-a-site.example", TypeA); exists {
+		t.Error("nonexistent name resolved")
+	}
+	// Name exists but type not served.
+	if rrs, exists := auth.Lookup(s.Domain, TypeAAAA); !exists || len(rrs) != 0 {
+		t.Errorf("AAAA lookup = %v, %v; want empty answer, exists", rrs, exists)
+	}
+	// Infra names resolve too.
+	if _, exists := auth.Lookup(w.Infra[0].FQDN, TypeA); !exists {
+		t.Error("infra name did not resolve")
+	}
+}
+
+func TestResolverCaching(t *testing.T) {
+	w, auth := testAuthority(t)
+	var logged []bool
+	r := NewResolver(auth, func(ip uint32, name string, hit bool) {
+		logged = append(logged, hit)
+	})
+	name := w.Site(0).Domain
+	ttl := int64(w.Site(0).DNSTTL)
+
+	if _, rc := r.Resolve(1, name, TypeA); rc != RCodeNoError {
+		t.Fatalf("rcode = %v", rc)
+	}
+	if _, rc := r.Resolve(2, name, TypeA); rc != RCodeNoError {
+		t.Fatalf("rcode = %v", rc)
+	}
+	r.Advance(ttl + 1)
+	r.Resolve(3, name, TypeA)
+
+	want := []bool{false, true, false} // miss, hit, expired->miss
+	if len(logged) != len(want) {
+		t.Fatalf("logged %v", logged)
+	}
+	for i := range want {
+		if logged[i] != want[i] {
+			t.Fatalf("logged = %v, want %v", logged, want)
+		}
+	}
+	hits, misses, _ := r.Stats()
+	if hits != 1 || misses != 2 {
+		t.Errorf("stats = %d hits, %d misses", hits, misses)
+	}
+}
+
+func TestResolverDecrementsTTL(t *testing.T) {
+	w, auth := testAuthority(t)
+	r := NewResolver(auth, nil)
+	name := w.Site(0).Domain
+	full := uint32(w.Site(0).DNSTTL)
+	r.Resolve(1, name, TypeA)
+	r.Advance(int64(full / 2))
+	rrs, _ := r.Resolve(1, name, TypeA)
+	if len(rrs) != 1 {
+		t.Fatal("no answer")
+	}
+	if rrs[0].TTL >= full {
+		t.Errorf("cached TTL %d not decremented from %d", rrs[0].TTL, full)
+	}
+}
+
+func TestResolverNXDomainNegativeCache(t *testing.T) {
+	_, auth := testAuthority(t)
+	r := NewResolver(auth, nil)
+	if _, rc := r.Resolve(1, "nope.invalid", TypeA); rc != RCodeNXDomain {
+		t.Fatalf("rcode = %v", rc)
+	}
+	if _, rc := r.Resolve(1, "nope.invalid", TypeA); rc != RCodeNXDomain {
+		t.Fatalf("cached rcode = %v", rc)
+	}
+	hits, _, nx := r.Stats()
+	if hits != 1 {
+		t.Errorf("negative answer not cached: hits = %d", hits)
+	}
+	if nx != 1 {
+		t.Errorf("nxdomain counter = %d", nx)
+	}
+}
+
+func TestHandleMessage(t *testing.T) {
+	w, auth := testAuthority(t)
+	r := NewResolver(auth, nil)
+	q := &Message{
+		Header:    Header{ID: 42, RecursionDesired: true},
+		Questions: []Question{{Name: w.Site(0).Domain, Type: TypeA, Class: ClassIN}},
+	}
+	raw, _ := q.Encode()
+	resp, err := Decode(r.HandleMessage(7, raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Header.Response || resp.Header.ID != 42 || resp.Header.RCode != RCodeNoError {
+		t.Fatalf("header = %+v", resp.Header)
+	}
+	if len(resp.Answers) != 1 {
+		t.Fatalf("answers = %d", len(resp.Answers))
+	}
+	// Malformed input gets FORMERR, not a crash.
+	bad := r.HandleMessage(7, []byte{1, 2, 3})
+	if bad == nil {
+		t.Fatal("no response to garbage")
+	}
+	badResp, err := Decode(bad)
+	if err != nil || badResp.Header.RCode != RCodeFormErr {
+		t.Fatalf("garbage response = %+v, %v", badResp, err)
+	}
+}
+
+func TestServerOverUDP(t *testing.T) {
+	w, auth := testAuthority(t)
+	r := NewResolver(auth, nil)
+	srv := NewServer(r)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c := &Client{Server: addr.String(), Timeout: 2 * time.Second}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	rrs, rcode, err := c.Query(ctx, w.Site(0).Domain, TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rcode != RCodeNoError || len(rrs) != 1 {
+		t.Fatalf("rcode %v, %d answers", rcode, len(rrs))
+	}
+	ip, err := AIP(rrs[0])
+	if err != nil || ip == 0 {
+		t.Fatalf("AIP = %x, %v", ip, err)
+	}
+
+	_, rcode, err = c.Query(ctx, "missing.invalid", TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rcode != RCodeNXDomain {
+		t.Fatalf("rcode = %v, want NXDOMAIN", rcode)
+	}
+}
+
+func TestServerConcurrentClients(t *testing.T) {
+	w, auth := testAuthority(t)
+	r := NewResolver(auth, nil)
+	srv := NewServer(r)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	const workers = 8
+	errc := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		go func(i int) {
+			c := &Client{Server: addr.String()}
+			for j := 0; j < 20; j++ {
+				name := w.Site(int32((i*20 + j) % w.NumSites())).Domain
+				if _, _, err := c.Query(ctx, name, TypeA); err != nil {
+					errc <- err
+					return
+				}
+			}
+			errc <- nil
+		}(i)
+	}
+	for i := 0; i < workers; i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestClientTimeout(t *testing.T) {
+	// A UDP listener that never replies.
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	c := &Client{Server: conn.LocalAddr().String(), Timeout: 50 * time.Millisecond, Retries: 1}
+	_, _, err = c.Query(context.Background(), "example.com", TypeA)
+	if err != ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}

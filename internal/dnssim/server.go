@@ -1,0 +1,185 @@
+package dnssim
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Server serves a Resolver over UDP. It is the wire front-end used by
+// cmd/dnsload and the networking tests; the bulk simulation feeds the
+// resolver in-process for speed.
+type Server struct {
+	resolver *Resolver
+
+	mu   sync.Mutex
+	conn net.PacketConn
+	done chan struct{}
+}
+
+// NewServer wraps a resolver.
+func NewServer(r *Resolver) *Server {
+	return &Server{resolver: r}
+}
+
+// Start begins serving on addr (e.g. "127.0.0.1:0") and returns the bound
+// address. The server runs until Close.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	conn, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dnssim: listen: %w", err)
+	}
+	s.mu.Lock()
+	s.conn = conn
+	s.done = make(chan struct{})
+	s.mu.Unlock()
+	go s.serve(conn)
+	return conn.LocalAddr(), nil
+}
+
+func (s *Server) serve(conn net.PacketConn) {
+	defer close(s.done)
+	buf := make([]byte, 4096)
+	for {
+		n, peer, err := conn.ReadFrom(buf)
+		if err != nil {
+			return // closed
+		}
+		resp := s.resolver.HandleMessage(peerIP(peer), buf[:n])
+		if resp != nil {
+			// Oversized answers are truncated per RFC 1035; the client
+			// retries over TCP.
+			if len(resp) > maxUDPPayload {
+				resp = truncateForUDP(resp)
+			}
+			// Best-effort: a dropped response is a normal UDP outcome.
+			_, _ = conn.WriteTo(resp, peer)
+		}
+	}
+}
+
+func peerIP(a net.Addr) uint32 {
+	ua, ok := a.(*net.UDPAddr)
+	if !ok {
+		return 0
+	}
+	ip4 := ua.IP.To4()
+	if ip4 == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(ip4)
+}
+
+// Close stops the server and waits for the serve loop to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	conn, done := s.conn, s.done
+	s.conn = nil
+	s.mu.Unlock()
+	if conn == nil {
+		return nil
+	}
+	err := conn.Close()
+	<-done
+	return err
+}
+
+// Client is a stub resolver speaking UDP to a Server.
+type Client struct {
+	// Server is the resolver address.
+	Server string
+	// Timeout bounds each query attempt (default 2s).
+	Timeout time.Duration
+	// Retries is the number of additional attempts on timeout (default 2).
+	Retries int
+
+	mu     sync.Mutex
+	nextID uint16
+}
+
+// ErrTimeout is returned when all attempts time out.
+var ErrTimeout = errors.New("dnssim: query timed out")
+
+// Query resolves (name, type) and returns the answer records.
+func (c *Client) Query(ctx context.Context, name string, t Type) ([]RR, RCode, error) {
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = 2 * time.Second
+	}
+	retries := c.Retries
+	if retries == 0 {
+		retries = 2
+	}
+
+	c.mu.Lock()
+	c.nextID++
+	id := c.nextID
+	c.mu.Unlock()
+
+	q := &Message{
+		Header:    Header{ID: id, RecursionDesired: true},
+		Questions: []Question{{Name: name, Type: t, Class: ClassIN}},
+	}
+	raw, err := q.Encode()
+	if err != nil {
+		return nil, 0, err
+	}
+
+	var lastErr error = ErrTimeout
+	for attempt := 0; attempt <= retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
+		m, err := c.attemptRaw(ctx, raw, id, timeout)
+		if err == nil {
+			return m.Answers, m.Header.RCode, nil
+		}
+		lastErr = err
+	}
+	return nil, 0, lastErr
+}
+
+// attemptRaw sends one UDP datagram and returns the first valid matching
+// response message.
+func (c *Client) attemptRaw(ctx context.Context, raw []byte, id uint16, timeout time.Duration) (*Message, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "udp", c.Server)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+
+	deadline := time.Now().Add(timeout)
+	if ctxDeadline, ok := ctx.Deadline(); ok && ctxDeadline.Before(deadline) {
+		deadline = ctxDeadline
+	}
+	if err := conn.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(raw); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 4096)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				return nil, ErrTimeout
+			}
+			return nil, err
+		}
+		m, err := Decode(buf[:n])
+		if err != nil {
+			continue // garbled datagram; keep waiting for a valid one
+		}
+		if m.Header.ID != id || !m.Header.Response {
+			continue // stray response
+		}
+		return m, nil
+	}
+}

@@ -1,0 +1,251 @@
+package dnssim
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// DNS over TCP (RFC 1035 §4.2.2): messages are framed with a 2-byte length
+// prefix. The server answers on the same connection until the client closes
+// or errs; the client falls back to TCP automatically when a UDP response
+// arrives truncated (TC bit set).
+
+// maxUDPPayload is the classic 512-byte UDP limit that triggers truncation.
+const maxUDPPayload = 512
+
+// TCPServer serves a Resolver over TCP with length framing.
+type TCPServer struct {
+	resolver *Resolver
+
+	mu sync.Mutex
+	ln net.Listener
+	wg sync.WaitGroup
+}
+
+// NewTCPServer wraps a resolver.
+func NewTCPServer(r *Resolver) *TCPServer {
+	return &TCPServer{resolver: r}
+}
+
+// Start begins serving on addr and returns the bound address.
+func (s *TCPServer) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dnssim: tcp listen: %w", err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+func (s *TCPServer) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer conn.Close()
+	ip := peerIPTCP(conn.RemoteAddr())
+	for {
+		// A idle peer eventually gets disconnected, like real resolvers do.
+		if err := conn.SetReadDeadline(time.Now().Add(30 * time.Second)); err != nil {
+			return
+		}
+		raw, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		resp := s.resolver.HandleMessage(ip, raw)
+		if resp == nil {
+			return
+		}
+		if err := writeFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func peerIPTCP(a net.Addr) uint32 {
+	ta, ok := a.(*net.TCPAddr)
+	if !ok {
+		return 0
+	}
+	ip4 := ta.IP.To4()
+	if ip4 == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(ip4)
+}
+
+// Close stops the listener and waits for in-flight connections.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	ln := s.ln
+	s.ln = nil
+	s.mu.Unlock()
+	if ln == nil {
+		return nil
+	}
+	err := ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// ErrFrameTooLarge is returned for length prefixes above the protocol cap.
+var ErrFrameTooLarge = errors.New("dnssim: tcp frame exceeds 64KiB")
+
+// readFrame reads one length-prefixed DNS message.
+func readFrame(r io.Reader) ([]byte, error) {
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.BigEndian.Uint16(lenBuf[:]))
+	if n == 0 {
+		return nil, ErrShortMessage
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// writeFrame writes one length-prefixed DNS message.
+func writeFrame(w io.Writer, msg []byte) error {
+	if len(msg) > 0xffff {
+		return ErrFrameTooLarge
+	}
+	var lenBuf [2]byte
+	binary.BigEndian.PutUint16(lenBuf[:], uint16(len(msg)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(msg)
+	return err
+}
+
+// truncateForUDP rewrites an oversized response to an empty, TC-flagged one
+// so the client knows to retry over TCP.
+func truncateForUDP(resp []byte) []byte {
+	m, err := Decode(resp)
+	if err != nil {
+		return resp
+	}
+	m.Answers = nil
+	m.Header.Truncated = true
+	out, err := m.Encode()
+	if err != nil {
+		return resp
+	}
+	return out
+}
+
+// QueryTCP resolves (name, type) over TCP against the given server.
+func QueryTCP(ctx context.Context, server, name string, t Type) ([]RR, RCode, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", server)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		if err := conn.SetDeadline(deadline); err != nil {
+			return nil, 0, err
+		}
+	}
+
+	q := &Message{
+		Header:    Header{ID: 1, RecursionDesired: true},
+		Questions: []Question{{Name: name, Type: t, Class: ClassIN}},
+	}
+	raw, err := q.Encode()
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := writeFrame(conn, raw); err != nil {
+		return nil, 0, err
+	}
+	respRaw, err := readFrame(conn)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := Decode(respRaw)
+	if err != nil {
+		return nil, 0, err
+	}
+	if !resp.Header.Response || resp.Header.ID != q.Header.ID {
+		return nil, 0, errors.New("dnssim: mismatched TCP response")
+	}
+	return resp.Answers, resp.Header.RCode, nil
+}
+
+// QueryAuto issues the query over UDP and retries over TCP when the
+// response arrives truncated, the standard resolver fallback.
+func (c *Client) QueryAuto(ctx context.Context, name string, t Type) ([]RR, RCode, error) {
+	rrs, rcode, truncated, err := c.queryDetectTruncation(ctx, name, t)
+	if err != nil {
+		return nil, 0, err
+	}
+	if !truncated {
+		return rrs, rcode, nil
+	}
+	return QueryTCP(ctx, c.Server, name, t)
+}
+
+// queryDetectTruncation is Query, but surfaces the TC bit.
+func (c *Client) queryDetectTruncation(ctx context.Context, name string, t Type) ([]RR, RCode, bool, error) {
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = 2 * time.Second
+	}
+	retries := c.Retries
+	if retries == 0 {
+		retries = 2
+	}
+	c.mu.Lock()
+	c.nextID++
+	id := c.nextID
+	c.mu.Unlock()
+
+	q := &Message{
+		Header:    Header{ID: id, RecursionDesired: true},
+		Questions: []Question{{Name: name, Type: t, Class: ClassIN}},
+	}
+	raw, err := q.Encode()
+	if err != nil {
+		return nil, 0, false, err
+	}
+	var lastErr error = ErrTimeout
+	for attempt := 0; attempt <= retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, false, err
+		}
+		msg, err := c.attemptRaw(ctx, raw, id, timeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return msg.Answers, msg.Header.RCode, msg.Header.Truncated, nil
+	}
+	return nil, 0, false, lastErr
+}

@@ -1,0 +1,241 @@
+package dnssim
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"toplists/internal/world"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	msg := []byte{1, 2, 3, 4, 5}
+	if err := writeFrame(&buf, msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("frame = %v", got)
+	}
+}
+
+func TestFrameErrors(t *testing.T) {
+	if err := writeFrame(&bytes.Buffer{}, make([]byte, 70000)); err != ErrFrameTooLarge {
+		t.Errorf("oversized frame: %v", err)
+	}
+	// Zero-length frame is invalid.
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0})
+	if _, err := readFrame(&buf); err == nil {
+		t.Error("zero frame accepted")
+	}
+	// Truncated payload.
+	buf.Reset()
+	buf.Write([]byte{0, 5, 1, 2})
+	if _, err := readFrame(&buf); err == nil {
+		t.Error("short frame accepted")
+	}
+}
+
+func TestTCPServerQuery(t *testing.T) {
+	w, auth := testAuthority(t)
+	r := NewResolver(auth, nil)
+	srv := NewTCPServer(r)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	rrs, rcode, err := QueryTCP(ctx, addr.String(), w.Site(0).Domain, TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rcode != RCodeNoError || len(rrs) != 1 {
+		t.Fatalf("rcode=%v answers=%d", rcode, len(rrs))
+	}
+	// Same connection semantics: a second query on a fresh dial also works.
+	if _, rcode, err := QueryTCP(ctx, addr.String(), "missing.invalid", TypeA); err != nil || rcode != RCodeNXDomain {
+		t.Fatalf("nxdomain over tcp: %v %v", err, rcode)
+	}
+}
+
+// bigAuthority answers every A query with enough TXT padding to overflow
+// the 512-byte UDP limit.
+type bigAuthority struct{}
+
+func (bigAuthority) Lookup(name string, typ Type) ([]RR, bool) {
+	var rrs []RR
+	for i := 0; i < 12; i++ {
+		rrs = append(rrs, RR{
+			Name: name, Type: TypeTXT, Class: ClassIN, TTL: 60,
+			Data: bytes.Repeat([]byte{'x'}, 50),
+		})
+	}
+	if typ == TypeA {
+		rrs = append(rrs, ARecord(name, 60, 0x0A000001))
+	}
+	return rrs, true
+}
+
+func TestUDPTruncationAndTCPFallback(t *testing.T) {
+	r := NewResolver(bigAuthority{}, nil)
+	udp := NewServer(r)
+	udpAddr, err := udp.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer udp.Close()
+
+	// TCP server on the same resolver; the client must be pointed at the
+	// same host:port for fallback, so bind TCP to the UDP port. Port reuse
+	// across protocols is allowed.
+	tcp := NewTCPServer(r)
+	if _, err := tcp.Start(udpAddr.String()); err != nil {
+		t.Fatal(err)
+	}
+	defer tcp.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	c := &Client{Server: udpAddr.String()}
+	// Plain UDP query arrives truncated with no answers.
+	_, _, truncated, err := c.queryDetectTruncation(ctx, "big.example.com", TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truncated {
+		t.Fatal("expected truncated UDP response")
+	}
+
+	// QueryAuto transparently falls back to TCP and gets the full answer.
+	rrs, rcode, err := c.QueryAuto(ctx, "big.example.com", TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rcode != RCodeNoError || len(rrs) != 13 {
+		t.Fatalf("rcode=%v answers=%d, want 13", rcode, len(rrs))
+	}
+}
+
+func TestQueryAutoNoFallbackForSmallAnswers(t *testing.T) {
+	w, auth := testAuthority(t)
+	r := NewResolver(auth, nil)
+	udp := NewServer(r)
+	addr, err := udp.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer udp.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	c := &Client{Server: addr.String()}
+	// No TCP server is running: if QueryAuto wrongly attempted fallback it
+	// would fail.
+	rrs, rcode, err := c.QueryAuto(ctx, w.Site(0).Domain, TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rcode != RCodeNoError || len(rrs) != 1 {
+		t.Fatalf("rcode=%v answers=%d", rcode, len(rrs))
+	}
+}
+
+func TestTruncateForUDP(t *testing.T) {
+	m := &Message{
+		Header:    Header{ID: 9, Response: true},
+		Questions: []Question{{Name: "example.com", Type: TypeA, Class: ClassIN}},
+		Answers:   []RR{ARecord("example.com", 60, 1)},
+	}
+	raw, _ := m.Encode()
+	out, err := Decode(truncateForUDP(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Header.Truncated || len(out.Answers) != 0 {
+		t.Fatalf("truncated = %+v", out)
+	}
+	if out.Header.ID != 9 || len(out.Questions) != 1 {
+		t.Fatal("header/question lost in truncation")
+	}
+	// Garbage passes through unchanged rather than panicking.
+	if got := truncateForUDP([]byte{1, 2}); !bytes.Equal(got, []byte{1, 2}) {
+		t.Error("garbage not passed through")
+	}
+}
+
+func TestTCPServerMalformedFrame(t *testing.T) {
+	_, auth := testAuthority(t)
+	r := NewResolver(auth, nil)
+	srv := NewTCPServer(r)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Garbage inside a valid frame: server answers FORMERR, stays up.
+	if err := writeFrame(conn, []byte{0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	resp, err := readFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Decode(resp)
+	if err != nil || m.Header.RCode != RCodeFormErr {
+		t.Fatalf("resp = %+v, %v", m, err)
+	}
+}
+
+func TestWorldAuthorityUnderTCPLoad(t *testing.T) {
+	w := world.Generate(world.Config{Seed: 77, NumSites: 200})
+	r := NewResolver(NewWorldAuthority(w), nil)
+	srv := NewTCPServer(r)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	errc := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func(i int) {
+			for j := 0; j < 25; j++ {
+				name := w.Site(int32((i*25 + j) % w.NumSites())).Domain
+				if _, _, err := QueryTCP(ctx, addr.String(), name, TypeA); err != nil {
+					errc <- err
+					return
+				}
+			}
+			errc <- nil
+		}(i)
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !strings.Contains(addr.String(), ":") {
+		t.Fatal("sanity")
+	}
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"toplists/internal/core"
+)
+
+func TestAttackLeverageAsymmetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs multiple full studies")
+	}
+	res, err := RunAttack(core.Config{
+		Seed:       2024,
+		NumSites:   6000,
+		NumClients: 1500,
+		Days:       7,
+		EvalMagIdx: 1,
+	}, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+	t.Logf("target true rank %d; baseline alexa=%d tranco=%d cf=%d; attacked alexa=%d tranco=%d cf=%d",
+		res.TargetTrueRank, res.BaselineAlexaRank, res.BaselineTrancoRank,
+		res.BaselineCFRank, row.AlexaRank, row.TrancoRank, row.CFRank)
+
+	// The attack must catapult the target up the Alexa ranking.
+	if row.AlexaRank == 0 {
+		t.Fatal("attacked target unranked in Alexa")
+	}
+	if res.BaselineAlexaRank != 0 && row.AlexaRank >= res.BaselineAlexaRank {
+		t.Errorf("attack did not improve Alexa rank: %d -> %d",
+			res.BaselineAlexaRank, row.AlexaRank)
+	}
+	if row.AlexaRank > 100 {
+		t.Errorf("attacked Alexa rank %d, expected well inside the head", row.AlexaRank)
+	}
+
+	// Tranco dampens: the achieved Tranco rank stays far worse than the
+	// achieved Alexa rank.
+	if row.TrancoRank != 0 && row.TrancoRank < row.AlexaRank*3 {
+		t.Errorf("Tranco rank %d too close to Alexa rank %d: amalgam not damping",
+			row.TrancoRank, row.AlexaRank)
+	}
+
+	// The server-side truth barely moves: the CF rank must stay an order
+	// of magnitude worse than the manipulated Alexa rank.
+	if row.CFRank != 0 && row.CFRank < row.AlexaRank*5 {
+		t.Errorf("CF rank %d moved too much vs Alexa %d", row.CFRank, row.AlexaRank)
+	}
+
+	var b strings.Builder
+	if err := res.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Manipulation") {
+		t.Error("render missing title")
+	}
+}
+
+func TestAttackNeedsBudgets(t *testing.T) {
+	if _, err := RunAttack(core.Config{}, nil); err == nil {
+		t.Fatal("empty budget list accepted")
+	}
+}

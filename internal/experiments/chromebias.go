@@ -1,0 +1,290 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"toplists/internal/chrome"
+	"toplists/internal/core"
+	"toplists/internal/report"
+	"toplists/internal/stats"
+	"toplists/internal/world"
+)
+
+// Fig6Result holds the intra-Chrome consistency matrices (Figure 6):
+// pairwise Jaccard and Spearman between the three telemetry metrics,
+// averaged over every (country, platform) cell.
+type Fig6Result struct {
+	Metrics  []chrome.TelemetryMetric
+	Jaccard  [][]float64
+	Spearman [][]float64
+	TopK     int
+}
+
+// ID implements Result.
+func (r *Fig6Result) ID() string { return "fig6" }
+
+// RunFig6 computes Figure 6.
+func RunFig6(s *core.Study) *Fig6Result {
+	metrics := chrome.AllTelemetryMetrics()
+	k := s.EvalK()
+	res := &Fig6Result{Metrics: metrics, TopK: k}
+	n := len(metrics)
+	res.Jaccard = newMatrix(n)
+	res.Spearman = newMatrix(n)
+
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var jjs, rss []float64
+			for _, c := range world.AllCountries() {
+				for _, p := range world.AllPlatforms() {
+					a := s.Telemetry.Ranking(c, p, metrics[i])
+					b := s.Telemetry.Ranking(c, p, metrics[j])
+					if a.Len() == 0 || b.Len() == 0 {
+						continue
+					}
+					jjs = append(jjs, core.JaccardTopK(a, b, k))
+					if rs, _, err := core.SpearmanTopK(a, b, k); err == nil {
+						rss = append(rss, rs)
+					}
+				}
+			}
+			res.Jaccard[i][j] = stats.Mean(jjs)
+			res.Spearman[i][j] = stats.Mean(rss)
+		}
+	}
+	return res
+}
+
+// OffDiagonalRange returns the min/max off-diagonal Jaccard — the paper
+// reports 0.73-0.86, well above the intra-Cloudflare band.
+func (r *Fig6Result) OffDiagonalRange() (lo, hi float64) {
+	lo, hi = 1, 0
+	for i := range r.Jaccard {
+		for j := range r.Jaccard[i] {
+			if i == j {
+				continue
+			}
+			if v := r.Jaccard[i][j]; v < lo {
+				lo = v
+			}
+			if v := r.Jaccard[i][j]; v > hi {
+				hi = v
+			}
+		}
+	}
+	return lo, hi
+}
+
+// Render implements Result.
+func (r *Fig6Result) Render(w io.Writer) error {
+	labels := make([]string, len(r.Metrics))
+	for i, m := range r.Metrics {
+		labels[i] = m.String()
+	}
+	jj := &report.Heatmap{
+		Title:     "Figure 6a: Intra-Chrome Metric Consistency (Jaccard)",
+		RowLabels: labels, ColLabels: shortLabels(labels), Values: r.Jaccard,
+	}
+	if err := jj.Render(w); err != nil {
+		return err
+	}
+	io.WriteString(w, "\n")
+	rs := &report.Heatmap{
+		Title:     "Figure 6b: Intra-Chrome Metric Consistency (Spearman)",
+		RowLabels: labels, ColLabels: shortLabels(labels), Values: r.Spearman,
+	}
+	return rs.Render(w)
+}
+
+// Fig4Result holds the platform-bias analysis (Figure 4): each ranked list
+// against per-platform Chrome data, averaged over countries. CrUX is
+// excluded because it derives from the same data (Section 6.2).
+type Fig4Result struct {
+	Lists     []string
+	Platforms []world.Platform
+	// Jaccard[list][platform], Spearman[list][platform].
+	Jaccard  [][]float64
+	Spearman [][]float64
+	TopK     int
+}
+
+// ID implements Result.
+func (r *Fig4Result) ID() string { return "fig4" }
+
+// RunFig4 computes Figure 4 using month-aggregated telemetry and the final
+// day's list snapshots.
+func RunFig4(s *core.Study) *Fig4Result {
+	lists := s.RankedLists()
+	day := evalDay(s)
+	cache := newNormCache(s)
+	k := s.EvalK()
+	res := &Fig4Result{Platforms: world.AllPlatforms(), TopK: k}
+	for _, l := range lists {
+		res.Lists = append(res.Lists, l.Name())
+	}
+	res.Jaccard = make([][]float64, len(lists))
+	res.Spearman = make([][]float64, len(lists))
+	for li, l := range lists {
+		res.Jaccard[li] = make([]float64, len(res.Platforms))
+		res.Spearman[li] = make([]float64, len(res.Platforms))
+		norm := cache.get(l, day)
+		for pi, p := range res.Platforms {
+			var jjs, rss []float64
+			for _, c := range world.AllCountries() {
+				cell := s.Telemetry.Ranking(c, p, chrome.CompletedPageLoads)
+				if cell.Len() == 0 {
+					continue
+				}
+				cmp := core.CompareListToChromeCell(norm, cell, k)
+				jjs = append(jjs, cmp.Jaccard)
+				if cmp.SpearmanOK {
+					rss = append(rss, cmp.Spearman)
+				}
+			}
+			res.Jaccard[li][pi] = stats.Mean(jjs)
+			res.Spearman[li][pi] = stats.Mean(rss)
+		}
+	}
+	return res
+}
+
+// DesktopAdvantage returns jj(Windows) - jj(Android) for a list; positive
+// means the list better matches desktop behaviour, the universal finding of
+// Section 6.2.
+func (r *Fig4Result) DesktopAdvantage(list string) float64 {
+	for li, n := range r.Lists {
+		if n == list {
+			return r.Jaccard[li][0] - r.Jaccard[li][1]
+		}
+	}
+	return 0
+}
+
+// Render implements Result.
+func (r *Fig4Result) Render(w io.Writer) error {
+	cols := make([]string, len(r.Platforms))
+	for i, p := range r.Platforms {
+		cols[i] = p.String()
+	}
+	jj := &report.Heatmap{
+		Title:     "Figure 4a: Top List Performance by Platform (Jaccard)",
+		RowLabels: r.Lists, ColLabels: cols, Values: r.Jaccard, Format: "%.3f",
+	}
+	if err := jj.Render(w); err != nil {
+		return err
+	}
+	io.WriteString(w, "\n")
+	rs := &report.Heatmap{
+		Title:     "Figure 4b: Top List Performance by Platform (Spearman)",
+		RowLabels: r.Lists, ColLabels: cols, Values: r.Spearman, Format: "%.3f",
+	}
+	return rs.Render(w)
+}
+
+// Fig7Result holds the country-bias analysis (Figure 7): each ranked list
+// against per-country Chrome data, averaged over platforms.
+type Fig7Result struct {
+	Lists     []string
+	Countries []world.Country
+	Jaccard   [][]float64
+	Spearman  [][]float64
+	TopK      int
+}
+
+// ID implements Result.
+func (r *Fig7Result) ID() string { return "fig7" }
+
+// RunFig7 computes Figure 7.
+func RunFig7(s *core.Study) *Fig7Result {
+	lists := s.RankedLists()
+	day := evalDay(s)
+	cache := newNormCache(s)
+	k := s.EvalK()
+	res := &Fig7Result{Countries: world.AllCountries(), TopK: k}
+	for _, l := range lists {
+		res.Lists = append(res.Lists, l.Name())
+	}
+	res.Jaccard = make([][]float64, len(lists))
+	res.Spearman = make([][]float64, len(lists))
+	for li, l := range lists {
+		res.Jaccard[li] = make([]float64, len(res.Countries))
+		res.Spearman[li] = make([]float64, len(res.Countries))
+		norm := cache.get(l, day)
+		for ci, c := range res.Countries {
+			var jjs, rss []float64
+			for _, p := range world.AllPlatforms() {
+				cell := s.Telemetry.Ranking(c, p, chrome.CompletedPageLoads)
+				if cell.Len() == 0 {
+					continue
+				}
+				cmp := core.CompareListToChromeCell(norm, cell, k)
+				jjs = append(jjs, cmp.Jaccard)
+				if cmp.SpearmanOK {
+					rss = append(rss, cmp.Spearman)
+				}
+			}
+			res.Jaccard[li][ci] = stats.Mean(jjs)
+			res.Spearman[li][ci] = stats.Mean(rss)
+		}
+	}
+	return res
+}
+
+// JaccardFor returns jj for (list, country).
+func (r *Fig7Result) JaccardFor(list string, c world.Country) float64 {
+	for li, n := range r.Lists {
+		if n == list {
+			for ci, have := range r.Countries {
+				if have == c {
+					return r.Jaccard[li][ci]
+				}
+			}
+		}
+	}
+	return 0
+}
+
+// BestCountry returns the country a list matches best by Jaccard.
+func (r *Fig7Result) BestCountry(list string) world.Country {
+	best, bestV := world.US, -1.0
+	for li, n := range r.Lists {
+		if n != list {
+			continue
+		}
+		for ci, c := range r.Countries {
+			if r.Jaccard[li][ci] > bestV {
+				best, bestV = c, r.Jaccard[li][ci]
+			}
+		}
+	}
+	return best
+}
+
+// Render implements Result.
+func (r *Fig7Result) Render(w io.Writer) error {
+	cols := make([]string, len(r.Countries))
+	for i, c := range r.Countries {
+		cols[i] = c.String()
+	}
+	jj := &report.Heatmap{
+		Title:     "Figure 7 (top): Top List Performance by Country (Jaccard)",
+		RowLabels: r.Lists, ColLabels: cols, Values: r.Jaccard, Format: "%.3f",
+	}
+	if err := jj.Render(w); err != nil {
+		return err
+	}
+	io.WriteString(w, "\n")
+	rs := &report.Heatmap{
+		Title:     "Figure 7 (bottom): Top List Performance by Country (Spearman)",
+		RowLabels: r.Lists, ColLabels: cols, Values: r.Spearman, Format: "%.3f",
+	}
+	if err := rs.Render(w); err != nil {
+		return err
+	}
+	io.WriteString(w, "\nBest-matched country per list:\n")
+	for _, l := range r.Lists {
+		fmt.Fprintf(w, "  %-10s %s\n", l, r.BestCountry(l))
+	}
+	return nil
+}

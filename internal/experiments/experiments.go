@@ -1,0 +1,103 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation from a core.Study run. Each experiment returns a typed result
+// with the headline numbers accessible programmatically and a Render method
+// producing the paper-style artifact as text.
+package experiments
+
+import (
+	"io"
+
+	"toplists/internal/core"
+	"toplists/internal/providers"
+	"toplists/internal/rank"
+)
+
+// Result is a runnable experiment's output.
+type Result interface {
+	// ID is the paper artifact identifier ("fig2", "tab3", ...).
+	ID() string
+	// Render writes the artifact as text.
+	Render(w io.Writer) error
+}
+
+// Runner executes one experiment against a study.
+type Runner struct {
+	ID   string
+	Name string
+	Run  func(s *core.Study) (Result, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Runner {
+	return []Runner{
+		{"fig1", "Intra-Cloudflare metric consistency", func(s *core.Study) (Result, error) { return RunFig1(s), nil }},
+		{"fig2", "Top lists vs Cloudflare metrics", func(s *core.Study) (Result, error) { return RunFig2(s), nil }},
+		{"fig3", "Popularity metrics over time", func(s *core.Study) (Result, error) { return RunFig3(s), nil }},
+		{"fig4", "Top list performance by platform", func(s *core.Study) (Result, error) { return RunFig4(s), nil }},
+		{"fig5", "Rank-magnitude movement", func(s *core.Study) (Result, error) { return RunFig5(s), nil }},
+		{"fig6", "Intra-Chrome metric consistency", func(s *core.Study) (Result, error) { return RunFig6(s), nil }},
+		{"fig7", "Top list performance by country", func(s *core.Study) (Result, error) { return RunFig7(s), nil }},
+		{"fig8", "All 21 filter-aggregation combos", func(s *core.Study) (Result, error) { return RunFig8(s) }},
+		{"tab1", "Cloudflare coverage of top lists", func(s *core.Study) (Result, error) { return RunTable1(s), nil }},
+		{"tab2", "PSL deviation of top lists", func(s *core.Study) (Result, error) { return RunTable2(s), nil }},
+		{"tab3", "Odds of inclusion by category", func(s *core.Study) (Result, error) { return RunTable3(s) }},
+	}
+}
+
+// Extensions returns the analyses that go beyond the paper's artifacts.
+// (The mechanism-ablation study is separate — see RunAblations — because it
+// builds its own fleet of studies rather than reading one.)
+func Extensions() []Runner {
+	return []Runner{
+		{"stability", "List stability and cross-list agreement (extension)",
+			func(s *core.Study) (Result, error) { return RunStability(s), nil }},
+		{"survey", "Section 2 literature-survey constants",
+			func(s *core.Study) (Result, error) { return SurveyResult{}, nil }},
+	}
+}
+
+// Lookup finds a runner by ID among the paper artifacts and extensions.
+func Lookup(id string) (Runner, bool) {
+	for _, r := range All() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	for _, r := range Extensions() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// normCache memoizes per-(list, day) normalized rankings; experiments share
+// one per study invocation.
+type normCache struct {
+	s *core.Study
+	m map[normKey]*rank.Ranking
+}
+
+type normKey struct {
+	list string
+	day  int
+}
+
+func newNormCache(s *core.Study) *normCache {
+	return &normCache{s: s, m: make(map[normKey]*rank.Ranking)}
+}
+
+func (c *normCache) get(l providers.List, day int) *rank.Ranking {
+	key := normKey{l.Name(), day}
+	if r, ok := c.m[key]; ok {
+		return r
+	}
+	r, _ := l.Normalized(day, c.s.PSL)
+	c.m[key] = r
+	return r
+}
+
+// evalDay is the evaluation day used by single-day analyses (the paper uses
+// February 1 for Figure 8 and Table 3; we use the final day so trailing-
+// window lists are warmed up, documented in EXPERIMENTS.md).
+func evalDay(s *core.Study) int { return s.Cfg.Days - 1 }

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"errors"
+	"io"
+
+	"toplists/internal/cfmetrics"
+	"toplists/internal/core"
+	"toplists/internal/rank"
+	"toplists/internal/report"
+	"toplists/internal/stats"
+)
+
+// Fig1Result holds the intra-Cloudflare consistency matrices of Figure 1:
+// pairwise Jaccard and Spearman between the seven canonical metrics,
+// averaged over all days.
+type Fig1Result struct {
+	Metrics  []cfmetrics.Metric
+	Jaccard  [][]float64
+	Spearman [][]float64
+	// TopK is the list magnitude compared.
+	TopK int
+}
+
+// ID implements Result.
+func (r *Fig1Result) ID() string { return "fig1" }
+
+// RunFig1 computes Figure 1.
+func RunFig1(s *core.Study) *Fig1Result {
+	metrics := cfmetrics.AllMetrics()
+	k := s.EvalK()
+	res := &Fig1Result{Metrics: metrics, TopK: k}
+	n := len(metrics)
+	res.Jaccard = newMatrix(n)
+	res.Spearman = newMatrix(n)
+
+	days := s.Pipeline.NumDays()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var jjs, rss []float64
+			for d := 0; d < days; d++ {
+				a := s.Pipeline.MetricRanking(d, metrics[i])
+				b := s.Pipeline.MetricRanking(d, metrics[j])
+				jjs = append(jjs, core.JaccardTopK(a, b, k))
+				if rs, _, err := core.SpearmanTopK(a, b, k); err == nil {
+					rss = append(rss, rs)
+				}
+			}
+			res.Jaccard[i][j] = stats.Mean(jjs)
+			res.Spearman[i][j] = stats.Mean(rss)
+		}
+	}
+	return res
+}
+
+// OffDiagonalRange returns the min and max off-diagonal Jaccard values —
+// the paper's intra-Cloudflare band (0.28-0.82) that CrUX is judged
+// against.
+func (r *Fig1Result) OffDiagonalRange() (lo, hi float64) {
+	lo, hi = 1, 0
+	for i := range r.Jaccard {
+		for j := range r.Jaccard[i] {
+			if i == j {
+				continue
+			}
+			v := r.Jaccard[i][j]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	return lo, hi
+}
+
+// Render implements Result.
+func (r *Fig1Result) Render(w io.Writer) error {
+	labels := make([]string, len(r.Metrics))
+	for i, m := range r.Metrics {
+		labels[i] = m.String()
+	}
+	hm := &report.Heatmap{
+		Title:     "Figure 1a: Intra-Cloudflare Metric Consistency (Jaccard)",
+		RowLabels: labels, ColLabels: shortLabels(labels),
+		Values: r.Jaccard,
+	}
+	if err := hm.Render(w); err != nil {
+		return err
+	}
+	io.WriteString(w, "\n")
+	hm2 := &report.Heatmap{
+		Title:     "Figure 1b: Intra-Cloudflare Metric Consistency (Spearman)",
+		RowLabels: labels, ColLabels: shortLabels(labels),
+		Values: r.Spearman,
+	}
+	return hm2.Render(w)
+}
+
+func shortLabels(labels []string) []string {
+	out := make([]string, len(labels))
+	for i, l := range labels {
+		if len(l) > 10 {
+			l = l[:10]
+		}
+		out[i] = l
+	}
+	return out
+}
+
+func newMatrix(n int) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+	}
+	return m
+}
+
+// Fig8Result holds the 21-combo consistency matrices of Appendix Figure 8,
+// computed on a single day.
+type Fig8Result struct {
+	Combos   []cfmetrics.Combo
+	Jaccard  [][]float64
+	Spearman [][]float64
+	Day      int
+	TopK     int
+}
+
+// ID implements Result.
+func (r *Fig8Result) ID() string { return "fig8" }
+
+// ErrNeedAllCombos is returned when the study was not configured with
+// TrackAllCombos.
+var ErrNeedAllCombos = errors.New("experiments: fig8 requires Config.TrackAllCombos")
+
+// RunFig8 computes Figure 8 on day 0 (the paper uses February 1).
+func RunFig8(s *core.Study) (*Fig8Result, error) {
+	combos := cfmetrics.AllCombos()
+	res := &Fig8Result{Combos: combos, Day: 0, TopK: s.EvalK()}
+	n := len(combos)
+	res.Jaccard = newMatrix(n)
+	res.Spearman = newMatrix(n)
+
+	rankings := make([]*rank.Ranking, n)
+	for i, c := range combos {
+		if !s.Pipeline.Tracks(c) {
+			return nil, ErrNeedAllCombos
+		}
+		rankings[i] = s.Pipeline.DayRanking(0, c)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			res.Jaccard[i][j] = core.JaccardTopK(rankings[i], rankings[j], res.TopK)
+			if rs, _, err := core.SpearmanTopK(rankings[i], rankings[j], res.TopK); err == nil {
+				res.Spearman[i][j] = rs
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render implements Result.
+func (r *Fig8Result) Render(w io.Writer) error {
+	labels := make([]string, len(r.Combos))
+	for i, c := range r.Combos {
+		labels[i] = c.String()
+	}
+	hm := &report.Heatmap{
+		Title:     "Figure 8a: All 21 Filter-Aggregation Combos (Jaccard, day 1)",
+		RowLabels: labels, ColLabels: indexLabels(len(labels)),
+		Values: r.Jaccard,
+	}
+	if err := hm.Render(w); err != nil {
+		return err
+	}
+	io.WriteString(w, "\n")
+	hm2 := &report.Heatmap{
+		Title:     "Figure 8b: All 21 Filter-Aggregation Combos (Spearman, day 1)",
+		RowLabels: labels, ColLabels: indexLabels(len(labels)),
+		Values: r.Spearman,
+	}
+	return hm2.Render(w)
+}
+
+func indexLabels(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = itoa(i + 1)
+	}
+	return out
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

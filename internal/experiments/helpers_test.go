@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"testing"
+
+	"toplists/internal/cfmetrics"
+	"toplists/internal/psl"
+)
+
+func TestEntryHost(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"example.com", "example.com"},
+		{"www.example.com", "www.example.com"},
+		{"https://example.com", "example.com"},
+		{"http://example.com:8080", "example.com"},
+		{"https://shop.example.co.uk", "shop.example.co.uk"},
+	}
+	for _, c := range cases {
+		if got := entryHost(c.in); got != c.want {
+			t.Errorf("entryHost(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDeviatesFromPSL(t *testing.T) {
+	l := psl.Default()
+	cases := []struct {
+		in   string
+		want bool
+	}{
+		{"example.com", false},
+		{"www.example.com", true},
+		{"https://example.com", false}, // origin of a registrable domain
+		{"https://www.example.com", true},
+		{"com", true}, // bare suffix has no registrable domain
+		{"example.co.uk", false},
+		{"a.b.example.co.uk", true},
+	}
+	for _, c := range cases {
+		if got := deviatesFromPSL(c.in, l); got != c.want {
+			t.Errorf("deviatesFromPSL(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMagLabel(t *testing.T) {
+	cases := []struct {
+		in   int
+		want string
+	}{
+		{1000, "1K"}, {10000, "10K"}, {1000000, "1M"}, {250, "250"}, {2500, "2500"},
+	}
+	for _, c := range cases {
+		if got := magLabel(c.in); got != c.want {
+			t.Errorf("magLabel(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestShortLabelsAndIndexLabels(t *testing.T) {
+	in := []string{"short", "averyveryverylongname"}
+	out := shortLabels(in)
+	if out[0] != "short" || len(out[1]) != 10 {
+		t.Errorf("shortLabels = %v", out)
+	}
+	idx := indexLabels(3)
+	if idx[0] != "1" || idx[2] != "3" {
+		t.Errorf("indexLabels = %v", idx)
+	}
+	if itoa(0) != "0" || itoa(1234) != "1234" {
+		t.Error("itoa")
+	}
+}
+
+func TestDoubled(t *testing.T) {
+	out := doubled([]string{"Alexa", "Umbrella"})
+	if len(out) != 4 || out[0] != "Alexa J" || out[3] != "Umbrel S" {
+		t.Errorf("doubled = %v", out)
+	}
+}
+
+func TestMonthlyMetricAggregation(t *testing.T) {
+	s := getStudy(t)
+	m := monthlyMetric(s, cfmetrics.MAllRequests)
+	if m.Len() == 0 {
+		t.Fatal("empty monthly metric")
+	}
+	// The monthly head should be a superset-ish blend of daily heads: the
+	// day-0 top entry must rank highly in the aggregate.
+	day0 := s.Pipeline.MetricRanking(0, cfmetrics.MAllRequests)
+	top := day0.At(1)
+	r, ok := m.RankOf(top)
+	if !ok || r > 10 {
+		t.Errorf("day-0 #1 %q has monthly rank %d (%v)", top, r, ok)
+	}
+	// Aggregate covers at least as many sites as any single day.
+	if m.Len() < day0.Len() {
+		t.Errorf("monthly %d < day0 %d", m.Len(), day0.Len())
+	}
+}
+
+func TestNormCacheReuse(t *testing.T) {
+	s := getStudy(t)
+	c := newNormCache(s)
+	a := c.get(s.Alexa, 0)
+	b := c.get(s.Alexa, 0)
+	if a != b {
+		t.Error("cache did not reuse the normalized list")
+	}
+	if c.get(s.Alexa, 1) == a {
+		t.Error("different days share a cache entry")
+	}
+}

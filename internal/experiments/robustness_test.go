@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"toplists/internal/core"
+)
+
+func TestRobustnessAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs multiple full studies")
+	}
+	res, err := RunRobustness(core.Config{
+		NumSites:   6000,
+		NumClients: 1500,
+		Days:       7,
+		EvalMagIdx: 1,
+	}, []uint64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Metrics) != len(headlineMetricNames) {
+		t.Fatalf("metrics = %d", len(res.Metrics))
+	}
+
+	crux := res.Row("CrUX mean Jaccard")
+	umbrella := res.Row("Umbrella mean Jaccard")
+	secrank := res.Row("Secrank mean Jaccard")
+	for i := range res.Seeds {
+		t.Logf("seed %d: crux=%.3f umbrella=%.3f secrank=%.3f",
+			res.Seeds[i], crux[i], umbrella[i], secrank[i])
+		// The core finding must hold under every replication, not just on
+		// the tuned seed.
+		if crux[i] <= umbrella[i] {
+			t.Errorf("seed %d: CrUX %.3f not above Umbrella %.3f",
+				res.Seeds[i], crux[i], umbrella[i])
+		}
+		if secrank[i] >= crux[i] {
+			t.Errorf("seed %d: Secrank %.3f not below CrUX %.3f",
+				res.Seeds[i], secrank[i], crux[i])
+		}
+	}
+
+	var b strings.Builder
+	if err := res.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Robustness") {
+		t.Error("render missing title")
+	}
+}
+
+func TestRobustnessNeedsSeeds(t *testing.T) {
+	if _, err := RunRobustness(core.Config{}, nil); err == nil {
+		t.Fatal("empty seed list accepted")
+	}
+}

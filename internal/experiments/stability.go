@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"toplists/internal/core"
+	"toplists/internal/report"
+	"toplists/internal/stats"
+)
+
+// StabilityResult reproduces the background claims the paper builds on
+// (Section 2, citing Scheitle et al.): top lists are temporally unstable
+// and share little with one another — and the Tranco amalgam exists
+// precisely to damp the instability. This is an extension artifact, not a
+// numbered figure.
+type StabilityResult struct {
+	Lists []string
+	// DayOverDay[list] is the mean Jaccard similarity between consecutive
+	// daily snapshots of the list's top-K.
+	DayOverDay []float64
+	// Pairwise[i][j] is the Jaccard similarity between lists i and j on
+	// the final day, at top-K.
+	Pairwise [][]float64
+	TopK     int
+	Days     int
+}
+
+// ID implements Result.
+func (r *StabilityResult) ID() string { return "stability" }
+
+// RunStability computes the stability and cross-list agreement profile.
+func RunStability(s *core.Study) *StabilityResult {
+	lists := s.Lists()
+	cache := newNormCache(s)
+	k := s.EvalK()
+	days := s.Cfg.Days
+
+	res := &StabilityResult{TopK: k, Days: days}
+	for _, l := range lists {
+		res.Lists = append(res.Lists, l.Name())
+	}
+
+	for _, l := range lists {
+		var sims []float64
+		for d := 1; d < days; d++ {
+			prev := cache.get(l, d-1)
+			cur := cache.get(l, d)
+			sims = append(sims, stats.Jaccard(prev.TopSet(k), cur.TopSet(k)))
+		}
+		res.DayOverDay = append(res.DayOverDay, stats.Mean(sims))
+	}
+
+	day := days - 1
+	res.Pairwise = newMatrix(len(lists))
+	for i := range lists {
+		for j := range lists {
+			a := cache.get(lists[i], day)
+			b := cache.get(lists[j], day)
+			res.Pairwise[i][j] = stats.Jaccard(a.TopSet(k), b.TopSet(k))
+		}
+	}
+	return res
+}
+
+// DayOverDayFor returns a list's mean day-over-day similarity.
+func (r *StabilityResult) DayOverDayFor(list string) float64 {
+	for i, n := range r.Lists {
+		if n == list {
+			return r.DayOverDay[i]
+		}
+	}
+	return 0
+}
+
+// MeanPairwise returns the average Jaccard between distinct lists — the
+// "little agreement between top lists" number.
+func (r *StabilityResult) MeanPairwise() float64 {
+	var sum float64
+	var n int
+	for i := range r.Pairwise {
+		for j := range r.Pairwise[i] {
+			if i == j {
+				continue
+			}
+			sum += r.Pairwise[i][j]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Render implements Result.
+func (r *StabilityResult) Render(w io.Writer) error {
+	tbl := report.NewTable(
+		fmt.Sprintf("List Stability (extension; top-%d, %d days)", r.TopK, r.Days),
+		"List", "day-over-day JJ")
+	for i, l := range r.Lists {
+		tbl.AddRow(l, fmt.Sprintf("%.3f", r.DayOverDay[i]))
+	}
+	if err := tbl.Render(w); err != nil {
+		return err
+	}
+	io.WriteString(w, "\n")
+	hm := &report.Heatmap{
+		Title:     "Cross-List Agreement (Jaccard, final day)",
+		RowLabels: r.Lists, ColLabels: r.Lists, Values: r.Pairwise,
+	}
+	if err := hm.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nmean agreement between distinct lists: %.3f\n", r.MeanPairwise())
+	return nil
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStability(t *testing.T) {
+	s := getStudy(t)
+	r := RunStability(s)
+	var b strings.Builder
+	if err := r.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "List Stability") {
+		t.Error("render missing title")
+	}
+
+	// Tranco's design goal (Le Pochat et al.): more temporally stable
+	// than its volatile inputs.
+	tranco := r.DayOverDayFor("Tranco")
+	alexa := r.DayOverDayFor("Alexa")
+	umbrella := r.DayOverDayFor("Umbrella")
+	t.Logf("day-over-day: tranco=%.3f alexa=%.3f umbrella=%.3f", tranco, alexa, umbrella)
+	if tranco <= alexa || tranco <= umbrella {
+		t.Errorf("Tranco stability %.3f not above Alexa %.3f / Umbrella %.3f",
+			tranco, alexa, umbrella)
+	}
+
+	// Scheitle et al.: lists have little intersection with one another —
+	// far less than any list has with its own yesterday.
+	var maxDayOverDay float64
+	for _, v := range r.DayOverDay {
+		if v > maxDayOverDay {
+			maxDayOverDay = v
+		}
+	}
+	if mp := r.MeanPairwise(); mp >= maxDayOverDay {
+		t.Errorf("cross-list agreement %.3f not below best self-similarity %.3f",
+			mp, maxDayOverDay)
+	}
+
+	// The pairwise matrix is symmetric with unit diagonal.
+	for i := range r.Pairwise {
+		if r.Pairwise[i][i] < 0.999 {
+			t.Errorf("diagonal [%d] = %v", i, r.Pairwise[i][i])
+		}
+		for j := range r.Pairwise[i] {
+			if r.Pairwise[i][j] != r.Pairwise[j][i] {
+				t.Errorf("asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestSurveyRender(t *testing.T) {
+	var b strings.Builder
+	if err := (SurveyResult{}).Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"85%", "unordered set", "Scheitle"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("survey missing %q", want)
+		}
+	}
+	if (SurveyResult{}).ID() != "survey" {
+		t.Error("id")
+	}
+	rows := PaperSurvey()
+	if len(rows) != 3 || rows[0].Papers != 50 {
+		t.Errorf("survey rows = %+v", rows)
+	}
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"toplists/internal/report"
+)
+
+// SurveyUsage records how research papers consume top lists, per the
+// paper's Section 2 survey of USENIX Security, IMC, NSDI, SOUPS, NDSS, and
+// WWW in 2021. These are constants from the paper's text, not simulation
+// outputs; they justify Jaccard as the primary evaluation metric
+// (Section 4.4) and CrUX's bucket-only format being adequate for research.
+type SurveyUsage struct {
+	Use    string
+	Papers int
+	Pct    float64
+}
+
+// PaperSurvey returns the Section 2 survey rows.
+func PaperSurvey() []SurveyUsage {
+	return []SurveyUsage{
+		{"as an unordered set only", 50, 85},
+		{"using website rank directly", 9, 15},
+		{"both set and rank (subset of the above)", 5, 8},
+	}
+}
+
+// ScheitleVenueUsage records the 2018 finding the introduction cites: the
+// share of papers per research area that build on a top list [27].
+var ScheitleVenueUsage = []SurveyUsage{
+	{"Internet measurement venues", 0, 22},
+	{"security venues", 0, 9},
+	{"web venues", 0, 8},
+	{"networking venues", 0, 6},
+}
+
+// SurveyResult renders the literature-survey constants as a table.
+type SurveyResult struct{}
+
+// ID implements Result.
+func (SurveyResult) ID() string { return "survey" }
+
+// Render implements Result.
+func (SurveyResult) Render(w io.Writer) error {
+	tbl := report.NewTable(
+		"Section 2 survey: how papers at six 2021 venues use top lists",
+		"Usage", "Papers", "Share")
+	for _, row := range PaperSurvey() {
+		tbl.AddRow(row.Use, fmt.Sprintf("%d", row.Papers), fmt.Sprintf("%.0f%%", row.Pct))
+	}
+	if err := tbl.Render(w); err != nil {
+		return err
+	}
+	io.WriteString(w, "\n")
+	tbl2 := report.NewTable(
+		"Scheitle et al. 2018: papers relying on a top list, by research area",
+		"Area", "Share of papers")
+	for _, row := range ScheitleVenueUsage {
+		tbl2.AddRow(row.Use, fmt.Sprintf("%.0f%%", row.Pct))
+	}
+	return tbl2.Render(w)
+}

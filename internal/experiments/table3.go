@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"toplists/internal/cfmetrics"
+	"toplists/internal/core"
+	"toplists/internal/report"
+	"toplists/internal/world"
+)
+
+// Table3Result holds the category-bias regression (Table 3): the odds of a
+// category's sites being included by each list, against the Cloudflare
+// top-100K universe.
+type Table3Result struct {
+	Lists []string
+	// Odds[list] are the per-category rows for that list.
+	Odds [][]core.CategoryOdds
+	Day  int
+	TopK int
+}
+
+// ID implements Result.
+func (r *Table3Result) ID() string { return "tab3" }
+
+// RunTable3 computes Table 3 on the evaluation day, restricted to the
+// (scaled) top-100K Cloudflare domains as in Section 6.4.
+func RunTable3(s *core.Study) (*Table3Result, error) {
+	day := evalDay(s)
+	topK := s.Bucketer.Magnitudes[2]
+	cfTop := s.Pipeline.MetricRanking(day, cfmetrics.MAllRequests)
+	cache := newNormCache(s)
+
+	res := &Table3Result{Day: day, TopK: topK}
+	for _, l := range s.Lists() {
+		odds, err := core.CategoryBias(s.World, cfTop, cache.get(l, day), topK)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table 3 for %s: %w", l.Name(), err)
+		}
+		res.Lists = append(res.Lists, l.Name())
+		res.Odds = append(res.Odds, odds)
+	}
+	return res, nil
+}
+
+// OddsFor returns the odds row for (list, category).
+func (r *Table3Result) OddsFor(list string, cat world.Category) (core.CategoryOdds, bool) {
+	for li, n := range r.Lists {
+		if n != list {
+			continue
+		}
+		for _, o := range r.Odds[li] {
+			if o.Category == cat {
+				return o, true
+			}
+		}
+	}
+	return core.CategoryOdds{}, false
+}
+
+// Render implements Result.
+func (r *Table3Result) Render(w io.Writer) error {
+	headers := append([]string{"Category"}, r.Lists...)
+	tbl := report.NewTable(
+		fmt.Sprintf("Table 3: Odds of Website Inclusion by Category (CF top %d, day %d; '-' = not significant at p<0.01 Bonferroni)",
+			r.TopK, r.Day+1),
+		headers...)
+	for _, cat := range world.AllCategories() {
+		cells := []string{cat.String()}
+		for li := range r.Lists {
+			var cell string
+			for _, o := range r.Odds[li] {
+				if o.Category != cat {
+					continue
+				}
+				if o.Significant {
+					cell = fmt.Sprintf("%.2f", o.OddsRatio)
+				} else {
+					cell = "-"
+				}
+			}
+			cells = append(cells, cell)
+		}
+		tbl.AddRow(cells...)
+	}
+	return tbl.Render(w)
+}

@@ -1,0 +1,273 @@
+// Package httpsim provides the virtual HTTP layer of the study: an
+// in-memory network of origin servers fronted by a Cloudflare-style edge
+// proxy, plus the concurrent HEAD prober the evaluation uses to decide which
+// top-list entries are Cloudflare-served (Section 4.3: "we perform a HTTP
+// HEAD request against each website ... and remove any website that does
+// not include the cf_ray HTTP header").
+//
+// Traffic flows through the real net/http client and server stacks over
+// synchronous in-memory pipes, so everything a production prober would
+// exercise — dialing, request writing, header parsing, redirects, timeouts —
+// is exercised here, just without sockets.
+package httpsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"toplists/internal/domain"
+	"toplists/internal/world"
+)
+
+// ErrNoSuchHost is returned by the dialer for unregistered hostnames,
+// standing in for NXDOMAIN.
+var ErrNoSuchHost = errors.New("httpsim: no such host")
+
+// memListener is a net.Listener fed by a channel of pipe ends.
+type memListener struct {
+	conns  chan net.Conn
+	closed chan struct{}
+	once   sync.Once
+}
+
+func newMemListener() *memListener {
+	return &memListener{conns: make(chan net.Conn, 64), closed: make(chan struct{})}
+}
+
+// Accept implements net.Listener.
+func (l *memListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.closed:
+		return nil, net.ErrClosed
+	}
+}
+
+// Close implements net.Listener.
+func (l *memListener) Close() error {
+	l.once.Do(func() { close(l.closed) })
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *memListener) Addr() net.Addr {
+	return &net.UnixAddr{Name: "httpsim", Net: "mem"}
+}
+
+// dial hands one end of a fresh pipe to the listener.
+func (l *memListener) dial(ctx context.Context) (net.Conn, error) {
+	client, server := net.Pipe()
+	select {
+	case l.conns <- server:
+		return client, nil
+	case <-l.closed:
+		client.Close()
+		server.Close()
+		return nil, net.ErrClosed
+	case <-ctx.Done():
+		client.Close()
+		server.Close()
+		return nil, ctx.Err()
+	}
+}
+
+// hostInfo describes one registered hostname.
+type hostInfo struct {
+	cloudflare bool
+	https      bool
+	// redirectTo, when set, 301-redirects root requests to the given host
+	// (the www-canonical pattern).
+	redirectTo string
+}
+
+// Network is the virtual internet: a hostname registry, one edge server
+// (Cloudflare) and one origin farm server, and a dialer that routes by
+// hostname. It is safe for concurrent use after Start.
+type Network struct {
+	mu    sync.RWMutex
+	hosts map[string]hostInfo
+
+	edge   *memListener
+	origin *memListener
+
+	edgeSrv   *http.Server
+	originSrv *http.Server
+
+	rayCounter atomic.Uint64
+	started    bool
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network {
+	return &Network{hosts: make(map[string]hostInfo)}
+}
+
+// AddHost registers a hostname.
+func (n *Network) AddHost(host string, cloudflare, https bool) {
+	n.mu.Lock()
+	n.hosts[domain.Normalize(host)] = hostInfo{cloudflare: cloudflare, https: https}
+	n.mu.Unlock()
+}
+
+// AddWorld registers every hostname of every site in the world. Sites
+// whose www hostname carries more traffic than the apex serve the
+// www-canonical pattern: the apex 301-redirects to www.
+func (n *Network) AddWorld(w *world.World) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i := 0; i < w.NumSites(); i++ {
+		s := w.Site(int32(i))
+		apex := hostInfo{cloudflare: s.Cloudflare, https: s.HTTPS}
+		for sub, label := range s.Subdomains {
+			if label == "www" && s.SubWeights[sub] > s.SubWeights[0] {
+				apex.redirectTo = s.Hostname(sub)
+			}
+		}
+		for sub := range s.Subdomains {
+			info := hostInfo{cloudflare: s.Cloudflare, https: s.HTTPS}
+			if sub == 0 {
+				info = apex
+			}
+			n.hosts[s.Hostname(sub)] = info
+		}
+	}
+	// Infrastructure names deliberately stay unregistered: they are not
+	// websites, so probing them fails like it would in the field.
+}
+
+// lookup returns the host info.
+func (n *Network) lookup(host string) (hostInfo, bool) {
+	n.mu.RLock()
+	h, ok := n.hosts[host]
+	n.mu.RUnlock()
+	return h, ok
+}
+
+// Start launches the edge and origin servers. Call Close when done.
+func (n *Network) Start() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.started {
+		return
+	}
+	n.started = true
+	n.edge = newMemListener()
+	n.origin = newMemListener()
+	n.edgeSrv = &http.Server{Handler: http.HandlerFunc(n.serveEdge)}
+	n.originSrv = &http.Server{Handler: http.HandlerFunc(n.serveOrigin)}
+	go n.edgeSrv.Serve(n.edge)     //nolint:errcheck // returns on Close
+	go n.originSrv.Serve(n.origin) //nolint:errcheck // returns on Close
+}
+
+// Close shuts both servers down.
+func (n *Network) Close() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.started {
+		return
+	}
+	n.started = false
+	n.edgeSrv.Close()
+	n.originSrv.Close()
+}
+
+// hostOf strips the port from a dial address.
+func hostOf(addr string) string {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return addr
+	}
+	return host
+}
+
+// DialContext routes a dial to the edge (Cloudflare hosts) or the origin
+// farm. It implements the http.Transport DialContext signature.
+func (n *Network) DialContext(ctx context.Context, network, addr string) (net.Conn, error) {
+	host := domain.Normalize(hostOf(addr))
+	info, ok := n.lookup(host)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchHost, host)
+	}
+	if info.cloudflare {
+		return n.edge.dial(ctx)
+	}
+	return n.origin.dial(ctx)
+}
+
+// Client returns an *http.Client routed through the virtual network. TLS
+// dials hand back a plain pipe (the simulation treats transport security as
+// already established), so https:// URLs work against the in-memory stack.
+func (n *Network) Client() *http.Client {
+	return &http.Client{
+		Transport: &http.Transport{
+			DialContext:       n.DialContext,
+			DialTLSContext:    n.DialContext,
+			MaxIdleConns:      256,
+			DisableKeepAlives: false,
+		},
+	}
+}
+
+// serveEdge is the Cloudflare reverse proxy: it stamps the cf-ray header
+// (and a Server banner) on every response for a host it fronts, then serves
+// the origin content.
+func (n *Network) serveEdge(w http.ResponseWriter, r *http.Request) {
+	host := domain.Normalize(hostOf(r.Host))
+	info, ok := n.lookup(host)
+	if !ok || !info.cloudflare {
+		// A direct-to-edge request for a host Cloudflare does not front.
+		w.Header().Set("Server", "cloudflare")
+		http.Error(w, "error 1001: DNS resolution error", http.StatusForbidden)
+		return
+	}
+	ray := n.rayCounter.Add(1)
+	w.Header().Set("Cf-Ray", fmt.Sprintf("%012x-SIM", ray))
+	w.Header().Set("Server", "cloudflare")
+	n.writeContent(w, r, host)
+}
+
+// serveOrigin serves hosts that are not behind the edge.
+func (n *Network) serveOrigin(w http.ResponseWriter, r *http.Request) {
+	host := domain.Normalize(hostOf(r.Host))
+	if _, ok := n.lookup(host); !ok {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Server", "origin/1.0")
+	n.writeContent(w, r, host)
+}
+
+// writeContent emits a minimal page: enough for HEAD probing and simple GETs.
+func (n *Network) writeContent(w http.ResponseWriter, r *http.Request, host string) {
+	if info, ok := n.lookup(host); ok && info.redirectTo != "" && r.URL.Path == "/" {
+		scheme := "http"
+		if info.https {
+			scheme = "https"
+		}
+		http.Redirect(w, r, scheme+"://"+info.redirectTo+"/", http.StatusMovedPermanently)
+		return
+	}
+	if r.URL.Path != "/" && r.URL.Path != "/index.html" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if r.Method == http.MethodHead {
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	fmt.Fprintf(w, "<!doctype html><title>%s</title><h1>%s</h1>\n",
+		htmlEscape(host), htmlEscape(host))
+}
+
+func htmlEscape(s string) string {
+	r := strings.NewReplacer("<", "&lt;", ">", "&gt;", "&", "&amp;")
+	return r.Replace(s)
+}

@@ -1,0 +1,103 @@
+package httpsim
+
+import (
+	"context"
+	"net/http"
+	"sync"
+)
+
+// ProbeResult is the outcome of probing one hostname.
+type ProbeResult struct {
+	Host string
+	// Cloudflare reports whether the response carried a cf-ray header.
+	Cloudflare bool
+	// Reachable is false when the host did not resolve or the request
+	// failed entirely.
+	Reachable bool
+}
+
+// Prober performs concurrent HEAD probes and classifies hosts by the
+// cf-ray response header, replicating the paper's list-filtering step.
+type Prober struct {
+	// Client issues the requests; use Network.Client for simulation or a
+	// stock client against the real internet.
+	Client *http.Client
+	// Concurrency bounds in-flight probes (default 32).
+	Concurrency int
+	// TryHTTPS controls whether https is attempted first with an http
+	// fallback (default true via NewProber).
+	TryHTTPS bool
+}
+
+// NewProber returns a Prober with defaults.
+func NewProber(client *http.Client) *Prober {
+	return &Prober{Client: client, Concurrency: 32, TryHTTPS: true}
+}
+
+// ProbeAll probes every host and returns results in input order. The
+// context cancels outstanding probes.
+func (p *Prober) ProbeAll(ctx context.Context, hosts []string) []ProbeResult {
+	conc := p.Concurrency
+	if conc <= 0 {
+		conc = 32
+	}
+	results := make([]ProbeResult, len(hosts))
+	sem := make(chan struct{}, conc)
+	var wg sync.WaitGroup
+	for i, h := range hosts {
+		if ctx.Err() != nil {
+			// Mark the rest unreachable and stop launching.
+			for j := i; j < len(hosts); j++ {
+				results[j] = ProbeResult{Host: hosts[j]}
+			}
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, host string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i] = p.probeOne(ctx, host)
+		}(i, h)
+	}
+	wg.Wait()
+	return results
+}
+
+// probeOne issues a HEAD request (https first, then http) and inspects the
+// cf-ray header.
+func (p *Prober) probeOne(ctx context.Context, host string) ProbeResult {
+	res := ProbeResult{Host: host}
+	schemes := []string{"https", "http"}
+	if !p.TryHTTPS {
+		schemes = []string{"http"}
+	}
+	for _, scheme := range schemes {
+		req, err := http.NewRequestWithContext(ctx, http.MethodHead, scheme+"://"+host+"/", nil)
+		if err != nil {
+			continue
+		}
+		resp, err := p.Client.Do(req)
+		if err != nil {
+			continue
+		}
+		resp.Body.Close()
+		res.Reachable = true
+		if resp.Header.Get("Cf-Ray") != "" {
+			res.Cloudflare = true
+		}
+		return res
+	}
+	return res
+}
+
+// CloudflareSet probes hosts and returns the subset served by Cloudflare.
+func (p *Prober) CloudflareSet(ctx context.Context, hosts []string) map[string]struct{} {
+	out := make(map[string]struct{})
+	for _, r := range p.ProbeAll(ctx, hosts) {
+		if r.Cloudflare {
+			out[r.Host] = struct{}{}
+		}
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package linkgraph
+
+import (
+	"testing"
+
+	"toplists/internal/simrand"
+	"toplists/internal/world"
+)
+
+func buildTestGraph(t testing.TB, seed uint64) (*world.World, *Graph) {
+	t.Helper()
+	w := world.Generate(world.Config{Seed: seed, NumSites: 4000})
+	g := Build(w, Config{}, simrand.New(seed).Derive("linkgraph"))
+	return w, g
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	_, g1 := buildTestGraph(t, 5)
+	_, g2 := buildTestGraph(t, 5)
+	if g1.Edges() != g2.Edges() {
+		t.Fatalf("edge counts differ: %d vs %d", g1.Edges(), g2.Edges())
+	}
+	for i := 0; i < g1.NumSites(); i++ {
+		if g1.RefDomains(int32(i)) != g2.RefDomains(int32(i)) {
+			t.Fatalf("refdomains differ at %d", i)
+		}
+	}
+}
+
+func TestGraphNonTrivial(t *testing.T) {
+	_, g := buildTestGraph(t, 6)
+	if g.Edges() < g.NumSites() {
+		t.Fatalf("suspiciously few edges: %d", g.Edges())
+	}
+	withLinks := 0
+	for i := 0; i < g.NumSites(); i++ {
+		if g.RefDomains(int32(i)) > 0 {
+			withLinks++
+		}
+		if g.RefSubnets(int32(i)) > g.RefDomains(int32(i)) {
+			t.Fatalf("site %d: subnets %d > domains %d", i,
+				g.RefSubnets(int32(i)), g.RefDomains(int32(i)))
+		}
+	}
+	if withLinks < g.NumSites()/10 {
+		t.Fatalf("only %d sites have any backlinks", withLinks)
+	}
+}
+
+func TestPopularSitesGetMoreLinks(t *testing.T) {
+	_, g := buildTestGraph(t, 7)
+	n := g.NumSites()
+	head, tail := 0, 0
+	for i := 0; i < n/10; i++ {
+		head += g.RefDomains(int32(i))
+	}
+	for i := n - n/10; i < n; i++ {
+		tail += g.RefDomains(int32(i))
+	}
+	if head <= tail*2 {
+		t.Errorf("head links %d not >> tail links %d", head, tail)
+	}
+}
+
+// TestCategoryLinkBias verifies the planted mechanism: government sites
+// attract far more backlinks per unit popularity than adult sites.
+func TestCategoryLinkBias(t *testing.T) {
+	w := world.Generate(world.Config{Seed: 9, NumSites: 12000})
+	g := Build(w, Config{}, simrand.New(9).Derive("linkgraph"))
+	perCat := make(map[world.Category][2]float64) // links, weight
+	for i := 0; i < w.NumSites(); i++ {
+		s := w.Site(int32(i))
+		v := perCat[s.Category]
+		v[0] += float64(g.RefDomains(s.ID))
+		v[1] += s.Weight
+		perCat[s.Category] = v
+	}
+	gov := perCat[world.Government]
+	adult := perCat[world.Adult]
+	if gov[1] == 0 || adult[1] == 0 {
+		t.Skip("missing category at this scale")
+	}
+	govRate := gov[0] / gov[1]
+	adultRate := adult[0] / adult[1]
+	if govRate < 5*adultRate {
+		t.Errorf("gov links/weight %.1f not >> adult %.1f", govRate, adultRate)
+	}
+}
+
+func TestNonPublicSitesUnlinked(t *testing.T) {
+	w, g := buildTestGraph(t, 11)
+	for i := 0; i < w.NumSites(); i++ {
+		s := w.Site(int32(i))
+		if s.NonPublic && g.RefDomains(s.ID) != 0 {
+			t.Fatalf("non-public site %s has %d backlinks", s.Domain, g.RefDomains(s.ID))
+		}
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	w := world.Generate(world.Config{Seed: 2, NumSites: 10000})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(w, Config{}, simrand.New(2).Derive("linkgraph"))
+	}
+}

@@ -1,0 +1,76 @@
+package providers
+
+import (
+	"strings"
+
+	"toplists/internal/chrome"
+	"toplists/internal/psl"
+	"toplists/internal/rank"
+)
+
+// Crux wraps the public Chrome User Experience Report dataset (Section 2):
+// monthly, keyed by web origin, ranked by completed page loads, published
+// as rank-order-magnitude buckets only. The same monthly list is returned
+// for every day of the month, matching how the real dataset updates.
+type Crux struct {
+	list *chrome.CruxList
+}
+
+// NewCrux derives the month's public CrUX list from telemetry. minVisitors
+// is the per-country privacy threshold; bk sets the magnitude cutoffs.
+func NewCrux(t *chrome.Telemetry, minVisitors int, bk rank.Bucketer) *Crux {
+	return &Crux{list: t.DeriveCrux(minVisitors, bk)}
+}
+
+// Name implements List.
+func (c *Crux) Name() string { return "CrUX" }
+
+// Bucketed implements List: CrUX publishes rank magnitudes, not ranks, so
+// Spearman correlation cannot be computed against it (Section 4.4).
+func (c *Crux) Bucketed() bool { return true }
+
+// Raw implements List: entries are origins in the dataset's internal order.
+func (c *Crux) Raw(day int) *rank.Ranking { return c.list.OriginRanking() }
+
+// Normalized implements List: origins are stripped to their host and
+// grouped by registrable domain with min-rank (Section 4.2). An entry
+// deviates from the PSL form when its host is not itself a registrable
+// domain (scheme differences alone do not count as deviation).
+func (c *Crux) Normalized(day int, l *psl.List) (*rank.Ranking, rank.NormalizeStats) {
+	raw := c.Raw(day)
+	stats := rank.NormalizeStats{Entries: raw.Len()}
+	minRank := make(map[string]int, raw.Len())
+	for i := 1; i <= raw.Len(); i++ {
+		host := hostOfOrigin(raw.At(i))
+		etld1, ok := l.RegisteredDomain(host)
+		if !ok {
+			stats.Dropped++
+			stats.Deviating++
+			continue
+		}
+		if etld1 != host {
+			stats.Deviating++
+		}
+		if _, seen := minRank[etld1]; !seen {
+			minRank[etld1] = i
+		}
+	}
+	stats.Groups = len(minRank)
+	scored := make([]rank.Scored, 0, len(minRank))
+	for name, r := range minRank {
+		scored = append(scored, rank.Scored{Name: name, Score: -float64(r)})
+	}
+	return rank.FromScores(scored, rank.TieHashed), stats
+}
+
+// Entries exposes the published (origin, bucket) rows.
+func (c *Crux) Entries() []chrome.CruxEntry { return c.list.Entries }
+
+func hostOfOrigin(origin string) string {
+	s := strings.TrimPrefix(origin, "https://")
+	s = strings.TrimPrefix(s, "http://")
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}

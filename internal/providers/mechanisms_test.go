@@ -1,0 +1,213 @@
+package providers
+
+import (
+	"testing"
+
+	"toplists/internal/psl"
+	"toplists/internal/traffic"
+	"toplists/internal/world"
+)
+
+// findSiteOfCategory returns a site ID of the given category.
+func findSiteOfCategory(w *world.World, cat world.Category) (int32, bool) {
+	for i := 0; i < w.NumSites(); i++ {
+		if w.Site(int32(i)).Category == cat {
+			return int32(i), true
+		}
+	}
+	return 0, false
+}
+
+func TestUmbrellaFamilyFilterDropsAdultQueries(t *testing.T) {
+	w := world.Generate(world.Config{Seed: 81, NumSites: 2000})
+	u := NewUmbrella(w, psl.Default())
+	adult, ok := findSiteOfCategory(w, world.Adult)
+	if !ok {
+		t.Skip("no adult site at this scale")
+	}
+	news, ok := findSiteOfCategory(w, world.News)
+	if !ok {
+		t.Skip("no news site at this scale")
+	}
+
+	filtered := &traffic.Client{ID: 1, HomeOpenDNS: true, FamilyFilter: true}
+	open := &traffic.Client{ID: 2, HomeOpenDNS: true}
+
+	u.BeginDay(0, false)
+	for _, q := range []traffic.DNSQuery{
+		{Day: 0, Client: filtered, IP: 10, Site: adult, Infra: -1},
+		{Day: 0, Client: filtered, IP: 10, Site: news, Infra: -1},
+		{Day: 0, Client: open, IP: 20, Site: adult, Infra: -1},
+	} {
+		q := q
+		u.OnDNSQuery(&q)
+	}
+	u.EndDay(0)
+
+	raw := u.Raw(0)
+	adultName := w.Site(adult).Hostname(0)
+	newsName := w.Site(news).Hostname(0)
+	if !raw.Contains(newsName) {
+		t.Errorf("news query from filtered home missing")
+	}
+	if !raw.Contains(adultName) {
+		t.Errorf("adult query from unfiltered home missing")
+	}
+	// The filtered household contributed no adult signal: the adult name
+	// must have exactly one crediting IP (the unfiltered one), so its
+	// quantized score equals a single-IP name's.
+	if r1, _ := raw.RankOf(adultName); r1 == 0 {
+		t.Error("adult name absent entirely")
+	}
+}
+
+func TestUmbrellaIgnoresPlainHomeClients(t *testing.T) {
+	w := world.Generate(world.Config{Seed: 82, NumSites: 500})
+	u := NewUmbrella(w, psl.Default())
+	plain := &traffic.Client{ID: 3} // neither enterprise-at-work nor OpenDNS
+	u.BeginDay(0, false)
+	q := traffic.DNSQuery{Day: 0, Client: plain, IP: 30, Site: 0, Infra: -1}
+	u.OnDNSQuery(&q)
+	u.EndDay(0)
+	if u.Raw(0).Len() != 0 {
+		t.Fatal("plain home client's queries counted")
+	}
+}
+
+func TestAlexaPanelVisibilityThinsAdult(t *testing.T) {
+	w := world.Generate(world.Config{Seed: 83, NumSites: 2000})
+	adult, ok := findSiteOfCategory(w, world.Adult)
+	if !ok {
+		t.Skip("no adult site")
+	}
+	news, ok := findSiteOfCategory(w, world.News)
+	if !ok {
+		t.Skip("no news site")
+	}
+
+	a := NewAlexa(w)
+	panelist := &traffic.Client{ID: 5, PanelJoinDay: 0, Platform: world.Windows}
+	a.BeginDay(0, false)
+	const loads = 400
+	for i := 0; i < loads; i++ {
+		pl := traffic.PageLoad{Day: 0, Site: adult, Client: panelist, Second: int32(i)}
+		a.OnPageLoad(&pl)
+		pl2 := traffic.PageLoad{Day: 0, Site: news, Client: panelist, Second: int32(i)}
+		a.OnPageLoad(&pl2)
+	}
+	a.EndDay(0)
+	pv := a.days[0].pageviews
+	if pv[news] != loads {
+		t.Fatalf("news pageviews = %v, want %d", pv[news], loads)
+	}
+	// Adult visibility is 0.12: expect roughly 12% of loads recorded.
+	if pv[adult] > loads/4 || pv[adult] == 0 {
+		t.Errorf("adult pageviews = %v of %d; thinning looks wrong", pv[adult], loads)
+	}
+}
+
+func TestAlexaIgnoresNonPanelAndPrivate(t *testing.T) {
+	w := world.Generate(world.Config{Seed: 84, NumSites: 300})
+	a := NewAlexa(w)
+	a.BeginDay(0, false)
+	noPanel := &traffic.Client{ID: 1, PanelJoinDay: -1}
+	joined := &traffic.Client{ID: 2, PanelJoinDay: 0}
+	late := &traffic.Client{ID: 3, PanelJoinDay: 5}
+	for _, pl := range []traffic.PageLoad{
+		{Day: 0, Site: 0, Client: noPanel},
+		{Day: 0, Site: 0, Client: joined, Private: true},
+		{Day: 0, Site: 0, Client: late}, // joins day 5, this is day 0
+	} {
+		pl := pl
+		a.OnPageLoad(&pl)
+	}
+	a.EndDay(0)
+	if a.Raw(0).Len() != 0 {
+		t.Fatal("ineligible loads were counted")
+	}
+}
+
+func TestAlexaTrailingWindow(t *testing.T) {
+	w := world.Generate(world.Config{Seed: 85, NumSites: 300})
+	a := NewAlexa(w)
+	panelist := &traffic.Client{ID: 9, PanelJoinDay: 0}
+	// Day 0: heavy traffic to site 5; later days: nothing. The trailing
+	// window keeps site 5 ranked on later days.
+	for d := 0; d < 4; d++ {
+		a.BeginDay(d, false)
+		if d == 0 {
+			for i := 0; i < 10; i++ {
+				pl := traffic.PageLoad{Day: 0, Site: 5, Client: panelist, Second: int32(i)}
+				a.OnPageLoad(&pl)
+			}
+		}
+		a.EndDay(d)
+	}
+	if !a.Raw(3).Contains(w.Site(5).Domain) {
+		t.Error("window-averaged rank lost the site")
+	}
+}
+
+func TestSecrankWindowSmoothing(t *testing.T) {
+	w := world.Generate(world.Config{Seed: 86, NumSites: 300})
+	s := NewSecrank(w, psl.Default())
+	s.Window = 3
+	cn := &traffic.Client{ID: 1, Country: world.CN}
+	for d := 0; d < 5; d++ {
+		s.BeginDay(d, false)
+		if d == 0 {
+			q := traffic.DNSQuery{Day: 0, Client: cn, IP: 1, Site: 7, Infra: -1}
+			s.OnDNSQuery(&q)
+		}
+		s.EndDay(d)
+	}
+	name := w.Site(7).Domain
+	if !s.Raw(1).Contains(name) || !s.Raw(2).Contains(name) {
+		t.Error("site dropped inside the smoothing window")
+	}
+	if s.Raw(4).Contains(name) {
+		t.Error("site survived beyond the smoothing window")
+	}
+}
+
+func TestSecrankIgnoresNonCN(t *testing.T) {
+	w := world.Generate(world.Config{Seed: 87, NumSites: 300})
+	s := NewSecrank(w, psl.Default())
+	s.BeginDay(0, false)
+	us := &traffic.Client{ID: 1, Country: world.US}
+	q := traffic.DNSQuery{Day: 0, Client: us, IP: 1, Site: 0, Infra: -1}
+	s.OnDNSQuery(&q)
+	s.EndDay(0)
+	if s.Raw(0).Len() != 0 {
+		t.Fatal("non-CN query counted")
+	}
+}
+
+func TestSecrankDiversityWeighting(t *testing.T) {
+	w := world.Generate(world.Config{Seed: 88, NumSites: 300})
+	s := NewSecrank(w, psl.Default())
+	s.Window = 1
+	s.BeginDay(0, false)
+	// A diverse IP (queries two domains) and a single-purpose IP each
+	// query site 3 once; a third domain gets only the diverse IP's vote.
+	diverse := &traffic.Client{ID: 1, Country: world.CN}
+	single := &traffic.Client{ID: 2, Country: world.CN}
+	for _, q := range []traffic.DNSQuery{
+		{Day: 0, Client: diverse, IP: 1, Site: 3, Infra: -1},
+		{Day: 0, Client: diverse, IP: 1, Site: 4, Infra: -1},
+		{Day: 0, Client: single, IP: 2, Site: 3, Infra: -1},
+	} {
+		q := q
+		s.OnDNSQuery(&q)
+	}
+	s.EndDay(0)
+	r := s.Raw(0)
+	r3, _ := r.RankOf(w.Site(3).Domain)
+	r4, _ := r.RankOf(w.Site(4).Domain)
+	if r3 == 0 || r4 == 0 {
+		t.Fatal("expected both domains ranked")
+	}
+	if r3 >= r4 {
+		t.Errorf("site with two voters ranked %d, not above single-voter site %d", r3, r4)
+	}
+}

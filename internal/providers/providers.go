@@ -1,0 +1,46 @@
+// Package providers implements the seven top lists the study evaluates:
+// Alexa, Cisco Umbrella, Majestic, Secrank, Tranco, Trexa, and Google CrUX
+// (Section 2). Each provider reconstructs its list from the slice of
+// simulation events its real-world counterpart can observe — an extension
+// panel, a corporate DNS resolver, a backlink crawl, a national resolver,
+// amalgamation of other lists, or Chrome telemetry.
+package providers
+
+import (
+	"toplists/internal/psl"
+	"toplists/internal/rank"
+)
+
+// List is a top-list provider's published output.
+type List interface {
+	// Name returns the provider name as used in the paper's tables.
+	Name() string
+	// Raw returns the list snapshot published for day d, keyed the way the
+	// provider publishes it (registrable domains, FQDNs, or origins).
+	Raw(day int) *rank.Ranking
+	// Normalized returns the day's list normalized to PSL registrable
+	// domains with min-rank grouping (Section 4.2), along with deviation
+	// statistics for Table 2.
+	Normalized(day int, l *psl.List) (*rank.Ranking, rank.NormalizeStats)
+	// Bucketed reports whether the list publishes only rank-order
+	// magnitudes (true only for CrUX), in which case Spearman rank
+	// correlation is undefined against it (Section 4.4).
+	Bucketed() bool
+}
+
+// domainNormalized implements Normalized for lists whose entries are DNS
+// names (domains or FQDNs).
+func domainNormalized(r *rank.Ranking, l *psl.List) (*rank.Ranking, rank.NormalizeStats) {
+	return r.NormalizePSL(l)
+}
+
+// The canonical provider ordering used in tables and figures.
+var canonicalOrder = []string{
+	"Alexa", "Majestic", "Secrank", "Tranco", "Trexa", "Umbrella", "CrUX",
+}
+
+// CanonicalOrder returns the provider display order used by the paper's
+// tables.
+func CanonicalOrder() []string {
+	return append([]string(nil), canonicalOrder...)
+}

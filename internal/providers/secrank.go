@@ -1,0 +1,126 @@
+package providers
+
+import (
+	"math"
+
+	"toplists/internal/psl"
+	"toplists/internal/rank"
+	"toplists/internal/traffic"
+	"toplists/internal/world"
+)
+
+// Secrank reconstructs the researcher-built Secrank list [34]: a
+// voting-based ranking computed from the query stream of a major recursive
+// resolver in China. Per the published description, each client IP "votes"
+// for domains based on request volume and frequency of access, with IPs
+// weighted by the domain diversity and total volume of their requests —
+// heavy, diverse resolvers-behind-an-IP count more than single-purpose
+// devices.
+//
+// The vantage is the bias: only Chinese clients are observed, which is why
+// the paper finds Secrank matching China best, everywhere else terribly,
+// and overlapping Cloudflare (rarely used by Chinese sites) least of all
+// lists (Sections 5.1, 6.3).
+type Secrank struct {
+	traffic.BaseSink
+	w   *world.World
+	psl *psl.List
+
+	// perIP accumulates today's per-IP query profile: domain -> count.
+	perIP map[uint32]map[string]int
+
+	// dayVotes holds each frozen day's aggregated votes.
+	dayVotes []map[string]float64
+
+	// Window is the trailing number of days averaged per published list;
+	// the Secrank design goal is temporal stability (default 7).
+	Window int
+
+	lists []*rank.Ranking
+}
+
+// NewSecrank returns a Secrank provider observing the Chinese resolver.
+func NewSecrank(w *world.World, l *psl.List) *Secrank {
+	return &Secrank{w: w, psl: l, Window: 7}
+}
+
+// Name implements List.
+func (s *Secrank) Name() string { return "Secrank" }
+
+// Bucketed implements List.
+func (s *Secrank) Bucketed() bool { return false }
+
+// BeginDay implements traffic.Sink.
+func (s *Secrank) BeginDay(day int, weekend bool) {
+	s.perIP = make(map[uint32]map[string]int)
+}
+
+// OnDNSQuery implements traffic.Sink.
+func (s *Secrank) OnDNSQuery(q *traffic.DNSQuery) {
+	if q.Client.Country != world.CN {
+		return // the resolver serves Chinese clients
+	}
+	var name string
+	if q.Site >= 0 {
+		// Votes are for registrable domains.
+		name = s.w.Site(q.Site).Domain
+	} else {
+		fqdn := s.w.Infra[q.Infra].FQDN
+		etld1, ok := s.psl.RegisteredDomain(fqdn)
+		if !ok {
+			return
+		}
+		name = etld1
+	}
+	prof, ok := s.perIP[q.IP]
+	if !ok {
+		prof = make(map[string]int, 8)
+		s.perIP[q.IP] = prof
+	}
+	prof[name]++
+}
+
+// EndDay implements traffic.Sink: run the per-IP voting round.
+func (s *Secrank) EndDay(day int) {
+	votes := make(map[string]float64)
+	for _, prof := range s.perIP {
+		var total int
+		for _, c := range prof {
+			total += c
+		}
+		if total == 0 {
+			continue
+		}
+		// IP weight grows with domain diversity and (sub-linearly) volume.
+		weight := math.Log2(1+float64(len(prof))) * math.Log2(2+float64(total))
+		for name, c := range prof {
+			votes[name] += weight * float64(c) / float64(total)
+		}
+	}
+	s.dayVotes = append(s.dayVotes, votes)
+
+	// Publish the trailing-window average.
+	window := s.Window
+	if window > len(s.dayVotes) {
+		window = len(s.dayVotes)
+	}
+	agg := make(map[string]float64)
+	for _, dv := range s.dayVotes[len(s.dayVotes)-window:] {
+		for name, v := range dv {
+			agg[name] += v
+		}
+	}
+	scored := make([]rank.Scored, 0, len(agg))
+	for name, v := range agg {
+		scored = append(scored, rank.Scored{Name: name, Score: v / float64(window)})
+	}
+	s.lists = append(s.lists, rank.FromScores(scored, rank.TieHashed))
+}
+
+// Raw implements List.
+func (s *Secrank) Raw(day int) *rank.Ranking { return s.lists[day] }
+
+// Normalized implements List.
+func (s *Secrank) Normalized(day int, l *psl.List) (*rank.Ranking, rank.NormalizeStats) {
+	return domainNormalized(s.Raw(day), l)
+}

@@ -1,0 +1,177 @@
+package psl
+
+import "sync"
+
+// defaultRules is an embedded snapshot of the Public Suffix List covering the
+// suffixes used by the synthetic universe plus the classic wildcard and
+// exception rules. It follows the upstream file format so that Parse is
+// exercised on realistic input. The full upstream list is ~10k rules; the
+// simulation only ever mints names under suffixes listed here, so this
+// subset is lossless for the study.
+const defaultRules = `// ===BEGIN ICANN DOMAINS===
+
+// generic TLDs
+com
+net
+org
+info
+biz
+app
+dev
+xyz
+online
+site
+shop
+blog
+io
+co
+me
+tv
+cc
+ai
+edu
+gov
+mil
+int
+
+// United Kingdom
+uk
+ac.uk
+co.uk
+gov.uk
+ltd.uk
+me.uk
+net.uk
+org.uk
+plc.uk
+sch.uk
+
+// Germany
+de
+
+// Brazil
+br
+com.br
+net.br
+org.br
+gov.br
+edu.br
+blog.br
+app.br
+
+// Japan
+jp
+ac.jp
+ad.jp
+co.jp
+ed.jp
+go.jp
+gr.jp
+lg.jp
+ne.jp
+or.jp
+
+// China
+cn
+ac.cn
+com.cn
+edu.cn
+gov.cn
+net.cn
+org.cn
+
+// India
+in
+co.in
+firm.in
+gen.in
+gov.in
+ind.in
+net.in
+org.in
+
+// Indonesia
+id
+ac.id
+biz.id
+co.id
+go.id
+my.id
+net.id
+or.id
+sch.id
+web.id
+
+// Egypt
+eg
+com.eg
+edu.eg
+gov.eg
+net.eg
+org.eg
+
+// Nigeria
+ng
+com.ng
+edu.ng
+gov.ng
+net.ng
+org.ng
+
+// South Africa
+za
+ac.za
+co.za
+edu.za
+gov.za
+net.za
+org.za
+web.za
+
+// United States
+us
+k12.us
+
+// Cook Islands: wildcard plus exception, the canonical tricky case
+ck
+*.ck
+!www.ck
+
+// Kenya (wildcard example retained from older list versions)
+*.kh
+
+// ===END ICANN DOMAINS===
+// ===BEGIN PRIVATE DOMAINS===
+
+// Hosting platforms (private-section rules): sites hosted here are their
+// own registrable domains one level down.
+github.io
+gitlab.io
+netlify.app
+pages.dev
+workers.dev
+herokuapp.com
+blogspot.com
+wordpress.com
+appspot.com
+web.app
+firebaseapp.com
+vercel.app
+s3.amazonaws.com
+cloudfront.net
+
+// ===END PRIVATE DOMAINS===
+`
+
+var (
+	defaultOnce sync.Once
+	defaultList *List
+)
+
+// Default returns the embedded snapshot list, compiled once.
+func Default() *List {
+	defaultOnce.Do(func() {
+		defaultList = MustParse(defaultRules)
+	})
+	return defaultList
+}

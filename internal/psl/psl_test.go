@@ -1,0 +1,212 @@
+package psl
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPublicSuffixBasic(t *testing.T) {
+	l := Default()
+	cases := []struct {
+		name     string
+		suffix   string
+		explicit bool
+	}{
+		{"example.com", "com", true},
+		{"www.example.com", "com", true},
+		{"example.co.uk", "co.uk", true},
+		{"a.b.example.co.uk", "co.uk", true},
+		{"example.de", "de", true},
+		{"example.unknowntld", "unknowntld", false}, // implicit * rule
+		{"sub.example.unknowntld", "unknowntld", false},
+		{"com", "com", true},
+		{"co.uk", "co.uk", true},
+		{"uk", "uk", true},
+		{"user.github.io", "github.io", true},
+		{"github.io", "github.io", true},
+		{"myshop.blogspot.com", "blogspot.com", true},
+	}
+	for _, c := range cases {
+		got, explicit := l.PublicSuffix(c.name)
+		if got != c.suffix || explicit != c.explicit {
+			t.Errorf("PublicSuffix(%q) = (%q, %v), want (%q, %v)",
+				c.name, got, explicit, c.suffix, c.explicit)
+		}
+	}
+}
+
+func TestWildcardAndException(t *testing.T) {
+	l := Default()
+	cases := []struct {
+		name   string
+		suffix string
+	}{
+		{"ck", "ck"},
+		{"foo.ck", "foo.ck"},     // *.ck
+		{"bar.foo.ck", "foo.ck"}, // *.ck
+		{"www.ck", "ck"},         // !www.ck exception
+		{"sub.www.ck", "ck"},     // under the exception
+		{"anything.kh", "anything.kh"},
+		{"x.anything.kh", "anything.kh"},
+	}
+	for _, c := range cases {
+		got, _ := l.PublicSuffix(c.name)
+		if got != c.suffix {
+			t.Errorf("PublicSuffix(%q) = %q, want %q", c.name, got, c.suffix)
+		}
+	}
+}
+
+func TestRegisteredDomain(t *testing.T) {
+	l := Default()
+	cases := []struct {
+		name  string
+		etld1 string
+		ok    bool
+	}{
+		{"example.com", "example.com", true},
+		{"www.example.com", "example.com", true},
+		{"a.b.c.example.co.uk", "example.co.uk", true},
+		{"com", "", false},
+		{"co.uk", "", false},
+		{"", "", false},
+		{"user.github.io", "user.github.io", true},
+		{"deep.user.github.io", "user.github.io", true},
+		{"www.ck", "www.ck", true}, // exception rule: www.ck is registrable
+		{"a.www.ck", "www.ck", true},
+		{"bar.foo.ck", "bar.foo.ck", true},
+		{"foo.ck", "", false}, // wildcard makes foo.ck itself a suffix
+		{"shop.example.unknowntld", "example.unknowntld", true},
+	}
+	for _, c := range cases {
+		got, ok := l.RegisteredDomain(c.name)
+		if got != c.etld1 || ok != c.ok {
+			t.Errorf("RegisteredDomain(%q) = (%q, %v), want (%q, %v)",
+				c.name, got, ok, c.etld1, c.ok)
+		}
+	}
+}
+
+func TestIsPublicSuffix(t *testing.T) {
+	l := Default()
+	for _, s := range []string{"com", "co.uk", "github.io", "foo.ck", "unknowntld"} {
+		if !l.IsPublicSuffix(s) {
+			t.Errorf("IsPublicSuffix(%q) = false, want true", s)
+		}
+	}
+	for _, s := range []string{"example.com", "www.ck", "x.github.io", ""} {
+		if l.IsPublicSuffix(s) {
+			t.Errorf("IsPublicSuffix(%q) = true, want false", s)
+		}
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	input := `// comment line
+
+com
+ co.uk trailing junk after space
+!www.ck
+*.ck
+`
+	l, err := Parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", l.Len())
+	}
+	if s, _ := l.PublicSuffix("a.co.uk"); s != "co.uk" {
+		t.Errorf("co.uk rule not parsed: %q", s)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse(strings.NewReader("// only comments\n")); err != ErrNoRules {
+		t.Errorf("want ErrNoRules, got %v", err)
+	}
+	if _, err := Parse(strings.NewReader("bad..rule\n")); err == nil {
+		t.Error("double-dot rule should fail")
+	}
+	if _, err := Parse(strings.NewReader("a.*.b\n")); err == nil {
+		t.Error("interior wildcard should fail")
+	}
+}
+
+func TestCaseAndDotNormalization(t *testing.T) {
+	l := Default()
+	if s, _ := l.PublicSuffix("WWW.Example.COM."); s != "com" {
+		t.Errorf("normalization failed: %q", s)
+	}
+	if d, ok := l.RegisteredDomain("WWW.Example.COM."); !ok || d != "example.com" {
+		t.Errorf("RegisteredDomain normalization failed: %q %v", d, ok)
+	}
+}
+
+// Property: the registered domain, when defined, always ends with the public
+// suffix and has exactly one more label than it.
+func TestRegisteredDomainProperty(t *testing.T) {
+	l := Default()
+	suffixes := []string{"com", "co.uk", "de", "github.io", "unknowntld", "ck", "foo.ck"}
+	err := quick.Check(func(aRaw, bRaw uint8, sfxIdx uint8) bool {
+		labels := []string{
+			string(rune('a' + aRaw%26)),
+			string(rune('a'+bRaw%26)) + "x",
+		}
+		name := strings.Join(labels, ".") + "." + suffixes[int(sfxIdx)%len(suffixes)]
+		etld1, ok := l.RegisteredDomain(name)
+		if !ok {
+			return true
+		}
+		suffix, _ := l.PublicSuffix(name)
+		if !strings.HasSuffix(etld1, "."+suffix) {
+			return false
+		}
+		head := strings.TrimSuffix(etld1, "."+suffix)
+		return head != "" && !strings.Contains(head, ".")
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RegisteredDomain is idempotent — the eTLD+1 of an eTLD+1 is
+// itself.
+func TestRegisteredDomainIdempotent(t *testing.T) {
+	l := Default()
+	names := []string{
+		"www.example.com", "a.b.example.co.uk", "x.user.github.io",
+		"a.www.ck", "deep.bar.foo.ck", "sub.site.unknowntld",
+	}
+	for _, n := range names {
+		d1, ok := l.RegisteredDomain(n)
+		if !ok {
+			t.Fatalf("RegisteredDomain(%q) not ok", n)
+		}
+		d2, ok := l.RegisteredDomain(d1)
+		if !ok || d2 != d1 {
+			t.Errorf("not idempotent: %q -> %q -> %q (%v)", n, d1, d2, ok)
+		}
+	}
+}
+
+func BenchmarkPublicSuffix(b *testing.B) {
+	l := Default()
+	names := []string{
+		"www.example.com", "a.b.c.example.co.uk", "user.github.io",
+		"example.de", "foo.unknowntld",
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.PublicSuffix(names[i%len(names)])
+	}
+}
+
+func BenchmarkRegisteredDomain(b *testing.B) {
+	l := Default()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.RegisteredDomain("a.b.example.co.uk")
+	}
+}

@@ -1,0 +1,109 @@
+package rank
+
+import "fmt"
+
+// Bucket is a rank-order-of-magnitude bucket as published by CrUX and used
+// throughout the paper's evaluation: top 1K, 10K, 100K, 1M, and beyond.
+type Bucket uint8
+
+// The rank-magnitude buckets of the study, in increasing-rank order.
+const (
+	Bucket1K Bucket = iota
+	Bucket10K
+	Bucket100K
+	Bucket1M
+	BucketBeyond // ranked outside the largest magnitude, or unranked
+)
+
+// NumBuckets is the number of distinct Bucket values.
+const NumBuckets = int(BucketBeyond) + 1
+
+// Bucketer assigns ranks to magnitude buckets. The paper uses the fixed
+// magnitudes 1K/10K/100K/1M; scaled-down simulation runs keep the same
+// decade structure over a smaller universe (see ScaledMagnitudes), so a
+// Bucketer carries its cutoffs explicitly.
+type Bucketer struct {
+	// Magnitudes holds exactly NumBuckets-1 increasing rank cutoffs.
+	Magnitudes [NumBuckets - 1]int
+}
+
+// PaperBucketer uses the magnitudes of the paper: 1K, 10K, 100K, 1M.
+var PaperBucketer = Bucketer{Magnitudes: [4]int{1_000, 10_000, 100_000, 1_000_000}}
+
+// ScaledMagnitudes returns a Bucketer preserving the paper's decade
+// structure over a universe of n names: cutoffs at n/1000, n/100, n/10, n
+// (each at least 1 and strictly increasing).
+func ScaledMagnitudes(n int) Bucketer {
+	if n >= 1_000_000 {
+		return PaperBucketer
+	}
+	var b Bucketer
+	div := 1000
+	prev := 0
+	for i := range b.Magnitudes {
+		m := n / div
+		if m <= prev {
+			m = prev + 1
+		}
+		b.Magnitudes[i] = m
+		prev = m
+		div /= 10
+	}
+	return b
+}
+
+// BucketOf returns the bucket for a 1-based rank. Non-positive ranks (the
+// convention for "unranked") map to BucketBeyond.
+func (bk Bucketer) BucketOf(rank int) Bucket {
+	if rank <= 0 {
+		return BucketBeyond
+	}
+	for i, m := range bk.Magnitudes {
+		if rank <= m {
+			return Bucket(i)
+		}
+	}
+	return BucketBeyond
+}
+
+// BucketOfName returns the bucket a ranking places a name into.
+func (bk Bucketer) BucketOfName(r *Ranking, name string) Bucket {
+	rk, ok := r.RankOf(name)
+	if !ok {
+		return BucketBeyond
+	}
+	return bk.BucketOf(rk)
+}
+
+// Label renders the human-readable column header for bucket index i
+// ("1K", "10K", ...), using K/M abbreviations.
+func (bk Bucketer) Label(i int) string {
+	if i >= len(bk.Magnitudes) {
+		return "beyond"
+	}
+	m := bk.Magnitudes[i]
+	switch {
+	case m >= 1_000_000 && m%1_000_000 == 0:
+		return fmt.Sprintf("%dM", m/1_000_000)
+	case m >= 1_000 && m%1_000 == 0:
+		return fmt.Sprintf("%dK", m/1_000)
+	default:
+		return fmt.Sprintf("%d", m)
+	}
+}
+
+// String implements fmt.Stringer for the bucket itself.
+func (b Bucket) String() string {
+	switch b {
+	case Bucket1K:
+		return "mag-1"
+	case Bucket10K:
+		return "mag-2"
+	case Bucket100K:
+		return "mag-3"
+	case Bucket1M:
+		return "mag-4"
+	default:
+		return "beyond"
+	}
+}

@@ -1,0 +1,53 @@
+package rank
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the ranking in the de-facto top-list CSV format used by
+// Alexa, Umbrella, and Majestic downloads: "rank,name" with no header.
+func (r *Ranking) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i, name := range r.names {
+		if _, err := fmt.Fprintf(bw, "%d,%s\n", i+1, name); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses "rank,name" lines into a Ranking. Ranks must be the
+// sequence 1..n in order; anything else is a malformed list snapshot.
+func ReadCSV(r io.Reader) (*Ranking, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	cr.ReuseRecord = true
+	var names []string
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("rank: csv: %w", err)
+		}
+		line++
+		got, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("rank: csv line %d: bad rank %q", line, rec[0])
+		}
+		if got != line {
+			return nil, fmt.Errorf("rank: csv line %d: rank %d out of sequence", line, got)
+		}
+		if rec[1] == "" {
+			return nil, fmt.Errorf("rank: csv line %d: empty name", line)
+		}
+		names = append(names, rec[1])
+	}
+	return New(names)
+}

@@ -1,0 +1,210 @@
+// Package rank provides the ranked-list data model shared by every top-list
+// provider and by the Cloudflare metric pipeline: ordered rankings,
+// score-to-rank conversion with explicit tie-breaking, truncation,
+// rank-magnitude buckets, and the PSL normalization of Section 4.2.
+package rank
+
+import (
+	"fmt"
+	"sort"
+
+	"toplists/internal/psl"
+)
+
+// Ranking is an ordered list of names, most popular first. Ranks are
+// 1-based. A Ranking is immutable after construction.
+type Ranking struct {
+	names []string
+	pos   map[string]int // name -> 0-based index
+}
+
+// New builds a Ranking from names in rank order. Duplicate names are an
+// error: a list must rank each name once.
+func New(names []string) (*Ranking, error) {
+	r := &Ranking{
+		names: names,
+		pos:   make(map[string]int, len(names)),
+	}
+	for i, n := range names {
+		if _, dup := r.pos[n]; dup {
+			return nil, fmt.Errorf("rank: duplicate name %q", n)
+		}
+		r.pos[n] = i
+	}
+	return r, nil
+}
+
+// MustNew is New for inputs known to be unique; it panics on error.
+func MustNew(names []string) *Ranking {
+	r, err := New(names)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Len returns the number of ranked names.
+func (r *Ranking) Len() int { return len(r.names) }
+
+// At returns the name at 1-based rank i.
+func (r *Ranking) At(i int) string { return r.names[i-1] }
+
+// Names returns the underlying rank-ordered names. Callers must not modify
+// the returned slice.
+func (r *Ranking) Names() []string { return r.names }
+
+// RankOf returns the 1-based rank of name, or (0, false) if absent.
+func (r *Ranking) RankOf(name string) (int, bool) {
+	i, ok := r.pos[name]
+	if !ok {
+		return 0, false
+	}
+	return i + 1, true
+}
+
+// Contains reports whether name appears in the ranking.
+func (r *Ranking) Contains(name string) bool {
+	_, ok := r.pos[name]
+	return ok
+}
+
+// Top returns a new Ranking of the first k names (all names if k exceeds
+// the length).
+func (r *Ranking) Top(k int) *Ranking {
+	if k > len(r.names) {
+		k = len(r.names)
+	}
+	if k < 0 {
+		k = 0
+	}
+	return MustNew(r.names[:k:k])
+}
+
+// TopSet returns the top-k names as a set.
+func (r *Ranking) TopSet(k int) map[string]struct{} {
+	if k > len(r.names) {
+		k = len(r.names)
+	}
+	s := make(map[string]struct{}, k)
+	for _, n := range r.names[:k] {
+		s[n] = struct{}{}
+	}
+	return s
+}
+
+// Filter returns a new Ranking keeping only names for which keep returns
+// true, preserving order.
+func (r *Ranking) Filter(keep func(name string) bool) *Ranking {
+	out := make([]string, 0, len(r.names))
+	for _, n := range r.names {
+		if keep(n) {
+			out = append(out, n)
+		}
+	}
+	return MustNew(out)
+}
+
+// Scored pairs a name with a raw popularity score.
+type Scored struct {
+	Name  string
+	Score float64
+}
+
+// Tie selects the tie-breaking policy used when converting scores to ranks.
+type Tie uint8
+
+const (
+	// TieLexicographic breaks score ties alphabetically, as Cisco Umbrella
+	// has been observed to do ("long strings of alphabetically sorted
+	// domains", Section 5.2).
+	TieLexicographic Tie = iota
+	// TieHashed breaks ties by a stable hash of the name, modeling lists
+	// whose tie order carries no information.
+	TieHashed
+)
+
+// FromScores sorts items by descending score into a Ranking, breaking ties
+// per the policy. The input slice is sorted in place.
+func FromScores(items []Scored, tie Tie) *Ranking {
+	sort.Slice(items, func(a, b int) bool {
+		if items[a].Score != items[b].Score {
+			return items[a].Score > items[b].Score
+		}
+		switch tie {
+		case TieHashed:
+			return strHash(items[a].Name) < strHash(items[b].Name)
+		default:
+			return items[a].Name < items[b].Name
+		}
+	})
+	names := make([]string, len(items))
+	for i, it := range items {
+		names[i] = it.Name
+	}
+	return MustNew(names)
+}
+
+func strHash(s string) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// NormalizeStats reports how much a PSL normalization changed a list; the
+// deviation fraction is what Table 2 of the paper tabulates.
+type NormalizeStats struct {
+	// Entries is the number of input names.
+	Entries int
+	// Deviating is the number of input names that were not already PSL
+	// registrable domains (e.g. FQDNs or names carrying subdomains).
+	Deviating int
+	// Dropped is the number of input names with no registrable domain
+	// (names that are themselves public suffixes, such as Umbrella's
+	// high-ranked bare TLD entries).
+	Dropped int
+	// Groups is the number of distinct registrable domains in the output.
+	Groups int
+}
+
+// DeviationPct returns the percentage of entries that deviated from the PSL
+// registrable-domain form.
+func (s NormalizeStats) DeviationPct() float64 {
+	if s.Entries == 0 {
+		return 0
+	}
+	return 100 * float64(s.Deviating) / float64(s.Entries)
+}
+
+// NormalizePSL groups the ranking's names by PSL registrable domain,
+// assigning each group the smallest (most popular) rank among its members
+// (Section 4.2). The output ranking is ordered by that minimum rank. Names
+// that are themselves public suffixes are dropped and counted.
+func (r *Ranking) NormalizePSL(list *psl.List) (*Ranking, NormalizeStats) {
+	stats := NormalizeStats{Entries: len(r.names)}
+	minRank := make(map[string]int, len(r.names))
+	for i, name := range r.names {
+		etld1, ok := list.RegisteredDomain(name)
+		if !ok {
+			stats.Dropped++
+			stats.Deviating++ // a bare public suffix is by definition not registrable
+			continue
+		}
+		if etld1 != name {
+			stats.Deviating++
+		}
+		if _, seen := minRank[etld1]; !seen {
+			minRank[etld1] = i
+		}
+	}
+	stats.Groups = len(minRank)
+	out := make([]string, 0, len(minRank))
+	for name := range minRank {
+		out = append(out, name)
+	}
+	sort.Slice(out, func(a, b int) bool { return minRank[out[a]] < minRank[out[b]] })
+	return MustNew(out), stats
+}

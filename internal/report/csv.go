@@ -1,0 +1,92 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// RenderCSV writes the table as CSV (header row first). The title is not
+// part of the CSV payload.
+func (t *Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderCSV writes the heatmap as CSV with row labels in the first column.
+// Missing cells render empty.
+func (h *Heatmap) RenderCSV(w io.Writer) error {
+	format := h.Format
+	if format == "" {
+		format = "%.4f"
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append([]string{""}, h.ColLabels...)); err != nil {
+		return err
+	}
+	for i, rl := range h.RowLabels {
+		row := make([]string, 0, len(h.ColLabels)+1)
+		row = append(row, rl)
+		for j := range h.ColLabels {
+			if h.Missing != nil && h.Missing[i][j] {
+				row = append(row, "")
+				continue
+			}
+			row = append(row, fmt.Sprintf(format, h.Values[i][j]))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderMarkdown writes the table as a GitHub-flavored markdown table.
+func (t *Table) RenderMarkdown(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "### %s\n\n", t.Title); err != nil {
+			return err
+		}
+	}
+	write := func(cells []string) error {
+		_, err := fmt.Fprintf(w, "| %s |\n", joinCells(cells))
+		return err
+	}
+	if err := write(t.Headers); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if err := write(sep); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func joinCells(cells []string) string {
+	out := ""
+	for i, c := range cells {
+		if i > 0 {
+			out += " | "
+		}
+		out += c
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package report
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestTableRenderCSV(t *testing.T) {
+	tbl := NewTable("Ignored Title", "List", "Coverage")
+	tbl.AddRow("Alexa", "23.12")
+	tbl.AddRow("CrUX", "23.57")
+	var b strings.Builder
+	if err := tbl.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[0][0] != "List" || recs[2][1] != "23.57" {
+		t.Fatalf("records = %v", recs)
+	}
+	if strings.Contains(b.String(), "Ignored Title") {
+		t.Error("title leaked into CSV")
+	}
+}
+
+func TestHeatmapRenderCSV(t *testing.T) {
+	h := &Heatmap{
+		RowLabels: []string{"a", "b"},
+		ColLabels: []string{"x", "y"},
+		Values:    [][]float64{{1, 2}, {3, 4}},
+		Missing:   [][]bool{{false, true}, {false, false}},
+	}
+	var b strings.Builder
+	if err := h.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[1][2] != "" {
+		t.Errorf("missing cell = %q, want empty", recs[1][2])
+	}
+	if recs[2][1] != "3.0000" {
+		t.Errorf("cell = %q", recs[2][1])
+	}
+}
+
+func TestTableRenderMarkdown(t *testing.T) {
+	tbl := NewTable("Coverage", "List", "1K")
+	tbl.AddRow("Alexa", "14.97")
+	var b strings.Builder
+	if err := tbl.RenderMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"### Coverage", "| List | 1K |", "| --- | --- |", "| Alexa | 14.97 |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package report renders experiment results as aligned text tables,
+// numeric heatmaps, and text Sankey flows — the forms in which the paper's
+// tables and figures are regenerated on a terminal.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped, missing
+// cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted values: strings pass through, float64
+// renders with 2 decimals, everything else via %v.
+func (t *Table) AddRowf(cells ...any) {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			out[i] = v
+		case float64:
+			out[i] = fmt.Sprintf("%.2f", v)
+		default:
+			out[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.AddRow(out...)
+}
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+		b.WriteString(strings.Repeat("=", len(t.Title)))
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := widths[i] - len(c)
+			if i == 0 {
+				b.WriteString(c)
+				b.WriteString(strings.Repeat(" ", pad))
+			} else {
+				b.WriteString(strings.Repeat(" ", pad))
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for i, w := range widths {
+		if i > 0 {
+			total += 2
+		}
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Heatmap renders a labeled matrix of values, the text analogue of the
+// paper's correlation heatmaps.
+type Heatmap struct {
+	Title     string
+	RowLabels []string
+	ColLabels []string
+	Values    [][]float64
+	// Missing marks cells to render as "-" (e.g. Spearman vs CrUX).
+	Missing [][]bool
+	// Format is the cell format (default "%.2f").
+	Format string
+}
+
+// Render writes the heatmap as a table.
+func (h *Heatmap) Render(w io.Writer) error {
+	format := h.Format
+	if format == "" {
+		format = "%.2f"
+	}
+	tbl := NewTable(h.Title, append([]string{""}, h.ColLabels...)...)
+	for i, rl := range h.RowLabels {
+		cells := make([]string, 0, len(h.ColLabels)+1)
+		cells = append(cells, rl)
+		for j := range h.ColLabels {
+			if h.Missing != nil && h.Missing[i][j] {
+				cells = append(cells, "-")
+				continue
+			}
+			cells = append(cells, fmt.Sprintf(format, h.Values[i][j]))
+		}
+		tbl.AddRow(cells...)
+	}
+	return tbl.Render(w)
+}
+
+// Sankey renders a movement matrix as text flows: one line per nonzero
+// (from, to) pair with a magnitude bar, ordered by source then target.
+type Sankey struct {
+	Title      string
+	FromLabels []string
+	ToLabels   []string
+	Flows      [][]int
+}
+
+// Render writes the flows.
+func (s *Sankey) Render(w io.Writer) error {
+	var b strings.Builder
+	if s.Title != "" {
+		fmt.Fprintf(&b, "%s\n%s\n", s.Title, strings.Repeat("=", len(s.Title)))
+	}
+	max := 0
+	for _, row := range s.Flows {
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	for i, row := range s.Flows {
+		for j, v := range row {
+			if v == 0 {
+				continue
+			}
+			bar := 1
+			if max > 0 {
+				bar = 1 + v*30/max
+			}
+			marker := " "
+			switch {
+			case j > i+1:
+				marker = "!" // drastic mismatch (>= 2 magnitudes)
+			case j == i+1 || j == i-1:
+				marker = "~" // off by one
+			case j < i-1:
+				marker = "!"
+			}
+			fmt.Fprintf(&b, "%-10s -> %-10s %s %-6d %s\n",
+				s.FromLabels[i], s.ToLabels[j], marker, v, strings.Repeat("#", bar))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

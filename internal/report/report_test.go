@@ -1,0 +1,99 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("Demo", "List", "1K", "10K")
+	tbl.AddRowf("Alexa", 14.97, 23.16)
+	tbl.AddRow("CrUX", "24.00") // short row: last cell empty
+	var b strings.Builder
+	if err := tbl.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Demo", "List", "Alexa", "14.97", "CrUX"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, underline, header, rule, 2 rows
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableExtraCellsDropped(t *testing.T) {
+	tbl := NewTable("", "A")
+	tbl.AddRow("x", "overflow")
+	var b strings.Builder
+	if err := tbl.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "overflow") {
+		t.Error("overflow cell rendered")
+	}
+}
+
+func TestHeatmapRender(t *testing.T) {
+	h := &Heatmap{
+		Title:     "JJ",
+		RowLabels: []string{"Alexa", "CrUX"},
+		ColLabels: []string{"m1", "m2"},
+		Values:    [][]float64{{0.13, 0.19}, {0.23, 0.43}},
+		Missing:   [][]bool{{false, false}, {false, true}},
+	}
+	var b strings.Builder
+	if err := h.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"0.13", "0.43"} {
+		if want == "0.43" {
+			if strings.Contains(out, want) {
+				t.Errorf("missing cell rendered: %s", out)
+			}
+			continue
+		}
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %s", want, out)
+		}
+	}
+	if !strings.Contains(out, "-") {
+		t.Error("missing marker absent")
+	}
+}
+
+func TestSankeyRender(t *testing.T) {
+	s := &Sankey{
+		Title:      "Movement",
+		FromLabels: []string{"1-1K", "1K-10K", "10K-100K"},
+		ToLabels:   []string{"1-1K", "1K-10K", "10K-100K"},
+		Flows: [][]int{
+			{5, 2, 10},
+			{0, 3, 0},
+			{1, 0, 0},
+		},
+	}
+	var b strings.Builder
+	if err := s.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "1-1K") || !strings.Contains(out, "#") {
+		t.Errorf("sankey output malformed:\n%s", out)
+	}
+	// The (0 -> 2) flow jumps two buckets: must carry the drastic marker.
+	found := false
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "1-1K") && strings.Contains(line, "10K-100K") &&
+			strings.Contains(line, "!") && strings.Contains(line, "10") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("drastic flow not marked:\n%s", out)
+	}
+}

@@ -1,0 +1,78 @@
+package simrand
+
+// Alias is a Walker/Vose alias sampler: O(n) construction, O(1) draws from an
+// arbitrary discrete distribution. The simulation uses it for weighted picks
+// that happen millions of times (site selection per page load, country and
+// browser mixes).
+type Alias struct {
+	prob  []float64
+	alias []int32
+}
+
+// NewAlias builds an alias table for the given non-negative weights. Weights
+// need not be normalized. It panics if weights is empty or sums to zero.
+func NewAlias(weights []float64) *Alias {
+	n := len(weights)
+	if n == 0 {
+		panic("simrand: NewAlias with empty weights")
+	}
+	var sum float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("simrand: NewAlias with negative weight")
+		}
+		sum += w
+	}
+	if sum == 0 {
+		panic("simrand: NewAlias with zero total weight")
+	}
+	a := &Alias{
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+	}
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / sum
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] = scaled[l] + scaled[s] - 1
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Remaining entries are 1 up to floating-point error.
+	for _, i := range large {
+		a.prob[i] = 1
+	}
+	for _, i := range small {
+		a.prob[i] = 1
+	}
+	return a
+}
+
+// Draw returns an index distributed according to the table's weights.
+func (a *Alias) Draw(src *Source) int {
+	i := src.Intn(len(a.prob))
+	if src.Float64() < a.prob[i] {
+		return i
+	}
+	return int(a.alias[i])
+}
+
+// Len returns the number of outcomes.
+func (a *Alias) Len() int { return len(a.prob) }

@@ -1,0 +1,93 @@
+package simrand
+
+// Zipf draws from a bounded Zipf distribution over {0, 1, ..., n-1} where
+// the probability of value k is proportional to 1/(k+1)^s. It uses the
+// rejection-inversion method of Hörmann and Derflinger, which has O(1)
+// expected cost per draw for any exponent s > 0, s != 1 handled as well.
+//
+// Unlike math/rand's Zipf, this implementation is driven by a simrand.Source
+// and supports exponents <= 1 (common for web popularity, where s is
+// typically 0.8–1.2).
+type Zipf struct {
+	n       int
+	s       float64
+	oneMS   float64 // 1 - s
+	hx0     float64 // h(x0) shifted
+	hImbalH float64 // H(imax + 1/2)
+	hx0MinV float64
+}
+
+// NewZipf returns a Zipf sampler over n values with exponent s.
+// It panics if n <= 0 or s <= 0.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("simrand: Zipf with n <= 0")
+	}
+	if s <= 0 {
+		panic("simrand: Zipf with s <= 0")
+	}
+	z := &Zipf{n: n, s: s, oneMS: 1 - s}
+	z.hx0 = z.h(0.5) - exp(-s*ln(1)) // h(0.5) - 1^{-s} = h(0.5) - 1
+	z.hImbalH = z.h(float64(n) + 0.5)
+	z.hx0MinV = z.hx0
+	return z
+}
+
+// h is the antiderivative used by rejection-inversion:
+// H(x) = (x^{1-s} - 1)/(1-s) for s != 1, ln(x) for s == 1, evaluated so the
+// sampler treats ranks as 1-based internally.
+func (z *Zipf) h(x float64) float64 {
+	if z.oneMS == 0 {
+		return ln(x)
+	}
+	return (exp(z.oneMS*ln(x)) - 1) / z.oneMS
+}
+
+// hInv inverts h.
+func (z *Zipf) hInv(x float64) float64 {
+	if z.oneMS == 0 {
+		return exp(x)
+	}
+	return exp(ln(1+x*z.oneMS) / z.oneMS)
+}
+
+// Draw returns a value in [0, n) with P(k) proportional to 1/(k+1)^s.
+func (z *Zipf) Draw(src *Source) int {
+	for {
+		u := z.hx0 + src.Float64()*(z.hImbalH-z.hx0)
+		x := z.hInv(u)
+		k := int(x + 0.5)
+		if k < 1 {
+			k = 1
+		}
+		if k > z.n {
+			k = z.n
+		}
+		fk := float64(k)
+		if u >= z.h(fk+0.5)-exp(-z.s*ln(fk)) {
+			return k - 1
+		}
+	}
+}
+
+// N returns the support size.
+func (z *Zipf) N() int { return z.n }
+
+// S returns the exponent.
+func (z *Zipf) S() float64 { return z.s }
+
+// ZipfWeights returns the normalized probability vector of a bounded Zipf
+// distribution with exponent s over n values (index 0 is the most likely).
+// Useful when expected counts rather than samples are needed.
+func ZipfWeights(n int, s float64) []float64 {
+	w := make([]float64, n)
+	var sum float64
+	for i := range w {
+		w[i] = pow(float64(i+1), -s)
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}

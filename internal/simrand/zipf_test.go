@@ -1,0 +1,209 @@
+package simrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZipfRange(t *testing.T) {
+	err := quick.Check(func(seed uint64, nRaw uint16, sRaw uint8) bool {
+		n := int(nRaw%5000) + 1
+		s := 0.2 + float64(sRaw%30)/10 // 0.2 .. 3.1
+		z := NewZipf(n, s)
+		src := New(seed)
+		for i := 0; i < 50; i++ {
+			v := z.Draw(src)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestZipfDistribution checks the empirical frequency of the head values
+// against the closed-form probabilities, for exponents below, at, and above 1.
+func TestZipfDistribution(t *testing.T) {
+	for _, s := range []float64{0.7, 1.0, 1.5} {
+		const n = 1000
+		const draws = 300000
+		z := NewZipf(n, s)
+		src := New(12345)
+		counts := make([]int, n)
+		for i := 0; i < draws; i++ {
+			counts[z.Draw(src)]++
+		}
+		want := ZipfWeights(n, s)
+		for k := 0; k < 5; k++ {
+			got := float64(counts[k]) / draws
+			if math.Abs(got-want[k]) > 0.01+0.05*want[k] {
+				t.Errorf("s=%v rank %d: empirical %.4f want %.4f", s, k, got, want[k])
+			}
+		}
+	}
+}
+
+func TestZipfMonotoneHead(t *testing.T) {
+	z := NewZipf(100, 1.1)
+	src := New(777)
+	counts := make([]int, 100)
+	for i := 0; i < 200000; i++ {
+		counts[z.Draw(src)]++
+	}
+	// Head of the distribution should be (statistically) decreasing.
+	for k := 0; k < 4; k++ {
+		if counts[k] <= counts[k+1] {
+			t.Errorf("rank %d count %d not > rank %d count %d", k, counts[k], k+1, counts[k+1])
+		}
+	}
+}
+
+func TestZipfWeightsNormalized(t *testing.T) {
+	err := quick.Check(func(nRaw uint8, sRaw uint8) bool {
+		n := int(nRaw%200) + 1
+		s := 0.3 + float64(sRaw%25)/10
+		w := ZipfWeights(n, s)
+		var sum float64
+		for i, v := range w {
+			if v <= 0 {
+				return false
+			}
+			if i > 0 && v > w[i-1] {
+				return false // must be non-increasing
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewZipf(0, 1) },
+		func() { NewZipf(10, 0) },
+		func() { NewZipf(-1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAliasMatchesWeights(t *testing.T) {
+	weights := []float64{1, 4, 0, 2, 3}
+	a := NewAlias(weights)
+	src := New(2024)
+	const draws = 500000
+	counts := make([]int, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[a.Draw(src)]++
+	}
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	for i, w := range weights {
+		got := float64(counts[i]) / draws
+		want := w / total
+		if math.Abs(got-want) > 0.005 {
+			t.Errorf("outcome %d: empirical %.4f want %.4f", i, got, want)
+		}
+	}
+	if counts[2] != 0 {
+		t.Errorf("zero-weight outcome drawn %d times", counts[2])
+	}
+}
+
+func TestAliasSingle(t *testing.T) {
+	a := NewAlias([]float64{3})
+	src := New(1)
+	for i := 0; i < 10; i++ {
+		if a.Draw(src) != 0 {
+			t.Fatal("single outcome must always be drawn")
+		}
+	}
+}
+
+func TestAliasProperty(t *testing.T) {
+	// Every draw index is within range for arbitrary weight vectors.
+	err := quick.Check(func(seed uint64, raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		weights := make([]float64, len(raw))
+		var sum float64
+		for i, r := range raw {
+			weights[i] = float64(r)
+			sum += weights[i]
+		}
+		if sum == 0 {
+			weights[0] = 1
+		}
+		a := NewAlias(weights)
+		src := New(seed)
+		for i := 0; i < 30; i++ {
+			v := a.Draw(src)
+			if v < 0 || v >= len(weights) {
+				return false
+			}
+			if weights[v] == 0 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAliasPanics(t *testing.T) {
+	for _, w := range [][]float64{nil, {}, {0, 0}, {1, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for %v", w)
+				}
+			}()
+			NewAlias(w)
+		}()
+	}
+}
+
+func BenchmarkZipfDraw(b *testing.B) {
+	z := NewZipf(1_000_000, 1.0)
+	src := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		z.Draw(src)
+	}
+}
+
+func BenchmarkAliasDraw(b *testing.B) {
+	w := ZipfWeights(100000, 1.0)
+	a := NewAlias(w)
+	src := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Draw(src)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	src := New(1)
+	for i := 0; i < b.N; i++ {
+		src.Uint64()
+	}
+}

@@ -1,0 +1,153 @@
+// Package sketch provides distinct-value counting for the log pipeline.
+//
+// The Cloudflare metrics include per-day unique client IPs and unique
+// (IP, User-Agent) tuples per website (Section 3.1, aggregations 2 and 3).
+// At test scale exact sets are cheapest; at the scale of cmd/toplists runs a
+// HyperLogLog keeps memory bounded per (site, day). Both implementations sit
+// behind the Distinct interface so the pipeline can switch by configuration.
+package sketch
+
+import "math"
+
+// Distinct counts the approximate or exact number of distinct uint64 items.
+type Distinct interface {
+	// Add records an item. Items are expected to be pre-hashed or uniformly
+	// distributed (client identities in the simulation are hashed IDs).
+	Add(item uint64)
+	// Count returns the estimated number of distinct items added.
+	Count() float64
+	// Merge folds another counter of the same concrete type into this one.
+	// It panics on a type mismatch.
+	Merge(other Distinct)
+	// Reset returns the counter to empty for reuse.
+	Reset()
+}
+
+// Exact is a map-backed exact distinct counter.
+type Exact struct {
+	seen map[uint64]struct{}
+}
+
+// NewExact returns an empty exact counter.
+func NewExact() *Exact {
+	return &Exact{seen: make(map[uint64]struct{})}
+}
+
+// Add implements Distinct.
+func (e *Exact) Add(item uint64) { e.seen[item] = struct{}{} }
+
+// Count implements Distinct.
+func (e *Exact) Count() float64 { return float64(len(e.seen)) }
+
+// Merge implements Distinct.
+func (e *Exact) Merge(other Distinct) {
+	o, ok := other.(*Exact)
+	if !ok {
+		panic("sketch: merging Exact with non-Exact")
+	}
+	for k := range o.seen {
+		e.seen[k] = struct{}{}
+	}
+}
+
+// Reset implements Distinct.
+func (e *Exact) Reset() { clear(e.seen) }
+
+// HLL is a HyperLogLog counter with 2^p registers and the standard
+// small-range (linear counting) correction. p=14 gives a typical relative
+// error of about 0.81%, plenty below the simulation's sampling noise.
+type HLL struct {
+	p    uint8
+	regs []uint8
+}
+
+// NewHLL returns a HyperLogLog with 2^p registers, 4 <= p <= 18.
+func NewHLL(p uint8) *HLL {
+	if p < 4 || p > 18 {
+		panic("sketch: HLL precision out of range [4,18]")
+	}
+	return &HLL{p: p, regs: make([]uint8, 1<<p)}
+}
+
+// mix applies a 64-bit finalizer so that sequential IDs are safe to Add.
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Add implements Distinct.
+func (h *HLL) Add(item uint64) {
+	x := mix(item)
+	idx := x >> (64 - h.p)
+	w := x<<h.p | 1<<(h.p-1) // ensure termination
+	rho := uint8(1)
+	for w&(1<<63) == 0 {
+		rho++
+		w <<= 1
+	}
+	if rho > h.regs[idx] {
+		h.regs[idx] = rho
+	}
+}
+
+// Count implements Distinct.
+func (h *HLL) Count() float64 {
+	m := float64(len(h.regs))
+	var sum float64
+	zeros := 0
+	for _, r := range h.regs {
+		sum += math.Ldexp(1, -int(r))
+		if r == 0 {
+			zeros++
+		}
+	}
+	est := alpha(len(h.regs)) * m * m / sum
+	if est <= 2.5*m && zeros > 0 {
+		// Small-range correction: linear counting.
+		return m * math.Log(m/float64(zeros))
+	}
+	return est
+}
+
+func alpha(m int) float64 {
+	switch m {
+	case 16:
+		return 0.673
+	case 32:
+		return 0.697
+	case 64:
+		return 0.709
+	}
+	return 0.7213 / (1 + 1.079/float64(m))
+}
+
+// Merge implements Distinct.
+func (h *HLL) Merge(other Distinct) {
+	o, ok := other.(*HLL)
+	if !ok || o.p != h.p {
+		panic("sketch: merging incompatible HLLs")
+	}
+	for i, r := range o.regs {
+		if r > h.regs[i] {
+			h.regs[i] = r
+		}
+	}
+}
+
+// Reset implements Distinct.
+func (h *HLL) Reset() { clear(h.regs) }
+
+// Factory builds fresh Distinct counters; the pipeline holds one per metric.
+type Factory func() Distinct
+
+// ExactFactory returns exact counters.
+func ExactFactory() Distinct { return NewExact() }
+
+// HLLFactory returns a factory of HLLs at the given precision.
+func HLLFactory(p uint8) Factory {
+	return func() Distinct { return NewHLL(p) }
+}

@@ -1,0 +1,192 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"toplists/internal/simrand"
+)
+
+func TestExactBasic(t *testing.T) {
+	e := NewExact()
+	for i := 0; i < 100; i++ {
+		e.Add(uint64(i % 10))
+	}
+	if e.Count() != 10 {
+		t.Fatalf("Count = %v, want 10", e.Count())
+	}
+	e.Reset()
+	if e.Count() != 0 {
+		t.Fatalf("Count after Reset = %v", e.Count())
+	}
+}
+
+func TestExactMerge(t *testing.T) {
+	a, b := NewExact(), NewExact()
+	for i := 0; i < 50; i++ {
+		a.Add(uint64(i))
+	}
+	for i := 25; i < 75; i++ {
+		b.Add(uint64(i))
+	}
+	a.Merge(b)
+	if a.Count() != 75 {
+		t.Fatalf("merged Count = %v, want 75", a.Count())
+	}
+}
+
+func TestHLLAccuracy(t *testing.T) {
+	for _, n := range []int{10, 100, 1000, 10000, 200000} {
+		h := NewHLL(14)
+		src := simrand.New(uint64(n))
+		for i := 0; i < n; i++ {
+			h.Add(src.Uint64())
+		}
+		got := h.Count()
+		relErr := math.Abs(got-float64(n)) / float64(n)
+		// Standard error for p=14 is ~0.81%; allow 5 sigma.
+		if relErr > 0.05 {
+			t.Errorf("n=%d: estimate %v, rel err %.3f", n, got, relErr)
+		}
+	}
+}
+
+func TestHLLSequentialIDs(t *testing.T) {
+	// Client IDs in the simulation are small sequential integers; the
+	// internal mixer must make these safe.
+	h := NewHLL(14)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		h.Add(uint64(i))
+	}
+	got := h.Count()
+	if math.Abs(got-n)/n > 0.05 {
+		t.Errorf("sequential IDs: estimate %v for n=%d", got, n)
+	}
+}
+
+func TestHLLDuplicatesIdempotent(t *testing.T) {
+	err := quick.Check(func(items []uint64) bool {
+		if len(items) == 0 {
+			return true
+		}
+		a := NewHLL(12)
+		b := NewHLL(12)
+		for _, it := range items {
+			a.Add(it)
+			b.Add(it)
+			b.Add(it) // duplicates must not change the estimate
+		}
+		return a.Count() == b.Count()
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHLLMergeEqualsUnion(t *testing.T) {
+	err := quick.Check(func(xs, ys []uint64) bool {
+		merged := NewHLL(12)
+		union := NewHLL(12)
+		a := NewHLL(12)
+		b := NewHLL(12)
+		for _, x := range xs {
+			a.Add(x)
+			union.Add(x)
+		}
+		for _, y := range ys {
+			b.Add(y)
+			union.Add(y)
+		}
+		merged.Merge(a)
+		merged.Merge(b)
+		return merged.Count() == union.Count()
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHLLMonotone(t *testing.T) {
+	h := NewHLL(10)
+	src := simrand.New(7)
+	prev := 0.0
+	for i := 0; i < 5000; i++ {
+		h.Add(src.Uint64())
+		if i%500 == 0 {
+			c := h.Count()
+			if c < prev {
+				t.Fatalf("estimate decreased: %v -> %v at %d", prev, c, i)
+			}
+			prev = c
+		}
+	}
+}
+
+func TestHLLReset(t *testing.T) {
+	h := NewHLL(10)
+	for i := 0; i < 1000; i++ {
+		h.Add(uint64(i) * 7919)
+	}
+	h.Reset()
+	if h.Count() != 0 {
+		t.Fatalf("Count after Reset = %v", h.Count())
+	}
+}
+
+func TestMergeTypeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHLL(10).Merge(NewExact())
+}
+
+func TestHLLPrecisionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHLL(10).Merge(NewHLL(12))
+}
+
+func TestNewHLLBounds(t *testing.T) {
+	for _, p := range []uint8{0, 3, 19} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("p=%d: expected panic", p)
+				}
+			}()
+			NewHLL(p)
+		}()
+	}
+}
+
+func TestFactories(t *testing.T) {
+	if _, ok := ExactFactory().(*Exact); !ok {
+		t.Error("ExactFactory type")
+	}
+	if _, ok := HLLFactory(12)().(*HLL); !ok {
+		t.Error("HLLFactory type")
+	}
+}
+
+func BenchmarkHLLAdd(b *testing.B) {
+	h := NewHLL(14)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Add(uint64(i))
+	}
+}
+
+func BenchmarkExactAdd(b *testing.B) {
+	e := NewExact()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Add(uint64(i % 100000))
+	}
+}

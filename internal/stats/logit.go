@@ -1,0 +1,227 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// LogitResult holds a fitted logistic regression.
+type LogitResult struct {
+	// Coef holds the fitted coefficients; Coef[0] is the intercept.
+	Coef []float64
+	// StdErr holds the Wald standard errors of the coefficients.
+	StdErr []float64
+	// Iterations is the number of IRLS iterations performed.
+	Iterations int
+	// Converged reports whether the fit reached the tolerance.
+	Converged bool
+}
+
+// OddsRatio returns exp(beta_j) for the j-th coefficient (0 = intercept).
+func (r *LogitResult) OddsRatio(j int) float64 { return math.Exp(r.Coef[j]) }
+
+// ZScore returns the Wald z statistic for coefficient j.
+func (r *LogitResult) ZScore(j int) float64 {
+	if r.StdErr[j] == 0 {
+		return math.Inf(1)
+	}
+	return r.Coef[j] / r.StdErr[j]
+}
+
+// PValue returns the two-sided Wald p-value for coefficient j.
+func (r *LogitResult) PValue(j int) float64 { return TwoSidedP(r.ZScore(j)) }
+
+// Logit fits a logistic regression of the binary outcomes y on the feature
+// rows x (without an intercept column; one is added internally) using
+// iteratively reweighted least squares. It returns an error if the data is
+// degenerate (empty, mismatched, or a singular information matrix).
+//
+// The category-bias analysis (Table 3) calls this with a single binary
+// feature per category; the implementation is nonetheless general.
+func Logit(x [][]float64, y []bool) (*LogitResult, error) {
+	n := len(x)
+	if n == 0 || n != len(y) {
+		return nil, errors.New("stats: logit: empty or mismatched data")
+	}
+	k := len(x[0]) + 1 // with intercept
+	for i := range x {
+		if len(x[i])+1 != k {
+			return nil, errors.New("stats: logit: ragged feature rows")
+		}
+	}
+
+	beta := make([]float64, k)
+	xtwx := make([][]float64, k)
+	for i := range xtwx {
+		xtwx[i] = make([]float64, k)
+	}
+	grad := make([]float64, k)
+	row := make([]float64, k)
+
+	const (
+		maxIter = 50
+		tol     = 1e-8
+		// Clamp fitted probabilities away from 0/1 to stabilize separated
+		// data. Categories that are perfectly separated in small samples
+		// then produce huge-but-finite coefficients rather than NaN.
+		eps = 1e-9
+	)
+
+	res := &LogitResult{Coef: beta, StdErr: make([]float64, k)}
+	for iter := 0; iter < maxIter; iter++ {
+		res.Iterations = iter + 1
+		for i := range xtwx {
+			clearRow(xtwx[i])
+		}
+		clearRow(grad)
+		for i := 0; i < n; i++ {
+			row[0] = 1
+			copy(row[1:], x[i])
+			eta := 0.0
+			for j := 0; j < k; j++ {
+				eta += beta[j] * row[j]
+			}
+			p := 1 / (1 + math.Exp(-eta))
+			if p < eps {
+				p = eps
+			} else if p > 1-eps {
+				p = 1 - eps
+			}
+			w := p * (1 - p)
+			yi := 0.0
+			if y[i] {
+				yi = 1
+			}
+			r := yi - p
+			for a := 0; a < k; a++ {
+				grad[a] += row[a] * r
+				wa := w * row[a]
+				for b := a; b < k; b++ {
+					xtwx[a][b] += wa * row[b]
+				}
+			}
+		}
+		for a := 0; a < k; a++ {
+			for b := 0; b < a; b++ {
+				xtwx[a][b] = xtwx[b][a]
+			}
+		}
+		delta, err := solve(xtwx, grad)
+		if err != nil {
+			return nil, fmt.Errorf("stats: logit: %w", err)
+		}
+		var maxStep float64
+		for j := 0; j < k; j++ {
+			beta[j] += delta[j]
+			if s := math.Abs(delta[j]); s > maxStep {
+				maxStep = s
+			}
+		}
+		if maxStep < tol {
+			res.Converged = true
+			break
+		}
+	}
+
+	// Standard errors from the inverse information matrix at the optimum.
+	inv, err := invert(xtwx)
+	if err != nil {
+		return nil, fmt.Errorf("stats: logit covariance: %w", err)
+	}
+	for j := 0; j < k; j++ {
+		v := inv[j][j]
+		if v < 0 {
+			v = 0
+		}
+		res.StdErr[j] = math.Sqrt(v)
+	}
+	return res, nil
+}
+
+func clearRow(v []float64) {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// solve solves A x = b by Gaussian elimination with partial pivoting,
+// without modifying its arguments.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n+1)
+		copy(m[i], a[i])
+		m[i][n] = b[i]
+	}
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < 1e-12 {
+			return nil, errors.New("singular matrix")
+		}
+		m[col], m[piv] = m[piv], m[col]
+		inv := 1 / m[col][col]
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = m[i][n] / m[i][i]
+	}
+	return x, nil
+}
+
+// invert returns the inverse of a by solving against the identity.
+func invert(a [][]float64) ([][]float64, error) {
+	n := len(a)
+	inv := make([][]float64, n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		col, err := solve(a, e)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			if inv[i] == nil {
+				inv[i] = make([]float64, n)
+			}
+			inv[i][j] = col[i]
+		}
+	}
+	return inv, nil
+}
+
+// OddsRatio2x2 returns the sample odds ratio of a 2x2 contingency table:
+// (a/b) / (c/d) where a,b are exposed included/excluded counts and c,d are
+// unexposed included/excluded counts. A Haldane-Anscombe 0.5 correction is
+// applied when any cell is zero.
+func OddsRatio2x2(a, b, c, d int) float64 {
+	fa, fb, fc, fd := float64(a), float64(b), float64(c), float64(d)
+	if a == 0 || b == 0 || c == 0 || d == 0 {
+		fa += 0.5
+		fb += 0.5
+		fc += 0.5
+		fd += 0.5
+	}
+	return (fa / fb) / (fc / fd)
+}

@@ -1,0 +1,216 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"toplists/internal/simrand"
+)
+
+// TestLogitRecoverCoefficients generates data from a known logistic model and
+// verifies the fit recovers the coefficients.
+func TestLogitRecoverCoefficients(t *testing.T) {
+	src := simrand.New(11)
+	const n = 20000
+	trueBeta := []float64{-0.5, 1.2, -0.8} // intercept, b1, b2
+	x := make([][]float64, n)
+	y := make([]bool, n)
+	for i := 0; i < n; i++ {
+		x1 := src.NormFloat64()
+		x2 := src.NormFloat64()
+		eta := trueBeta[0] + trueBeta[1]*x1 + trueBeta[2]*x2
+		p := 1 / (1 + math.Exp(-eta))
+		x[i] = []float64{x1, x2}
+		y[i] = src.Bernoulli(p)
+	}
+	res, err := Logit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	for j, want := range trueBeta {
+		if math.Abs(res.Coef[j]-want) > 0.1 {
+			t.Errorf("beta[%d] = %v, want ~%v", j, res.Coef[j], want)
+		}
+	}
+}
+
+// TestLogitBinaryPredictorMatchesOddsRatio checks the well-known identity:
+// a univariate logistic regression on a binary predictor has
+// exp(beta1) equal to the 2x2 contingency-table odds ratio.
+func TestLogitBinaryPredictorMatchesOddsRatio(t *testing.T) {
+	// a=30 exposed-included, b=70 exposed-excluded,
+	// c=200 unexposed-included, d=700 unexposed-excluded.
+	a, b, c, d := 30, 70, 200, 700
+	var x [][]float64
+	var y []bool
+	add := func(feat float64, out bool, count int) {
+		for i := 0; i < count; i++ {
+			x = append(x, []float64{feat})
+			y = append(y, out)
+		}
+	}
+	add(1, true, a)
+	add(1, false, b)
+	add(0, true, c)
+	add(0, false, d)
+
+	res, err := Logit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOR := OddsRatio2x2(a, b, c, d) // (30/70)/(200/700) = 1.5
+	if math.Abs(wantOR-1.5) > 1e-12 {
+		t.Fatalf("sanity: OddsRatio2x2 = %v", wantOR)
+	}
+	if got := res.OddsRatio(1); math.Abs(got-wantOR) > 1e-6 {
+		t.Errorf("logit OR = %v, want %v", got, wantOR)
+	}
+	// The Wald SE of log OR for a 2x2 table is sqrt(1/a+1/b+1/c+1/d).
+	wantSE := math.Sqrt(1.0/30 + 1.0/70 + 1.0/200 + 1.0/700)
+	if got := res.StdErr[1]; math.Abs(got-wantSE) > 1e-4 {
+		t.Errorf("logit SE = %v, want %v", got, wantSE)
+	}
+}
+
+func TestLogitSignificance(t *testing.T) {
+	// Strong effect with large n: p-value must be tiny. No effect: large.
+	src := simrand.New(5)
+	var x [][]float64
+	var y []bool
+	for i := 0; i < 5000; i++ {
+		exposed := i%2 == 0
+		f := 0.0
+		p := 0.2
+		if exposed {
+			f = 1
+			p = 0.6
+		}
+		x = append(x, []float64{f, src.Float64() - 0.5}) // second feature is noise
+		y = append(y, src.Bernoulli(p))
+	}
+	res, err := Logit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := res.PValue(1); p > 1e-6 {
+		t.Errorf("strong effect p = %v, want tiny", p)
+	}
+	if p := res.PValue(2); p < 0.001 {
+		t.Errorf("noise feature p = %v, suspiciously small", p)
+	}
+}
+
+func TestLogitErrors(t *testing.T) {
+	if _, err := Logit(nil, nil); err == nil {
+		t.Error("empty data must error")
+	}
+	if _, err := Logit([][]float64{{1}}, []bool{true, false}); err == nil {
+		t.Error("mismatched lengths must error")
+	}
+	if _, err := Logit([][]float64{{1}, {1, 2}}, []bool{true, false}); err == nil {
+		t.Error("ragged rows must error")
+	}
+	// Perfectly collinear features -> singular information matrix.
+	x := [][]float64{{1, 2}, {2, 4}, {3, 6}, {1, 2}}
+	y := []bool{true, false, true, false}
+	if _, err := Logit(x, y); err == nil {
+		t.Error("collinear features must error")
+	}
+}
+
+func TestOddsRatio2x2ZeroCell(t *testing.T) {
+	or := OddsRatio2x2(0, 10, 5, 5)
+	if math.IsNaN(or) || math.IsInf(or, 0) || or <= 0 {
+		t.Errorf("zero-cell OR = %v, want finite positive", or)
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	a := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{5, 10}
+	x, err := solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Errorf("solve = %v, want [1 3]", x)
+	}
+	// solve must not mutate inputs.
+	if a[0][0] != 2 || b[1] != 10 {
+		t.Error("solve mutated its arguments")
+	}
+}
+
+func TestInvertIdentityProperty(t *testing.T) {
+	src := simrand.New(21)
+	for trial := 0; trial < 20; trial++ {
+		n := src.Intn(4) + 2
+		a := make([][]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = src.NormFloat64()
+			}
+			a[i][i] += float64(n) // diagonally dominant, well-conditioned
+		}
+		inv, err := invert(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Check A * inv ~= I.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var s float64
+				for k := 0; k < n; k++ {
+					s += a[i][k] * inv[k][j]
+				}
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(s-want) > 1e-8 {
+					t.Fatalf("trial %d: (A*inv)[%d][%d] = %v", trial, i, j, s)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkLogitFit(b *testing.B) {
+	src := simrand.New(3)
+	const n = 5000
+	x := make([][]float64, n)
+	y := make([]bool, n)
+	for i := 0; i < n; i++ {
+		x[i] = []float64{src.Float64()}
+		y[i] = src.Bernoulli(0.3)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Logit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpearman(b *testing.B) {
+	src := simrand.New(4)
+	const n = 10000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = src.Float64()
+		ys[i] = src.Float64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Spearman(xs, ys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

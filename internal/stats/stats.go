@@ -1,0 +1,176 @@
+// Package stats implements the statistical machinery of the study:
+// Jaccard index and Spearman rank correlation for list comparison
+// (Sections 3.2 and 4.3), and logistic regression with Wald tests and
+// Bonferroni correction for the category-bias analysis (Section 6.4).
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Errors returned by the estimators.
+var (
+	// ErrShortData is returned when an estimator has too few observations.
+	ErrShortData = errors.New("stats: too few observations")
+	// errLengthMismatch is returned for paired inputs of unequal length.
+	errLengthMismatch = errors.New("stats: length mismatch")
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Pearson returns the Pearson correlation coefficient between xs and ys.
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, errLengthMismatch
+	}
+	if len(xs) < 2 {
+		return 0, ErrShortData
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, errors.New("stats: zero variance")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// Ranks returns the fractional (average-tie) ranks of xs, 1-based, as used
+// by Spearman's rank correlation.
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// average rank of the tie group [i, j]
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// Spearman returns Spearman's rank correlation coefficient between xs and
+// ys, handling ties by averaging ranks (the standard definition: Pearson
+// correlation of the rank vectors).
+func Spearman(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, errLengthMismatch
+	}
+	if len(xs) < 2 {
+		return 0, ErrShortData
+	}
+	return Pearson(Ranks(xs), Ranks(ys))
+}
+
+// Jaccard returns |a ∩ b| / |a ∪ b| for two sets of strings. Two empty sets
+// have Jaccard index 1 by convention (they are identical).
+func Jaccard[K comparable](a, b map[K]struct{}) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	small, large := a, b
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	inter := 0
+	for k := range small {
+		if _, ok := large[k]; ok {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+// JaccardSlices is Jaccard over two slices, treating them as sets.
+func JaccardSlices[K comparable](a, b []K) float64 {
+	am := make(map[K]struct{}, len(a))
+	for _, k := range a {
+		am[k] = struct{}{}
+	}
+	bm := make(map[K]struct{}, len(b))
+	for _, k := range b {
+		bm[k] = struct{}{}
+	}
+	return Jaccard(am, bm)
+}
+
+// NormalCDF returns the standard normal CDF at x.
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// TwoSidedP returns the two-sided p-value for a standard-normal test
+// statistic z.
+func TwoSidedP(z float64) float64 {
+	return 2 * (1 - NormalCDF(math.Abs(z)))
+}
+
+// Bonferroni adjusts a p-value for m comparisons, clamping at 1.
+func Bonferroni(p float64, m int) float64 {
+	adj := p * float64(m)
+	if adj > 1 {
+		return 1
+	}
+	return adj
+}
+
+// Interpretation buckets a correlation magnitude per the guidance quoted in
+// Section 4.4 of the paper.
+func Interpretation(r float64) string {
+	a := math.Abs(r)
+	switch {
+	case a < 0.10:
+		return "negligible"
+	case a < 0.40:
+		return "weak"
+	case a < 0.70:
+		return "moderate"
+	case a < 0.90:
+		return "strong"
+	default:
+		return "very strong"
+	}
+}

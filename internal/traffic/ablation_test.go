@@ -1,0 +1,178 @@
+package traffic
+
+import (
+	"testing"
+
+	"toplists/internal/world"
+)
+
+// distinctSink measures page loads vs distinct (client, day, site) visits.
+type distinctSink struct {
+	BaseSink
+	loads    int
+	distinct map[[2]int32]map[int32]struct{} // (client, day) -> sites
+}
+
+func newDistinctSink() *distinctSink {
+	return &distinctSink{distinct: make(map[[2]int32]map[int32]struct{})}
+}
+
+func (s *distinctSink) OnPageLoad(pl *PageLoad) {
+	s.loads++
+	key := [2]int32{pl.Client.ID, int32(pl.Day)}
+	set, ok := s.distinct[key]
+	if !ok {
+		set = make(map[int32]struct{})
+		s.distinct[key] = set
+	}
+	set[pl.Site] = struct{}{}
+}
+
+func (s *distinctSink) distinctVisits() int {
+	n := 0
+	for _, set := range s.distinct {
+		n += len(set)
+	}
+	return n
+}
+
+func TestAblateNoRevisits(t *testing.T) {
+	w := world.Generate(world.Config{Seed: 31, NumSites: 2000})
+	run := func(ab Ablations) (loads, distinct int) {
+		e := NewEngine(w, Config{Seed: 32, NumClients: 300, Days: 3, Ablate: ab})
+		s := newDistinctSink()
+		e.AddSink(s)
+		e.Run()
+		return s.loads, s.distinctVisits()
+	}
+	baseLoads, baseDistinct := run(Ablations{})
+	ablLoads, ablDistinct := run(Ablations{NoRevisits: true})
+
+	baseRatio := float64(baseLoads) / float64(baseDistinct)
+	ablRatio := float64(ablLoads) / float64(ablDistinct)
+	t.Logf("loads/distinct: base %.2f, no-revisits %.2f", baseRatio, ablRatio)
+	if baseRatio < 1.2 {
+		t.Errorf("revisit loyalty missing: loads/distinct = %.2f", baseRatio)
+	}
+	// Without revisits, draws are nearly independent: the ratio collapses
+	// toward 1 (a little above, from independent repeat draws of the head).
+	if ablRatio >= baseRatio {
+		t.Errorf("no-revisits ratio %.2f not below base %.2f", ablRatio, baseRatio)
+	}
+}
+
+// categoryMix measures at-work category shares with and without work skew.
+func TestAblateNoWorkSkew(t *testing.T) {
+	w := world.Generate(world.Config{Seed: 33, NumSites: 4000})
+	run := func(ab Ablations) map[world.Category]int {
+		e := NewEngine(w, Config{Seed: 34, NumClients: 800, Days: 3, Ablate: ab})
+		counts := make(map[world.Category]int)
+		cs := &workCatSink{w: w, counts: counts}
+		e.AddSink(cs)
+		e.Run()
+		return counts
+	}
+	base := run(Ablations{})
+	flat := run(Ablations{NoWorkSkew: true})
+	total := func(m map[world.Category]int) int {
+		n := 0
+		for _, v := range m {
+			n += v
+		}
+		return n
+	}
+	bt, ft := total(base), total(flat)
+	if bt == 0 || ft == 0 {
+		t.Skip("no at-work traffic at this scale")
+	}
+	baseBiz := float64(base[world.Business]) / float64(bt)
+	flatBiz := float64(flat[world.Business]) / float64(ft)
+	t.Logf("at-work business share: base %.3f, ablated %.3f", baseBiz, flatBiz)
+	if baseBiz <= flatBiz {
+		t.Errorf("work skew did not raise business share (%.3f vs %.3f)", baseBiz, flatBiz)
+	}
+}
+
+type workCatSink struct {
+	BaseSink
+	w      *world.World
+	counts map[world.Category]int
+}
+
+func (s *workCatSink) OnPageLoad(pl *PageLoad) {
+	if pl.AtWork {
+		s.counts[s.w.Site(pl.Site).Category]++
+	}
+}
+
+func TestAblateNoPanelDistortion(t *testing.T) {
+	w := world.Generate(world.Config{Seed: 35, NumSites: 4000})
+	run := func(ab Ablations) map[world.Category]int {
+		e := NewEngine(w, Config{Seed: 36, NumClients: 3000, Days: 2, Ablate: ab})
+		counts := make(map[world.Category]int)
+		ps := &panelCatSink{w: w, counts: counts}
+		e.AddSink(ps)
+		e.Run()
+		return counts
+	}
+	base := run(Ablations{})
+	flat := run(Ablations{NoPanelDistortion: true})
+	share := func(m map[world.Category]int, cat world.Category) float64 {
+		n := 0
+		for _, v := range m {
+			n += v
+		}
+		if n == 0 {
+			return 0
+		}
+		return float64(m[cat]) / float64(n)
+	}
+	baseTech := share(base, world.Technology)
+	flatTech := share(flat, world.Technology)
+	t.Logf("panel technology share: base %.3f, ablated %.3f", baseTech, flatTech)
+	if baseTech <= flatTech {
+		t.Errorf("panel distortion did not raise technology share (%.3f vs %.3f)",
+			baseTech, flatTech)
+	}
+}
+
+type panelCatSink struct {
+	BaseSink
+	w      *world.World
+	counts map[world.Category]int
+}
+
+func (s *panelCatSink) OnPageLoad(pl *PageLoad) {
+	if pl.Client.PanelJoinDay >= 0 && !pl.AtWork {
+		s.counts[s.w.Site(pl.Site).Category]++
+	}
+}
+
+func TestHomeOpenDNSPopulation(t *testing.T) {
+	w := world.Generate(world.Config{Seed: 37, NumSites: 500})
+	e := NewEngine(w, Config{Seed: 38, NumClients: 8000, Days: 1})
+	var odns, filtered, enterpriseODNS int
+	for i := range e.Clients {
+		c := &e.Clients[i]
+		if c.HomeOpenDNS {
+			odns++
+			if c.FamilyFilter {
+				filtered++
+			}
+			if c.Enterprise {
+				enterpriseODNS++
+			}
+		} else if c.FamilyFilter {
+			t.Fatal("family filter without OpenDNS")
+		}
+	}
+	if odns == 0 {
+		t.Fatal("no home OpenDNS users")
+	}
+	if enterpriseODNS != 0 {
+		t.Fatal("enterprise client marked home OpenDNS")
+	}
+	if filtered == 0 || filtered == odns {
+		t.Errorf("family filtering: %d of %d, want a strict subset", filtered, odns)
+	}
+}

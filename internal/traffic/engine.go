@@ -1,0 +1,625 @@
+package traffic
+
+import (
+	"sort"
+
+	"toplists/internal/simrand"
+	"toplists/internal/world"
+)
+
+// Config parameterizes the traffic engine.
+type Config struct {
+	// Seed drives all engine randomness (independent of the world seed).
+	Seed uint64
+	// NumClients is the simulated browsing population size.
+	NumClients int
+	// Days is the number of simulated days (default 28: February 2022).
+	Days int
+	// StartWeekday is the weekday of day 0, with 0 = Monday. February 1,
+	// 2022 was a Tuesday, so the default is 1.
+	StartWeekday int
+	// MeanDailyPageLoads is the population log-mean of page loads per
+	// client per weekday (default 14).
+	MeanDailyPageLoads float64
+	// PanelShare is the base probability that an eligible (home, desktop)
+	// client runs the Alexa extension (default 0.035, scaled per country).
+	PanelShare float64
+	// PanelExpansionDay is the day index on which a second panel cohort
+	// activates, modeling the unexplained late-February accuracy jump the
+	// paper observed for Alexa (default 20 = February 21). Negative
+	// disables the expansion.
+	PanelExpansionDay int
+	// PanelExpansionFactor is the relative size of the second cohort
+	// (default 1.5: the panel grows 2.5x).
+	PanelExpansionFactor float64
+	// ChromeSyncShare is the fraction of Chrome users with history sync
+	// and usage statistics enabled (default 0.55).
+	ChromeSyncShare float64
+	// InfraQueriesPerDay is the mean number of background DNS queries per
+	// client device per day to infrastructure names (default 30).
+	InfraQueriesPerDay float64
+	// OfficeSize is the number of enterprise clients sharing one corporate
+	// egress IP (default 25). Shared egress saturates Umbrella's
+	// unique-IP counts at the head of its list, one of the mechanisms
+	// behind its weak rank correlations (Section 5.2).
+	OfficeSize int
+	// RevisitProb is the probability that a page load revisits a site the
+	// client already visited today, weighted by site stickiness (default
+	// 0.45). Revisits decouple page-load counts from unique-visitor
+	// counts, the divergence Figure 1 measures between aggregations.
+	RevisitProb float64
+	// HomeOpenDNSShare is the fraction of non-enterprise clients whose
+	// home network resolves through the Umbrella/OpenDNS service (default
+	// 0.025).
+	HomeOpenDNSShare float64
+	// Ablate disables selected engine mechanisms for ablation studies.
+	Ablate Ablations
+	// Sybils adds attacker-controlled clients to the population.
+	Sybils []SybilSpec
+}
+
+// SybilSpec describes one coordinated set of attacker clients: panel-joined
+// machines that browse a single target site all day, every day. They
+// generate real traffic (every vantage point sees it), but their leverage
+// differs enormously by vantage: a handful of Sybils is a rounding error in
+// edge logs and a large fraction of a sparse extension panel.
+type SybilSpec struct {
+	// Site is the target site ID.
+	Site int32
+	// Clients is the number of attacker machines.
+	Clients int
+	// LoadsPerDay is each machine's daily page-load volume.
+	LoadsPerDay float64
+	// JoinDay is when the machines join the Alexa panel.
+	JoinDay int
+}
+
+// Ablations switches individual engine mechanisms off so their effect on
+// the study's findings can be measured in isolation.
+type Ablations struct {
+	// NoPanelDistortion makes Alexa-panel clients browse like everyone
+	// else (no demographic skew, no Certify boosts).
+	NoPanelDistortion bool
+	// NoWorkSkew makes at-work browsing identical to home browsing.
+	NoWorkSkew bool
+	// NoRevisits disables within-day revisit loyalty: every page load is
+	// an independent draw, so page loads track unique visitors exactly.
+	NoRevisits bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumClients <= 0 {
+		c.NumClients = 2000
+	}
+	if c.Days <= 0 {
+		c.Days = 28
+	}
+	if c.StartWeekday == 0 {
+		c.StartWeekday = 1 // Tuesday, like February 1, 2022
+	}
+	if c.MeanDailyPageLoads == 0 {
+		c.MeanDailyPageLoads = 14
+	}
+	if c.PanelShare == 0 {
+		c.PanelShare = 0.035
+	}
+	if c.PanelExpansionDay == 0 {
+		c.PanelExpansionDay = 20
+	}
+	if c.PanelExpansionFactor == 0 {
+		c.PanelExpansionFactor = 1.5
+	}
+	if c.ChromeSyncShare == 0 {
+		c.ChromeSyncShare = 0.55
+	}
+	if c.InfraQueriesPerDay == 0 {
+		c.InfraQueriesPerDay = 30
+	}
+	if c.OfficeSize == 0 {
+		c.OfficeSize = 25
+	}
+	if c.RevisitProb == 0 {
+		c.RevisitProb = 0.45
+	}
+	if c.HomeOpenDNSShare == 0 {
+		c.HomeOpenDNSShare = 0.025
+	}
+	if c.Ablate.NoRevisits {
+		c.RevisitProb = -1
+	}
+	return c
+}
+
+// panelCountryBoost scales panel membership by country. The Alexa panel
+// skews toward markets where the partnered extensions are distributed —
+// the mechanism behind Alexa's country profile in Figure 7 (good on the
+// US, China, and sub-Saharan Africa; very poor on Japan).
+var panelCountryBoost = [world.NumCountries]float64{
+	world.US: 1.6, world.GB: 1.0, world.DE: 0.8, world.BR: 0.9,
+	world.IN: 0.6, world.ID: 0.6, world.JP: 0.15, world.NG: 3.2,
+	world.EG: 1.0, world.ZA: 3.0, world.CN: 1.4,
+}
+
+// openDNSCountryBoost scales home-OpenDNS adoption by country: the service
+// is US-centric, which (with the US-heavy enterprise base) is the mechanism
+// behind Umbrella's US skew in Figure 7.
+var openDNSCountryBoost = [world.NumCountries]float64{
+	world.US: 2.5, world.GB: 1.2, world.DE: 0.7, world.BR: 0.6,
+	world.IN: 0.6, world.ID: 0.5, world.JP: 0.3, world.NG: 0.6,
+	world.EG: 0.5, world.ZA: 0.7, world.CN: 0.05,
+}
+
+// Engine generates the simulated month of browsing.
+type Engine struct {
+	W   *world.World
+	Cfg Config
+
+	Clients []Client
+	sinks   []Sink
+
+	siteAliases [world.NumCountries * world.NumPlatforms]*simrand.Alias
+	// panelAliases are the distorted site choices of panel-demographic
+	// clients (see world.PanelDistortion); workAliases those of enterprise
+	// clients during the workday (world.WorkDistortion).
+	panelAliases [world.NumCountries * world.NumPlatforms]*simrand.Alias
+	workAliases  [world.NumCountries * world.NumPlatforms]*simrand.Alias
+	infraAlias   *simrand.Alias
+	root         *simrand.Source
+
+	// humanReqs accumulates per-site human request counts for the current
+	// day; bot volume is derived from it at day end.
+	humanReqs []int32
+}
+
+// NewEngine builds the client population and samplers. Deterministic in
+// (world, cfg).
+func NewEngine(w *world.World, cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		W:         w,
+		Cfg:       cfg,
+		root:      simrand.New(cfg.Seed).Derive("traffic"),
+		humanReqs: make([]int32, w.NumSites()),
+	}
+	e.buildClients()
+	panelDistort := w.PanelDistortion()
+	workDistort := w.WorkDistortion()
+	for c := 0; c < world.NumCountries; c++ {
+		for p := 0; p < world.NumPlatforms; p++ {
+			base := w.SiteWeights(world.Country(c), world.Platform(p))
+			baseAlias := simrand.NewAlias(base)
+			e.siteAliases[c*world.NumPlatforms+p] = baseAlias
+			e.panelAliases[c*world.NumPlatforms+p] = baseAlias
+			e.workAliases[c*world.NumPlatforms+p] = baseAlias
+			if !cfg.Ablate.NoPanelDistortion {
+				panel := make([]float64, len(base))
+				for i := range base {
+					panel[i] = base[i] * panelDistort[i]
+				}
+				e.panelAliases[c*world.NumPlatforms+p] = simrand.NewAlias(panel)
+			}
+			if !cfg.Ablate.NoWorkSkew {
+				work := make([]float64, len(base))
+				for i := range base {
+					work[i] = base[i] * workDistort[i]
+				}
+				e.workAliases[c*world.NumPlatforms+p] = simrand.NewAlias(work)
+			}
+		}
+	}
+	infraW := make([]float64, len(w.Infra))
+	for i, inf := range w.Infra {
+		infraW[i] = inf.QueryWeight
+	}
+	e.infraAlias = simrand.NewAlias(infraW)
+	return e
+}
+
+// AddSink registers an observer. Sinks must be added before Run.
+func (e *Engine) AddSink(s Sink) { e.sinks = append(e.sinks, s) }
+
+func (e *Engine) buildClients() {
+	countryW := make([]float64, world.NumCountries)
+	for i, ci := range world.Countries() {
+		countryW[i] = ci.ClientShare
+	}
+	countryAlias := simrand.NewAlias(countryW)
+	src := e.root.Derive("clients")
+
+	e.Clients = make([]Client, e.Cfg.NumClients)
+	officeCounters := make(map[int32]int32) // per-country office sequence
+	for i := range e.Clients {
+		cs := src.At(i)
+		c := &e.Clients[i]
+		c.ID = int32(i)
+		c.Country = world.Country(countryAlias.Draw(cs))
+		ci := c.Country.Info()
+
+		if cs.Bernoulli(ci.MobileShare) {
+			c.Platform = world.Android
+		} else {
+			c.Platform = world.Windows
+		}
+		c.Browser = drawBrowser(cs, ci.ChromeShare, c.Platform)
+		c.UA = uaHash(c.Browser, c.Platform, uint8(cs.Intn(8)))
+
+		c.HomeIP = ipFor("home", uint64(i))
+		c.Enterprise = cs.Bernoulli(ci.EnterpriseShare)
+		if !c.Enterprise {
+			c.HomeOpenDNS = cs.Bernoulli(e.Cfg.HomeOpenDNSShare * openDNSCountryBoost[c.Country])
+			if c.HomeOpenDNS {
+				// Content filtering is the main reason home networks point
+				// at OpenDNS in the first place.
+				c.FamilyFilter = cs.Bernoulli(0.65)
+			}
+		}
+		if c.Enterprise {
+			// Group enterprise clients of a country into shared offices.
+			key := int32(c.Country)
+			officeIdx := officeCounters[key] / int32(e.Cfg.OfficeSize)
+			officeCounters[key]++
+			c.OfficeIP = ipFor("office", uint64(c.Country)<<32|uint64(officeIdx))
+		}
+
+		if c.Browser == Chrome {
+			c.ChromeSync = cs.Bernoulli(e.Cfg.ChromeSyncShare)
+		}
+
+		// The Alexa extension only exists on desktop, and enterprise
+		// machines don't allow it.
+		c.PanelJoinDay = -1
+		if c.Platform == world.Windows && !c.Enterprise {
+			p := e.Cfg.PanelShare * panelCountryBoost[c.Country]
+			if cs.Bernoulli(p) {
+				c.PanelJoinDay = 0
+			} else if e.Cfg.PanelExpansionDay >= 0 &&
+				cs.Bernoulli(p*e.Cfg.PanelExpansionFactor) {
+				c.PanelJoinDay = int16(e.Cfg.PanelExpansionDay)
+			}
+		}
+
+		c.FixedSite = -1
+		c.DailyRate = float32(clampF(cs.LogNormal(lnF(e.Cfg.MeanDailyPageLoads), 0.8), 1, 250))
+		if c.Enterprise {
+			c.WeekendFactor = float32(0.35 + 0.2*cs.Float64())
+		} else {
+			c.WeekendFactor = float32(1.1 + 0.4*cs.Float64())
+		}
+	}
+	e.addSybils()
+}
+
+// addSybils appends the attacker clients after the organic population.
+func (e *Engine) addSybils() {
+	for _, spec := range e.Cfg.Sybils {
+		for i := 0; i < spec.Clients; i++ {
+			id := int32(len(e.Clients))
+			e.Clients = append(e.Clients, Client{
+				ID:            id,
+				Country:       world.US,
+				Platform:      world.Windows,
+				Browser:       Chrome,
+				UA:            uaHash(Chrome, world.Windows, 0),
+				HomeIP:        ipFor("sybil", uint64(id)),
+				PanelJoinDay:  int16(spec.JoinDay),
+				DailyRate:     float32(spec.LoadsPerDay),
+				WeekendFactor: 1,
+				FixedSite:     spec.Site,
+			})
+		}
+	}
+}
+
+func drawBrowser(src *simrand.Source, chromeShare float64, p world.Platform) Browser {
+	if src.Bernoulli(chromeShare) {
+		return Chrome
+	}
+	r := src.Float64()
+	if p == world.Android {
+		switch {
+		case r < 0.52:
+			return Samsung
+		case r < 0.84:
+			return Firefox
+		default:
+			return Other
+		}
+	}
+	switch {
+	case r < 0.38:
+		return Edge
+	case r < 0.66:
+		return Firefox
+	case r < 0.88:
+		return Safari
+	default:
+		return Other
+	}
+}
+
+func uaHash(b Browser, p world.Platform, version uint8) uint64 {
+	x := uint64(b)<<16 | uint64(p)<<8 | uint64(version)
+	x ^= x << 25
+	x *= 0x9e3779b97f4a7c15
+	x ^= x >> 29
+	return x
+}
+
+func ipFor(kind string, id uint64) uint32 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(kind); i++ {
+		h ^= uint64(kind[i])
+		h *= 1099511628211
+	}
+	h ^= id
+	h *= 0x9e3779b97f4a7c15
+	h ^= h >> 31
+	return uint32(h)
+}
+
+func lnF(x float64) float64 {
+	// log-mean such that the log-normal median equals x.
+	return ln(x)
+}
+
+// IsWeekend reports whether day d is a Saturday or Sunday.
+func (e *Engine) IsWeekend(d int) bool {
+	wd := (e.Cfg.StartWeekday + d) % 7
+	return wd == 5 || wd == 6
+}
+
+// Run simulates all configured days, feeding every registered sink.
+func (e *Engine) Run() {
+	for d := 0; d < e.Cfg.Days; d++ {
+		e.RunDay(d)
+	}
+}
+
+// RunDay simulates a single day.
+func (e *Engine) RunDay(d int) {
+	weekend := e.IsWeekend(d)
+	for _, s := range e.sinks {
+		s.BeginDay(d, weekend)
+	}
+	for i := range e.humanReqs {
+		e.humanReqs[i] = 0
+	}
+
+	daySrc := e.root.Derive("day").At(d)
+	scratch := newClientScratch()
+	for i := range e.Clients {
+		e.simulateClientDay(&e.Clients[i], d, weekend, daySrc.At(i), scratch)
+	}
+	e.simulateBots(d, daySrc.Derive("bots"))
+
+	for _, s := range e.sinks {
+		s.EndDay(d)
+	}
+}
+
+// clientScratch is per-client-day reusable state.
+type clientScratch struct {
+	// lastQuery maps a DNS name key to the expiry second of its cached
+	// answer. TTLs are < 1 day so the cache never spans days.
+	lastQuery map[uint32]int32
+	times     []int32
+	// visited holds today's distinct sites with their stickiness weights,
+	// for the revisit draw.
+	visited      []visitedSite
+	visitedTotal float64
+}
+
+type visitedSite struct {
+	site int32
+	w    float64
+}
+
+func newClientScratch() *clientScratch {
+	return &clientScratch{lastQuery: make(map[uint32]int32, 64)}
+}
+
+// pickVisited draws a site from today's visited set, weighted by
+// stickiness.
+func (sc *clientScratch) pickVisited(src *simrand.Source) int32 {
+	r := src.Float64() * sc.visitedTotal
+	for _, v := range sc.visited {
+		r -= v.w
+		if r < 0 {
+			return v.site
+		}
+	}
+	return sc.visited[len(sc.visited)-1].site
+}
+
+func (e *Engine) simulateClientDay(c *Client, d int, weekend bool, src *simrand.Source, sc *clientScratch) {
+	rate := float64(c.DailyRate)
+	if weekend {
+		rate *= float64(c.WeekendFactor)
+	}
+	n := src.Poisson(rate)
+
+	atWork := c.Enterprise && !weekend
+	ip := c.HomeIP
+	if atWork {
+		ip = c.OfficeIP
+	}
+
+	clear(sc.lastQuery)
+	sc.times = sc.times[:0]
+	sc.visited = sc.visited[:0]
+	sc.visitedTotal = 0
+	for j := 0; j < n; j++ {
+		sc.times = append(sc.times, int32(src.Intn(86400)))
+	}
+	sort.Slice(sc.times, func(a, b int) bool { return sc.times[a] < sc.times[b] })
+
+	aliasIdx := int(c.Country)*world.NumPlatforms + int(c.Platform)
+	alias := e.siteAliases[aliasIdx]
+	workAlias := alias
+	if atWork {
+		// A chunk of workday browsing on the corporate network skews
+		// toward work categories; the rest is ordinary personal browsing.
+		workAlias = e.workAliases[aliasIdx]
+	} else if c.PanelJoinDay >= 0 {
+		// Panel-demographic clients browse a skewed slice of the web
+		// whether or not the extension is active yet.
+		alias = e.panelAliases[aliasIdx]
+	}
+	var pl PageLoad
+	for j := 0; j < n; j++ {
+		var siteID int32
+		switch {
+		case c.FixedSite >= 0:
+			siteID = c.FixedSite
+		case len(sc.visited) > 0 && src.Bernoulli(e.Cfg.RevisitProb):
+			siteID = sc.pickVisited(src)
+		default:
+			draw := alias
+			if atWork && src.Bernoulli(0.4) {
+				draw = workAlias
+			}
+			siteID = int32(draw.Draw(src))
+			sc.visited = append(sc.visited, visitedSite{siteID, float64(e.W.Site(siteID).Stickiness)})
+			sc.visitedTotal += float64(e.W.Site(siteID).Stickiness)
+		}
+		site := e.W.Site(siteID)
+		cat := site.Category.Info()
+
+		// Corporate networks block certain categories at the DNS layer;
+		// employees don't reach those sites from work at all.
+		if atWork && src.Bernoulli(cat.EnterpriseBlocked) {
+			continue
+		}
+
+		subIdx := drawSubdomain(src, site)
+		t := sc.times[j]
+
+		pl = PageLoad{
+			Day:     d,
+			Weekend: weekend,
+			Second:  t,
+			Site:    siteID,
+			SubIdx:  subIdx,
+			Client:  c,
+			IP:      ip,
+			AtWork:  atWork,
+			Private: src.Bernoulli(float64(site.PrivateShare)),
+			Root:    src.Bernoulli(float64(site.EntryShare)),
+		}
+		pl.Subresources = src.Poisson(float64(site.SubresMean))
+		pl.HTMLRequests = 1 + src.Binomial(pl.Subresources, 0.05)
+		pl.RefererRequests = pl.Subresources
+		if src.Bernoulli(0.62) { // navigated via a link rather than typed
+			pl.RefererRequests++
+		}
+		pl.Non200 = src.Binomial(pl.Requests(), 0.05)
+		if site.HTTPS {
+			pl.TLSConns = 1 + src.Binomial(pl.Subresources, 0.13)
+		}
+		pl.Completed = src.Bernoulli(float64(site.CompletionProb))
+		pl.DwellSec = src.LogNormal(float64(site.DwellMu), float64(site.DwellSigma))
+
+		e.humanReqs[siteID] += int32(pl.Requests())
+
+		// DNS: client-side cache by (site, hostname); a resolver query is
+		// emitted only on cache miss or expiry.
+		key := uint32(siteID)<<4 | uint32(subIdx)
+		if exp, ok := sc.lastQuery[key]; !ok || t >= exp {
+			sc.lastQuery[key] = t + site.DNSTTL
+			q := DNSQuery{
+				Day: d, Client: c, IP: ip, AtWork: atWork,
+				Site: siteID, SubIdx: subIdx, Infra: -1,
+			}
+			for _, s := range e.sinks {
+				s.OnDNSQuery(&q)
+			}
+		}
+
+		for _, s := range e.sinks {
+			s.OnPageLoad(&pl)
+		}
+	}
+
+	// Background device queries to infrastructure names (OS telemetry,
+	// updates, push). These happen regardless of browsing volume.
+	nInfra := src.Poisson(e.Cfg.InfraQueriesPerDay)
+	for j := 0; j < nInfra; j++ {
+		idx := int32(e.infraAlias.Draw(src))
+		q := DNSQuery{
+			Day: d, Client: c, IP: ip, AtWork: atWork,
+			Site: -1, Infra: idx,
+		}
+		for _, s := range e.sinks {
+			s.OnDNSQuery(&q)
+		}
+	}
+}
+
+func drawSubdomain(src *simrand.Source, site *world.Site) uint8 {
+	r := float32(src.Float64())
+	var acc float32
+	for i, w := range site.SubWeights {
+		acc += w
+		if r < acc {
+			return uint8(i)
+		}
+	}
+	return 0
+}
+
+// botFloor is the baseline daily crawler/bot request volume per category.
+// Abuse (spam/scan) targets draw orders of magnitude more automated traffic
+// than their human popularity earns — the divergence that separates the
+// all-requests metric from the browser-filtered one.
+var botFloor = [world.NumCategories]float64{
+	world.Abuse:  1500,
+	world.Parked: 80,
+}
+
+// simulateBots emits per-site daily bot traffic: a floor of crawler
+// activity for every site plus volume proportional to human traffic per the
+// site's bot share.
+func (e *Engine) simulateBots(d int, src *simrand.Source) {
+	n := e.W.NumSites()
+	var bb BotBatch
+	for i := 0; i < n; i++ {
+		site := e.W.Site(int32(i))
+		bs := float64(site.BotShare)
+		floor := botFloor[site.Category]
+		if floor == 0 {
+			floor = 4
+		}
+		// Crawl volume decays slowly with obscurity.
+		floor *= 0.3 + headnessOf(i, n)
+		mean := floor + float64(e.humanReqs[i])*bs/(1-bs)
+		ss := src.At(i)
+		reqs := ss.Poisson(mean)
+		if reqs == 0 {
+			continue
+		}
+		bb = BotBatch{
+			Day:             d,
+			Site:            int32(i),
+			Requests:        reqs,
+			RootRequests:    ss.Binomial(reqs, 0.30),
+			HTMLRequests:    ss.Binomial(reqs, 0.45),
+			RefererRequests: ss.Binomial(reqs, 0.08),
+			Non200:          ss.Binomial(reqs, 0.18),
+		}
+		if site.HTTPS {
+			bb.TLSConns = ss.Binomial(reqs, 0.65)
+		}
+		nIPs := 1 + ss.Poisson(sqrtF(float64(reqs)))
+		bb.IPs = make([]uint32, nIPs)
+		for k := range bb.IPs {
+			bb.IPs[k] = ipFor("bot", uint64(ss.Intn(65536)))
+		}
+		for _, s := range e.sinks {
+			s.OnBotBatch(&bb)
+		}
+	}
+}
+
+func headnessOf(i, n int) float64 {
+	return 1 / (1 + float64(i)/(0.01*float64(n)+1))
+}

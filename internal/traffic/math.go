@@ -1,0 +1,16 @@
+package traffic
+
+import "math"
+
+func ln(x float64) float64    { return math.Log(x) }
+func sqrtF(x float64) float64 { return math.Sqrt(x) }
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,122 @@
+package world
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAblateNoPrivateBrowsing(t *testing.T) {
+	w := Generate(Config{Seed: 5, NumSites: 1000, Ablate: Ablations{NoPrivateBrowsing: true}})
+	for i := range w.Sites {
+		if w.Sites[i].PrivateShare != 0 {
+			t.Fatalf("site %d private share %v", i, w.Sites[i].PrivateShare)
+		}
+	}
+}
+
+func TestAblateNoWeightBoost(t *testing.T) {
+	// Without boosts, category no longer predicts per-site weight given
+	// the generation index; spot-check that adult sites stop being
+	// systematically heavier than blog sites at similar generation ranks.
+	boosted := Generate(Config{Seed: 6, NumSites: 5000})
+	flat := Generate(Config{Seed: 6, NumSites: 5000, Ablate: Ablations{NoWeightBoost: true}})
+
+	ratio := func(w *World) float64 {
+		var adult, blog float64
+		var na, nb int
+		for i := range w.Sites {
+			s := &w.Sites[i]
+			switch s.Category {
+			case Adult:
+				adult += s.Weight
+				na++
+			case Blog:
+				blog += s.Weight
+				nb++
+			}
+		}
+		if na == 0 || nb == 0 {
+			return 1
+		}
+		return (adult / float64(na)) / (blog / float64(nb))
+	}
+	if rb, rf := ratio(boosted), ratio(flat); rb <= rf {
+		t.Errorf("boosted adult/blog weight ratio %.2f not above flat %.2f", rb, rf)
+	}
+}
+
+func TestAblateNoOpenness(t *testing.T) {
+	base := Generate(Config{Seed: 7, NumSites: 2000})
+	open := Generate(Config{Seed: 7, NumSites: 2000, Ablate: Ablations{NoOpenness: true}})
+
+	// CN clients' weight mass on foreign sites must rise sharply when the
+	// firewall is ablated.
+	foreignShare := func(w *World) float64 {
+		weights := w.SiteWeights(CN, Windows)
+		var foreign, total float64
+		for i, v := range weights {
+			total += v
+			if w.Site(int32(i)).Home != CN {
+				foreign += v
+			}
+		}
+		return foreign / total
+	}
+	fb, fo := foreignShare(base), foreignShare(open)
+	if fo <= fb*2 {
+		t.Errorf("foreign share with open borders %.3f not >> base %.3f", fo, fb)
+	}
+}
+
+func TestDistortionsDeterministic(t *testing.T) {
+	a := Generate(Config{Seed: 8, NumSites: 500})
+	b := Generate(Config{Seed: 8, NumSites: 500})
+	pa, pb := a.PanelDistortion(), b.PanelDistortion()
+	wa, wb := a.WorkDistortion(), b.WorkDistortion()
+	for i := range pa {
+		if pa[i] != pb[i] || wa[i] != wb[i] {
+			t.Fatalf("distortions differ at %d", i)
+		}
+		if pa[i] <= 0 || wa[i] <= 0 || math.IsNaN(pa[i]) || math.IsNaN(wa[i]) {
+			t.Fatalf("invalid distortion at %d: %v %v", i, pa[i], wa[i])
+		}
+	}
+}
+
+func TestPanelDistortionHasCertifyOutliers(t *testing.T) {
+	w := Generate(Config{Seed: 9, NumSites: 5000})
+	d := w.PanelDistortion()
+	big := 0
+	for _, v := range d {
+		if v > 10 {
+			big++
+		}
+	}
+	// ~2% of sites carry the Certify boost; allow a broad band.
+	frac := float64(big) / float64(len(d))
+	if frac < 0.005 || frac > 0.08 {
+		t.Errorf("certify-boosted fraction = %.4f, want ~0.02", frac)
+	}
+}
+
+func TestWorkDistortionFavorsWorkCategories(t *testing.T) {
+	w := Generate(Config{Seed: 10, NumSites: 8000})
+	d := w.WorkDistortion()
+	mean := func(cat Category) float64 {
+		var sum float64
+		var n int
+		for i := range w.Sites {
+			if w.Sites[i].Category == cat {
+				sum += d[i]
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / float64(n)
+	}
+	if b, a := mean(Business), mean(Adult); b <= a*10 {
+		t.Errorf("business work-distortion %.2f not >> adult %.3f", b, a)
+	}
+}

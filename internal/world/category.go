@@ -1,0 +1,256 @@
+package world
+
+// Category is a website content category, matching the 22 categories of the
+// paper's Table 3 (derived there from Cloudflare's Domain Intelligence API).
+type Category uint8
+
+// The website categories.
+const (
+	Government Category = iota
+	News
+	Education
+	Science
+	Community
+	Business
+	Gaming
+	Kids
+	Lifestyle
+	Arts
+	Health
+	Blog
+	Sports
+	Travel
+	Shopping
+	Cars
+	Adult
+	Abuse
+	Gambling
+	Parked
+	Technology
+	Entertainment
+	NumCategories = 22
+)
+
+var categoryNames = [NumCategories]string{
+	"Government", "News", "Education", "Science", "Community", "Business",
+	"Gaming", "Kids", "Lifestyle", "Arts", "Health", "Blog", "Sports",
+	"Travel", "Shopping", "Cars", "Adult", "Abuse", "Gambling", "Parked",
+	"Technology", "Entertainment",
+}
+
+// String implements fmt.Stringer.
+func (c Category) String() string { return categoryNames[c] }
+
+// AllCategories lists all categories in order.
+func AllCategories() []Category {
+	out := make([]Category, NumCategories)
+	for i := range out {
+		out[i] = Category(i)
+	}
+	return out
+}
+
+// CategoryInfo holds the static behavioural parameters of a category. These
+// are the mechanisms from which every category bias in the evaluation
+// emerges; none of the evaluation code reads them directly.
+type CategoryInfo struct {
+	Name string
+
+	// ShareHead/ShareTorso/ShareTail are the category's unnormalized share
+	// of sites in the top ~1%, the next ~10%, and the rest of the
+	// popularity distribution. Adult sites concentrate in the head;
+	// parked domains and spam concentrate in the tail.
+	ShareHead, ShareTorso, ShareTail float64
+
+	// PrivateShare is the fraction of page loads made in a private browsing
+	// window, invisible to extension-based panels like Alexa's [15].
+	PrivateShare float64
+	// BotShare is the fraction of the site's server-side requests issued by
+	// non-browser clients (crawlers, spam tooling, API callers). Cloudflare
+	// sees these; browser telemetry does not.
+	BotShare float64
+	// MobileShare is the fraction of human page loads from Android.
+	MobileShare float64
+	// LinkPropensity scales how often other sites link to this category;
+	// it drives the Majestic backlink ranking.
+	LinkPropensity float64
+	// EnterpriseBlocked is the probability that a corporate network blocks
+	// the category at the DNS layer, hiding it from Umbrella's vantage.
+	EnterpriseBlocked float64
+	// SubresMean is the mean number of subresource requests per page load
+	// (news pages are heavy; parked pages are nearly empty).
+	SubresMean float64
+	// EntryShare is the fraction of page loads landing on the root page
+	// (GET /) rather than a deep link.
+	EntryShare float64
+	// DwellMu is the log-mean of seconds spent on the site per page load.
+	DwellMu float64
+	// CompletionProb is the probability a page load completes (First
+	// Contentful Paint reached), the event CrUX counts.
+	CompletionProb float64
+	// CFBoost scales Cloudflare adoption for the category.
+	CFBoost float64
+	// WeightBoost scales per-site true traffic for the category: adult and
+	// entertainment sites are traffic-heavy for their count, parked domains
+	// carry almost none. This is what keeps popular adult sites above the
+	// CrUX privacy threshold (Table 3: CrUX is the only list that accounts
+	// for them) while panel-based lists still miss them.
+	WeightBoost float64
+	// Stickiness scales how strongly visitors return to a site within a
+	// day. Sticky categories (communities, games) earn many page loads per
+	// visitor; parked pages earn one. This is what separates the raw-count
+	// aggregations from the unique-IP aggregations (Section 3.2).
+	Stickiness float64
+	// PanelAffinity scales how over-represented the category is in the
+	// browsing of Alexa-extension users, whose webmaster/SEO-heavy
+	// demographic inflates technology and marketing sites — one driver of
+	// Alexa's rank-magnitude inflation (Section 5.3).
+	PanelAffinity float64
+	// WorkAffinity scales how over-represented the category is in
+	// workday browsing on corporate networks — Umbrella's vantage. Work
+	// browsing is not web popularity, which caps how well a DNS list built
+	// from it can rank the open web (Section 5.2).
+	WorkAffinity float64
+}
+
+var categoryInfos = [NumCategories]CategoryInfo{
+	Government: {
+		ShareHead: 1.0, ShareTorso: 2.0, ShareTail: 1.5,
+		PrivateShare: 0.01, BotShare: 0.15, MobileShare: 0.35,
+		LinkPropensity: 12.0, EnterpriseBlocked: 0.0,
+		SubresMean: 25, EntryShare: 0.45, DwellMu: 4.0, CompletionProb: 0.95, CFBoost: 0.7, WeightBoost: 0.6, Stickiness: 0.8, PanelAffinity: 0.8, WorkAffinity: 1.5,
+	},
+	News: {
+		ShareHead: 6.0, ShareTorso: 5.0, ShareTail: 2.5,
+		PrivateShare: 0.02, BotShare: 0.20, MobileShare: 0.55,
+		LinkPropensity: 8.0, EnterpriseBlocked: 0.02,
+		SubresMean: 90, EntryShare: 0.35, DwellMu: 4.6, CompletionProb: 0.90, CFBoost: 1.1, WeightBoost: 1.3, Stickiness: 2.2, PanelAffinity: 1.5, WorkAffinity: 1.8,
+	},
+	Education: {
+		ShareHead: 2.0, ShareTorso: 3.0, ShareTail: 2.5,
+		PrivateShare: 0.01, BotShare: 0.12, MobileShare: 0.40,
+		LinkPropensity: 7.0, EnterpriseBlocked: 0.0,
+		SubresMean: 30, EntryShare: 0.40, DwellMu: 5.0, CompletionProb: 0.94, CFBoost: 0.8, WeightBoost: 0.7, Stickiness: 1.2, PanelAffinity: 1.0, WorkAffinity: 1.0,
+	},
+	Science: {
+		ShareHead: 1.0, ShareTorso: 2.0, ShareTail: 2.0,
+		PrivateShare: 0.01, BotShare: 0.15, MobileShare: 0.35,
+		LinkPropensity: 6.0, EnterpriseBlocked: 0.0,
+		SubresMean: 25, EntryShare: 0.35, DwellMu: 4.8, CompletionProb: 0.94, CFBoost: 0.9, WeightBoost: 0.7, Stickiness: 1.0, PanelAffinity: 1.5, WorkAffinity: 1.3,
+	},
+	Community: {
+		ShareHead: 4.0, ShareTorso: 4.0, ShareTail: 4.0,
+		PrivateShare: 0.04, BotShare: 0.18, MobileShare: 0.62,
+		LinkPropensity: 3.0, EnterpriseBlocked: 0.15,
+		SubresMean: 45, EntryShare: 0.30, DwellMu: 5.5, CompletionProb: 0.92, CFBoost: 1.2, WeightBoost: 1.2, Stickiness: 3.5, PanelAffinity: 1.0, WorkAffinity: 0.3,
+	},
+	Business: {
+		ShareHead: 4.0, ShareTorso: 6.0, ShareTail: 8.0,
+		PrivateShare: 0.01, BotShare: 0.20, MobileShare: 0.38,
+		LinkPropensity: 3.5, EnterpriseBlocked: 0.0,
+		SubresMean: 35, EntryShare: 0.55, DwellMu: 3.8, CompletionProb: 0.93, CFBoost: 1.0, WeightBoost: 0.8, Stickiness: 0.8, PanelAffinity: 2.5, WorkAffinity: 3.0,
+	},
+	Gaming: {
+		ShareHead: 4.0, ShareTorso: 4.0, ShareTail: 3.0,
+		PrivateShare: 0.03, BotShare: 0.15, MobileShare: 0.70,
+		LinkPropensity: 2.5, EnterpriseBlocked: 0.40,
+		SubresMean: 55, EntryShare: 0.40, DwellMu: 6.0, CompletionProb: 0.90, CFBoost: 1.3, WeightBoost: 1.2, Stickiness: 3.0, PanelAffinity: 1.0, WorkAffinity: 0.1,
+	},
+	Kids: {
+		ShareHead: 1.0, ShareTorso: 1.5, ShareTail: 1.0,
+		PrivateShare: 0.01, BotShare: 0.08, MobileShare: 0.72,
+		LinkPropensity: 2.0, EnterpriseBlocked: 0.05,
+		SubresMean: 40, EntryShare: 0.50, DwellMu: 5.2, CompletionProb: 0.92, CFBoost: 1.0, WeightBoost: 0.8, Stickiness: 1.5, PanelAffinity: 0.6, WorkAffinity: 0.1,
+	},
+	Lifestyle: {
+		ShareHead: 3.0, ShareTorso: 4.0, ShareTail: 5.0,
+		PrivateShare: 0.02, BotShare: 0.15, MobileShare: 0.68,
+		LinkPropensity: 2.0, EnterpriseBlocked: 0.05,
+		SubresMean: 50, EntryShare: 0.30, DwellMu: 4.5, CompletionProb: 0.91, CFBoost: 1.1, WeightBoost: 1.0, Stickiness: 1.2, PanelAffinity: 1.0, WorkAffinity: 0.5,
+	},
+	Arts: {
+		ShareHead: 2.0, ShareTorso: 3.0, ShareTail: 3.5,
+		PrivateShare: 0.02, BotShare: 0.12, MobileShare: 0.60,
+		LinkPropensity: 2.5, EnterpriseBlocked: 0.02,
+		SubresMean: 45, EntryShare: 0.35, DwellMu: 4.7, CompletionProb: 0.92, CFBoost: 1.0, WeightBoost: 0.9, Stickiness: 1.0, PanelAffinity: 0.9, WorkAffinity: 0.5,
+	},
+	Health: {
+		ShareHead: 2.0, ShareTorso: 3.0, ShareTail: 3.0,
+		PrivateShare: 0.06, BotShare: 0.12, MobileShare: 0.58,
+		LinkPropensity: 3.0, EnterpriseBlocked: 0.02,
+		SubresMean: 35, EntryShare: 0.30, DwellMu: 4.2, CompletionProb: 0.93, CFBoost: 1.0, WeightBoost: 0.9, Stickiness: 0.9, PanelAffinity: 0.9, WorkAffinity: 0.8,
+	},
+	Blog: {
+		ShareHead: 2.0, ShareTorso: 5.0, ShareTail: 14.0,
+		PrivateShare: 0.02, BotShare: 0.25, MobileShare: 0.55,
+		LinkPropensity: 1.2, EnterpriseBlocked: 0.05,
+		SubresMean: 20, EntryShare: 0.25, DwellMu: 4.0, CompletionProb: 0.92, CFBoost: 1.3, WeightBoost: 0.5, Stickiness: 1.0, PanelAffinity: 3.0, WorkAffinity: 0.8,
+	},
+	Sports: {
+		ShareHead: 3.0, ShareTorso: 3.0, ShareTail: 2.5,
+		PrivateShare: 0.02, BotShare: 0.15, MobileShare: 0.66,
+		LinkPropensity: 3.0, EnterpriseBlocked: 0.10,
+		SubresMean: 65, EntryShare: 0.45, DwellMu: 4.8, CompletionProb: 0.90, CFBoost: 1.1, WeightBoost: 1.1, Stickiness: 2.0, PanelAffinity: 1.0, WorkAffinity: 0.5,
+	},
+	Travel: {
+		ShareHead: 2.0, ShareTorso: 3.0, ShareTail: 3.0,
+		PrivateShare: 0.02, BotShare: 0.25, MobileShare: 0.55,
+		LinkPropensity: 4.5, EnterpriseBlocked: 0.02,
+		SubresMean: 55, EntryShare: 0.50, DwellMu: 4.9, CompletionProb: 0.91, CFBoost: 1.0, WeightBoost: 0.9, Stickiness: 1.0, PanelAffinity: 1.0, WorkAffinity: 1.2,
+	},
+	Shopping: {
+		ShareHead: 7.0, ShareTorso: 6.0, ShareTail: 7.0,
+		PrivateShare: 0.03, BotShare: 0.30, MobileShare: 0.64,
+		LinkPropensity: 2.0, EnterpriseBlocked: 0.05,
+		SubresMean: 70, EntryShare: 0.40, DwellMu: 5.0, CompletionProb: 0.91, CFBoost: 1.2, WeightBoost: 1.1, Stickiness: 1.5, PanelAffinity: 1.2, WorkAffinity: 0.6,
+	},
+	Cars: {
+		ShareHead: 1.0, ShareTorso: 1.5, ShareTail: 1.5,
+		PrivateShare: 0.02, BotShare: 0.15, MobileShare: 0.52,
+		LinkPropensity: 1.8, EnterpriseBlocked: 0.02,
+		SubresMean: 50, EntryShare: 0.45, DwellMu: 4.4, CompletionProb: 0.92, CFBoost: 1.0, WeightBoost: 0.8, Stickiness: 1.0, PanelAffinity: 0.9, WorkAffinity: 0.6,
+	},
+	Adult: {
+		ShareHead: 6.0, ShareTorso: 4.0, ShareTail: 4.0,
+		PrivateShare: 0.45, BotShare: 0.25, MobileShare: 0.66,
+		LinkPropensity: 0.25, EnterpriseBlocked: 0.92,
+		SubresMean: 60, EntryShare: 0.55, DwellMu: 5.4, CompletionProb: 0.90, CFBoost: 1.2, WeightBoost: 2.5, Stickiness: 2.2, PanelAffinity: 0.5, WorkAffinity: 0.02,
+	},
+	Abuse: {
+		ShareHead: 0.3, ShareTorso: 1.0, ShareTail: 5.0,
+		PrivateShare: 0.10, BotShare: 0.85, MobileShare: 0.50,
+		LinkPropensity: 0.15, EnterpriseBlocked: 0.75,
+		SubresMean: 8, EntryShare: 0.70, DwellMu: 2.0, CompletionProb: 0.70, CFBoost: 0.8, WeightBoost: 0.25, Stickiness: 0.2, PanelAffinity: 0.4, WorkAffinity: 0.3,
+	},
+	Gambling: {
+		ShareHead: 1.5, ShareTorso: 1.5, ShareTail: 2.0,
+		PrivateShare: 0.35, BotShare: 0.25, MobileShare: 0.62,
+		LinkPropensity: 0.25, EnterpriseBlocked: 0.90,
+		SubresMean: 45, EntryShare: 0.55, DwellMu: 5.8, CompletionProb: 0.90, CFBoost: 1.1, WeightBoost: 1.4, Stickiness: 2.5, PanelAffinity: 0.5, WorkAffinity: 0.05,
+	},
+	Parked: {
+		ShareHead: 0.05, ShareTorso: 0.5, ShareTail: 10.0,
+		PrivateShare: 0.02, BotShare: 0.60, MobileShare: 0.50,
+		LinkPropensity: 0.05, EnterpriseBlocked: 0.30,
+		SubresMean: 3, EntryShare: 0.95, DwellMu: 1.2, CompletionProb: 0.85, CFBoost: 0.6, WeightBoost: 0.05, Stickiness: 0.15, PanelAffinity: 0.5, WorkAffinity: 1.0,
+	},
+	Technology: {
+		ShareHead: 7.0, ShareTorso: 6.0, ShareTail: 6.0,
+		PrivateShare: 0.02, BotShare: 0.35, MobileShare: 0.42,
+		LinkPropensity: 4.0, EnterpriseBlocked: 0.0,
+		SubresMean: 40, EntryShare: 0.35, DwellMu: 4.6, CompletionProb: 0.94, CFBoost: 1.4, WeightBoost: 1.3, Stickiness: 1.5, PanelAffinity: 3.5, WorkAffinity: 2.5,
+	},
+	Entertainment: {
+		ShareHead: 6.0, ShareTorso: 5.0, ShareTail: 4.0,
+		PrivateShare: 0.05, BotShare: 0.15, MobileShare: 0.70,
+		LinkPropensity: 3.0, EnterpriseBlocked: 0.15,
+		SubresMean: 60, EntryShare: 0.40, DwellMu: 6.2, CompletionProb: 0.90, CFBoost: 1.2, WeightBoost: 1.4, Stickiness: 2.8, PanelAffinity: 1.0, WorkAffinity: 0.25,
+	},
+}
+
+// Info returns the category's static parameters.
+func (c Category) Info() CategoryInfo {
+	info := categoryInfos[c]
+	info.Name = categoryNames[c]
+	return info
+}

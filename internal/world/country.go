@@ -1,0 +1,179 @@
+package world
+
+// Country identifies one of the simulated client countries. The set matches
+// the eleven countries of the paper's Chrome analysis (Section 6.1): ten
+// designated by the Chrome team for fidelity and diversity, plus China as a
+// comparison point for Secrank.
+type Country uint8
+
+// The simulated countries.
+const (
+	US Country = iota
+	GB
+	DE
+	BR
+	IN
+	ID
+	JP
+	NG
+	EG
+	ZA
+	CN
+	NumCountries = 11
+)
+
+// String returns the ISO 3166-1 alpha-2 code.
+func (c Country) String() string {
+	return countryInfos[c].Code
+}
+
+// CountryInfo holds the static per-country parameters of the simulation.
+type CountryInfo struct {
+	Code string
+	Name string
+
+	// ClientShare is the country's share of the simulated browsing
+	// population. Shares sum to 1.
+	ClientShare float64
+	// MobileShare is the fraction of the country's clients on Android (the
+	// rest are Windows desktop).
+	MobileShare float64
+	// EnterpriseShare is the fraction of clients behind a corporate network
+	// whose DNS egresses through the simulated Cisco Umbrella resolver.
+	EnterpriseShare float64
+	// SiteShare is the country's share of website production (where sites
+	// are "from"); the global web over-indexes on the US relative to its
+	// browsing population.
+	SiteShare float64
+	// Localness is the mean insularity of the country's sites: how much of
+	// a local site's audience is domestic. Japan's web is the most
+	// insular in the simulation, which is the mechanism behind "all top
+	// lists poorly represent Japan" (Section 6.3).
+	Localness float64
+	// Openness scales how much the country's *clients* consume foreign
+	// sites. China's near-zero openness models the Great Firewall: a
+	// resolver there (Secrank's vantage) observes almost exclusively the
+	// domestic web, which is why Secrank misses the Cloudflare-visible web
+	// so badly (Section 5.1).
+	Openness float64
+	// ChromeShare is the fraction of the country's clients using Chrome
+	// (the rest use other top-5 browsers); Chrome telemetry and CrUX only
+	// observe Chrome clients who opted into sync.
+	ChromeShare float64
+	// CFAdoption scales Cloudflare adoption for sites homed in the
+	// country; Chinese sites essentially never proxy through Cloudflare.
+	CFAdoption float64
+	// TLDs are the suffixes used for the country's local sites, sampled by
+	// the paired weights. Global sites draw from generic TLDs instead.
+	TLDs   []string
+	TLDWts []float64
+}
+
+var countryInfos = [NumCountries]CountryInfo{
+	US: {
+		Code: "US", Name: "United States",
+		ClientShare: 0.16, MobileShare: 0.44, EnterpriseShare: 0.30,
+		SiteShare: 0.34, Localness: 0.35, Openness: 1.0, ChromeShare: 0.52, CFAdoption: 1.0,
+		TLDs: []string{"com", "org", "net", "us", "io", "co"}, TLDWts: []float64{0.6, 0.12, 0.1, 0.05, 0.08, 0.05},
+	},
+	GB: {
+		Code: "GB", Name: "United Kingdom",
+		ClientShare: 0.05, MobileShare: 0.46, EnterpriseShare: 0.22,
+		SiteShare: 0.07, Localness: 0.40, Openness: 1.0, ChromeShare: 0.48, CFAdoption: 0.95,
+		TLDs: []string{"co.uk", "uk", "org.uk", "com"}, TLDWts: []float64{0.5, 0.1, 0.1, 0.3},
+	},
+	DE: {
+		Code: "DE", Name: "Germany",
+		ClientShare: 0.06, MobileShare: 0.40, EnterpriseShare: 0.20,
+		SiteShare: 0.07, Localness: 0.55, Openness: 0.9, ChromeShare: 0.45, CFAdoption: 0.8,
+		TLDs: []string{"de", "com"}, TLDWts: []float64{0.75, 0.25},
+	},
+	BR: {
+		Code: "BR", Name: "Brazil",
+		ClientShare: 0.08, MobileShare: 0.64, EnterpriseShare: 0.08,
+		SiteShare: 0.06, Localness: 0.55, Openness: 0.9, ChromeShare: 0.75, CFAdoption: 0.85,
+		TLDs: []string{"com.br", "br", "com"}, TLDWts: []float64{0.6, 0.1, 0.3},
+	},
+	IN: {
+		Code: "IN", Name: "India",
+		ClientShare: 0.17, MobileShare: 0.78, EnterpriseShare: 0.07,
+		SiteShare: 0.07, Localness: 0.45, Openness: 0.95, ChromeShare: 0.80, CFAdoption: 0.9,
+		TLDs: []string{"in", "co.in", "com"}, TLDWts: []float64{0.4, 0.2, 0.4},
+	},
+	ID: {
+		Code: "ID", Name: "Indonesia",
+		ClientShare: 0.07, MobileShare: 0.80, EnterpriseShare: 0.05,
+		SiteShare: 0.04, Localness: 0.55, Openness: 0.9, ChromeShare: 0.78, CFAdoption: 0.85,
+		TLDs: []string{"co.id", "id", "com"}, TLDWts: []float64{0.45, 0.2, 0.35},
+	},
+	JP: {
+		Code: "JP", Name: "Japan",
+		ClientShare: 0.08, MobileShare: 0.56, EnterpriseShare: 0.06,
+		SiteShare: 0.08, Localness: 0.85, Openness: 0.55, ChromeShare: 0.40, CFAdoption: 0.5,
+		TLDs: []string{"jp", "co.jp", "ne.jp", "or.jp"}, TLDWts: []float64{0.35, 0.45, 0.1, 0.1},
+	},
+	NG: {
+		Code: "NG", Name: "Nigeria",
+		ClientShare: 0.04, MobileShare: 0.82, EnterpriseShare: 0.03,
+		SiteShare: 0.02, Localness: 0.40, Openness: 1.0, ChromeShare: 0.72, CFAdoption: 0.9,
+		TLDs: []string{"ng", "com.ng", "com"}, TLDWts: []float64{0.35, 0.25, 0.4},
+	},
+	EG: {
+		Code: "EG", Name: "Egypt",
+		ClientShare: 0.04, MobileShare: 0.76, EnterpriseShare: 0.04,
+		SiteShare: 0.02, Localness: 0.50, Openness: 0.85, ChromeShare: 0.70, CFAdoption: 0.8,
+		TLDs: []string{"com.eg", "eg", "com"}, TLDWts: []float64{0.4, 0.2, 0.4},
+	},
+	ZA: {
+		Code: "ZA", Name: "South Africa",
+		ClientShare: 0.03, MobileShare: 0.70, EnterpriseShare: 0.08,
+		SiteShare: 0.02, Localness: 0.45, Openness: 1.0, ChromeShare: 0.70, CFAdoption: 0.9,
+		TLDs: []string{"co.za", "za", "com"}, TLDWts: []float64{0.55, 0.1, 0.35},
+	},
+	CN: {
+		Code: "CN", Name: "China",
+		ClientShare: 0.22, MobileShare: 0.66, EnterpriseShare: 0.10,
+		SiteShare: 0.21, Localness: 0.90, Openness: 0.05, ChromeShare: 0.20, CFAdoption: 0.03,
+		TLDs: []string{"cn", "com.cn", "com", "net.cn"}, TLDWts: []float64{0.4, 0.25, 0.25, 0.1},
+	},
+}
+
+// Countries returns the static country table.
+func Countries() []CountryInfo {
+	return countryInfos[:]
+}
+
+// Info returns the country's static parameters.
+func (c Country) Info() CountryInfo { return countryInfos[c] }
+
+// AllCountries lists all country values in order.
+func AllCountries() []Country {
+	out := make([]Country, NumCountries)
+	for i := range out {
+		out[i] = Country(i)
+	}
+	return out
+}
+
+// Platform is the client device platform. The paper's platform analysis
+// focuses on Windows (desktop) and Android (mobile), the two largest
+// Chrome install bases (Section 6.1).
+type Platform uint8
+
+// The simulated platforms.
+const (
+	Windows Platform = iota
+	Android
+	NumPlatforms = 2
+)
+
+// String implements fmt.Stringer.
+func (p Platform) String() string {
+	if p == Windows {
+		return "Windows"
+	}
+	return "Android"
+}
+
+// AllPlatforms lists both platforms.
+func AllPlatforms() []Platform { return []Platform{Windows, Android} }

@@ -1,0 +1,11 @@
+package world
+
+import "sort"
+
+// sortSlice sorts sites with the given less function over pointers, avoiding
+// repeated large struct copies in the comparator.
+func sortSlice(sites []Site, less func(a, b *Site) bool) {
+	sort.Slice(sites, func(i, j int) bool {
+		return less(&sites[i], &sites[j])
+	})
+}

@@ -1,0 +1,206 @@
+// Package toplists reproduces the measurement study "Toppling Top Lists:
+// Evaluating the Accuracy of Popular Website Lists" (Ruth, Kumar, Wang,
+// Valenta, Durumeric — ACM IMC 2022) over a fully synthetic web.
+//
+// A Study simulates a universe of websites with known ground-truth
+// popularity, a browsing population observed through every vantage point
+// the paper uses (Cloudflare-style edge logs, Chrome telemetry, an
+// extension panel, corporate and national DNS resolvers, a backlink
+// crawl), reconstructs the seven top lists the paper evaluates (Alexa,
+// Umbrella, Majestic, Secrank, Tranco, Trexa, CrUX), and regenerates every
+// table and figure of the paper's evaluation.
+//
+// Basic use:
+//
+//	study, err := toplists.Run(toplists.Config{Seed: 1, Sites: 10000,
+//		Clients: 2000, Days: 14})
+//	if err != nil { ... }
+//	defer study.Close()
+//	res, err := study.Experiment("fig2")
+//	res.Render(os.Stdout)
+package toplists
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"toplists/internal/core"
+	"toplists/internal/experiments"
+)
+
+// Config parameterizes a study run. Zero fields take defaults sized for a
+// laptop-scale run.
+type Config struct {
+	// Seed makes the whole study reproducible.
+	Seed uint64
+	// Sites is the number of websites in the synthetic universe.
+	Sites int
+	// Clients is the simulated browsing population.
+	Clients int
+	// Days is the measurement window (the paper uses the 28 days of
+	// February 2022).
+	Days int
+	// AllCombos tracks all 21 Cloudflare filter-aggregation combinations,
+	// required by the fig8 experiment (the seven canonical metrics are
+	// always tracked).
+	AllCombos bool
+	// CruxMinVisitors is the CrUX per-country privacy threshold.
+	CruxMinVisitors int
+}
+
+// Result is one regenerated paper artifact.
+type Result interface {
+	// ID is the artifact identifier ("fig1".."fig8", "tab1".."tab3").
+	ID() string
+	// Render writes the artifact as text.
+	Render(w io.Writer) error
+}
+
+// Experiment describes one available experiment.
+type Experiment struct {
+	ID   string
+	Name string
+}
+
+// Experiments lists the available experiments: the paper's artifacts in
+// paper order, then the extensions.
+func Experiments() []Experiment {
+	var out []Experiment
+	for _, r := range experiments.All() {
+		out = append(out, Experiment{ID: r.ID, Name: r.Name})
+	}
+	for _, r := range experiments.Extensions() {
+		out = append(out, Experiment{ID: r.ID, Name: r.Name})
+	}
+	return out
+}
+
+// Study is a completed simulation ready for evaluation.
+type Study struct {
+	inner *core.Study
+}
+
+// Run builds the universe, simulates the measurement window, and finalizes
+// every top list. It is CPU-bound and single-threaded; expect seconds to
+// minutes depending on Config.
+func Run(cfg Config) (*Study, error) {
+	if cfg.Sites < 0 || cfg.Clients < 0 || cfg.Days < 0 {
+		return nil, fmt.Errorf("toplists: negative config value")
+	}
+	s := core.NewStudy(core.Config{
+		Seed:            cfg.Seed,
+		NumSites:        cfg.Sites,
+		NumClients:      cfg.Clients,
+		Days:            cfg.Days,
+		TrackAllCombos:  cfg.AllCombos,
+		CruxMinVisitors: cfg.CruxMinVisitors,
+	})
+	s.Run()
+	return &Study{inner: s}, nil
+}
+
+// Close releases resources (the virtual probe network, if it was started).
+func (s *Study) Close() { s.inner.Close() }
+
+// Describe summarizes the run.
+func (s *Study) Describe() string { return s.inner.Describe() }
+
+// Lists returns the names of the seven evaluated lists in table order.
+func (s *Study) Lists() []string {
+	var out []string
+	for _, l := range s.inner.Lists() {
+		out = append(out, l.Name())
+	}
+	return out
+}
+
+// Experiment runs one experiment by ID.
+func (s *Study) Experiment(id string) (Result, error) {
+	runner, ok := experiments.Lookup(id)
+	if !ok {
+		ids := make([]string, 0, len(experiments.All()))
+		for _, r := range experiments.All() {
+			ids = append(ids, r.ID)
+		}
+		sort.Strings(ids)
+		return nil, fmt.Errorf("toplists: unknown experiment %q (have %v)", id, ids)
+	}
+	res, err := runner.Run(s.inner)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunAblations runs the mechanism-ablation study (an extension beyond the
+// paper): a baseline plus one full study per disabled mechanism at the
+// given configuration, measuring how each planted mechanism drives its
+// attributed finding. Expect roughly seven times the cost of Run.
+func RunAblations(cfg Config) (Result, error) {
+	if cfg.Sites < 0 || cfg.Clients < 0 || cfg.Days < 0 {
+		return nil, fmt.Errorf("toplists: negative config value")
+	}
+	return experiments.RunAblations(core.Config{
+		Seed:            cfg.Seed,
+		NumSites:        cfg.Sites,
+		NumClients:      cfg.Clients,
+		Days:            cfg.Days,
+		CruxMinVisitors: cfg.CruxMinVisitors,
+		EvalMagIdx:      1,
+	})
+}
+
+// RunAttack runs the list-manipulation extension: Sybil machines join the
+// Alexa panel and browse one mid-tail target site; the result compares the
+// target's achieved rank in Alexa, Tranco, and the Cloudflare truth per
+// attacker budget. Cost is (1 + len(budgets)) full studies.
+func RunAttack(cfg Config, budgets []int) (Result, error) {
+	if cfg.Sites < 0 || cfg.Clients < 0 || cfg.Days < 0 {
+		return nil, fmt.Errorf("toplists: negative config value")
+	}
+	return experiments.RunAttack(core.Config{
+		Seed:            cfg.Seed,
+		NumSites:        cfg.Sites,
+		NumClients:      cfg.Clients,
+		Days:            cfg.Days,
+		CruxMinVisitors: cfg.CruxMinVisitors,
+		EvalMagIdx:      1,
+	}, budgets)
+}
+
+// RunRobustness replicates the study's headline numbers over multiple
+// seeds (an extension beyond the paper). Cost is len(seeds) full studies.
+func RunRobustness(cfg Config, seeds []uint64) (Result, error) {
+	if cfg.Sites < 0 || cfg.Clients < 0 || cfg.Days < 0 {
+		return nil, fmt.Errorf("toplists: negative config value")
+	}
+	return experiments.RunRobustness(core.Config{
+		NumSites:        cfg.Sites,
+		NumClients:      cfg.Clients,
+		Days:            cfg.Days,
+		CruxMinVisitors: cfg.CruxMinVisitors,
+		EvalMagIdx:      1,
+	}, seeds)
+}
+
+// RenderAll runs every experiment the study's configuration supports and
+// writes the artifacts to w, separated by blank lines. fig8 is skipped with
+// a note unless the study was built with AllCombos.
+func (s *Study) RenderAll(w io.Writer) error {
+	for _, runner := range experiments.All() {
+		res, err := runner.Run(s.inner)
+		if err != nil {
+			if runner.ID == "fig8" {
+				fmt.Fprintf(w, "[%s skipped: %v]\n\n", runner.ID, err)
+				continue
+			}
+			return fmt.Errorf("toplists: %s: %w", runner.ID, err)
+		}
+		if err := res.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

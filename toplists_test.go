@@ -1,0 +1,168 @@
+package toplists
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	facadeOnce  sync.Once
+	facadeStudy *Study
+	facadeErr   error
+)
+
+func facade(t testing.TB) *Study {
+	t.Helper()
+	facadeOnce.Do(func() {
+		facadeStudy, facadeErr = Run(Config{
+			Seed: 7, Sites: 1500, Clients: 500, Days: 5, AllCombos: true,
+		})
+	})
+	if facadeErr != nil {
+		t.Fatal(facadeErr)
+	}
+	return facadeStudy
+}
+
+func TestRunAndDescribe(t *testing.T) {
+	s := facade(t)
+	if !strings.Contains(s.Describe(), "sites=1500") {
+		t.Errorf("describe = %q", s.Describe())
+	}
+	lists := s.Lists()
+	if len(lists) != 7 {
+		t.Fatalf("lists = %v", lists)
+	}
+	want := map[string]bool{
+		"Alexa": true, "Majestic": true, "Secrank": true, "Tranco": true,
+		"Trexa": true, "Umbrella": true, "CrUX": true,
+	}
+	for _, l := range lists {
+		if !want[l] {
+			t.Errorf("unexpected list %q", l)
+		}
+	}
+}
+
+func TestRunRejectsNegativeConfig(t *testing.T) {
+	if _, err := Run(Config{Sites: -1}); err == nil {
+		t.Fatal("negative sites accepted")
+	}
+}
+
+func TestExperimentsRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 13 {
+		t.Fatalf("experiments = %d, want 13 (11 paper artifacts + 2 extensions)", len(exps))
+	}
+	for _, e := range exps {
+		if e.ID == "" || e.Name == "" {
+			t.Errorf("incomplete experiment %+v", e)
+		}
+	}
+}
+
+func TestExperimentByID(t *testing.T) {
+	s := facade(t)
+	for _, e := range Experiments() {
+		res, err := s.Experiment(e.ID)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		if res.ID() != e.ID {
+			t.Fatalf("got id %s for %s", res.ID(), e.ID)
+		}
+		var b strings.Builder
+		if err := res.Render(&b); err != nil {
+			t.Fatalf("%s render: %v", e.ID, err)
+		}
+		if b.Len() == 0 {
+			t.Fatalf("%s rendered nothing", e.ID)
+		}
+	}
+}
+
+func TestExperimentUnknown(t *testing.T) {
+	s := facade(t)
+	if _, err := s.Experiment("fig99"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRenderAll(t *testing.T) {
+	s := facade(t)
+	var b strings.Builder
+	if err := s.RenderAll(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Figure 1a", "Figure 2a", "Figure 3", "Figure 4a", "Figure 5",
+		"Figure 6a", "Figure 7", "Figure 8a", "Table 1", "Table 2", "Table 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RenderAll output missing %q", want)
+		}
+	}
+}
+
+func TestRenderAllWithoutAllCombos(t *testing.T) {
+	s, err := Run(Config{Seed: 9, Sites: 400, Clients: 120, Days: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var b strings.Builder
+	if err := s.RenderAll(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "[fig8 skipped") {
+		t.Error("fig8 skip note missing")
+	}
+}
+
+func TestFacadeExtensions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several studies")
+	}
+	tiny := Config{Seed: 3, Sites: 400, Clients: 100, Days: 2}
+
+	ab, err := RunAblations(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab.ID() != "ablate" {
+		t.Errorf("ablate id = %s", ab.ID())
+	}
+	var b strings.Builder
+	if err := ab.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+
+	rb, err := RunRobustness(tiny, []uint64{4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.ID() != "robustness" {
+		t.Errorf("robustness id = %s", rb.ID())
+	}
+
+	at, err := RunAttack(tiny, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at.ID() != "attack" {
+		t.Errorf("attack id = %s", at.ID())
+	}
+
+	for _, bad := range []func() (Result, error){
+		func() (Result, error) { return RunAblations(Config{Sites: -1}) },
+		func() (Result, error) { return RunRobustness(Config{Days: -1}, []uint64{1}) },
+		func() (Result, error) { return RunAttack(Config{Clients: -1}, []int{1}) },
+	} {
+		if _, err := bad(); err == nil {
+			t.Error("negative config accepted by extension runner")
+		}
+	}
+}
