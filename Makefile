@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test vet race fuzz bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The simulation engine runs client shards concurrently; the race pass
+# covers the packages that touch the parallel path.
+race:
+	$(GO) test -race ./internal/traffic ./internal/core
+
+# Short fuzz smoke of the rank-bucketing targets (seeds + 10s each).
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzScaledMagnitudes -fuzztime=10s ./internal/rank
+	$(GO) test -run=^$$ -fuzz=FuzzBucketer -fuzztime=10s ./internal/rank
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# check is the CI gate: everything must pass before merging.
+check: build vet test race

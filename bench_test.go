@@ -8,6 +8,7 @@ package toplists
 // paper's values.
 
 import (
+	"fmt"
 	"io"
 	"sync"
 	"testing"
@@ -47,6 +48,26 @@ func BenchmarkStudyBuild(b *testing.B) {
 		})
 		s.Run()
 		s.Close()
+	}
+}
+
+// BenchmarkStudyBuildWorkers sweeps the engine worker count over a larger
+// study so the speedup of the sharded simulation (engine.RunDay fans client
+// shards out across goroutines, then replays events in client order) is
+// visible on multi-core machines. Output is identical at every width; only
+// wall-clock changes.
+func BenchmarkStudyBuildWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := core.NewStudy(core.Config{
+					Seed: uint64(i), NumSites: 5000, NumClients: 1500, Days: 5,
+					Workers: workers,
+				})
+				s.Run()
+				s.Close()
+			}
+		})
 	}
 }
 

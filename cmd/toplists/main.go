@@ -9,6 +9,8 @@
 //	-sites      universe size (default 50000)
 //	-clients    browsing population (default 6000)
 //	-days       measurement window in days (default 28)
+//	-workers    simulation worker goroutines per day (default 0 = one per
+//	            CPU; 1 = serial; results are identical either way)
 //	-experiment artifact to regenerate: fig1..fig8, tab1..tab3, or "all"
 //	-list       print the available experiments and exit
 //
@@ -33,6 +35,7 @@ func main() {
 		sites      = flag.Int("sites", 50000, "number of websites in the universe")
 		clients    = flag.Int("clients", 6000, "number of simulated clients")
 		days       = flag.Int("days", 28, "measurement window in days")
+		workers    = flag.Int("workers", 0, "simulation worker goroutines per day (0 = one per CPU, 1 = serial)")
 		experiment = flag.String("experiment", "all", "experiment id (fig1..fig8, tab1..tab3, stability) or 'all'")
 		list       = flag.Bool("list", false, "list available experiments and exit")
 		outdir     = flag.String("outdir", "", "also write each artifact to <outdir>/<id>.txt")
@@ -52,6 +55,7 @@ func main() {
 	if *experiment == "attack" {
 		res, err := toplists.RunAttack(toplists.Config{
 			Seed: *seed, Sites: *sites, Clients: *clients, Days: *days,
+			Workers: *workers,
 		}, []int{1, 3, 10})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "toplists:", err)
@@ -67,6 +71,7 @@ func main() {
 	if *experiment == "robust" {
 		res, err := toplists.RunRobustness(toplists.Config{
 			Sites: *sites, Clients: *clients, Days: *days,
+			Workers: *workers,
 		}, []uint64{*seed, *seed + 1, *seed + 2, *seed + 3, *seed + 4})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "toplists:", err)
@@ -82,6 +87,7 @@ func main() {
 	if *experiment == "ablate" {
 		res, err := toplists.RunAblations(toplists.Config{
 			Seed: *seed, Sites: *sites, Clients: *clients, Days: *days,
+			Workers: *workers,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "toplists:", err)
@@ -102,6 +108,7 @@ func main() {
 		Sites:     *sites,
 		Clients:   *clients,
 		Days:      *days,
+		Workers:   *workers,
 		AllCombos: true,
 	})
 	if err != nil {

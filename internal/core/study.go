@@ -43,6 +43,10 @@ type Config struct {
 	// tension lives at a smaller fraction of the universe, so the default
 	// is index 2 (the scaled "100K"). See DESIGN.md, "Scale".
 	EvalMagIdx int
+	// Workers is the number of goroutines simulating clients within each
+	// day (0 = one per CPU, 1 = serial). Output is identical for every
+	// setting; see traffic.Config.Workers.
+	Workers int
 	// SpearmanMagIdx selects the magnitude for rank-correlation
 	// comparisons (default 3, the full scaled list). The paper's single
 	// top-1M cut is simultaneously a tiny fraction of the web (set
@@ -157,6 +161,7 @@ func NewStudy(cfg Config) *Study {
 		Seed:       cfg.Seed + 1,
 		NumClients: cfg.NumClients,
 		Days:       cfg.Days,
+		Workers:    cfg.Workers,
 		Ablate: traffic.Ablations{
 			NoPanelDistortion: cfg.Ablate.NoPanelDistortion,
 			NoWorkSkew:        cfg.Ablate.NoWorkSkew,

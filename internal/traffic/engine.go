@@ -1,7 +1,7 @@
 package traffic
 
 import (
-	"sort"
+	"slices"
 
 	"toplists/internal/simrand"
 	"toplists/internal/world"
@@ -11,7 +11,8 @@ import (
 type Config struct {
 	// Seed drives all engine randomness (independent of the world seed).
 	Seed uint64
-	// NumClients is the simulated browsing population size.
+	// NumClients is the simulated browsing population size. Negative means
+	// an explicitly empty population (0 is the default of 2000).
 	NumClients int
 	// Days is the number of simulated days (default 28: February 2022).
 	Days int
@@ -52,6 +53,12 @@ type Config struct {
 	// home network resolves through the Umbrella/OpenDNS service (default
 	// 0.025).
 	HomeOpenDNSShare float64
+	// Workers is the number of goroutines simulating clients within a day.
+	// 0 (the default) uses one worker per available CPU; 1 forces the
+	// serial legacy path, which the parallel path is tested against. Every
+	// setting produces the identical event stream: workers emit into
+	// per-shard buffers that are replayed into sinks in client order.
+	Workers int
 	// Ablate disables selected engine mechanisms for ablation studies.
 	Ablate Ablations
 	// Sybils adds attacker-controlled clients to the population.
@@ -88,8 +95,16 @@ type Ablations struct {
 }
 
 func (c Config) withDefaults() Config {
-	if c.NumClients <= 0 {
+	if c.NumClients == 0 {
 		c.NumClients = 2000
+	}
+	if c.NumClients < 0 {
+		// Explicitly empty population (edge-path tests): only Sybils and
+		// bots generate traffic.
+		c.NumClients = 0
+	}
+	if c.Workers < 0 {
+		c.Workers = 1
 	}
 	if c.Days <= 0 {
 		c.Days = 28
@@ -167,8 +182,14 @@ type Engine struct {
 	root         *simrand.Source
 
 	// humanReqs accumulates per-site human request counts for the current
-	// day; bot volume is derived from it at day end.
+	// day; bot volume is derived from it at day end. Workers accumulate
+	// into private copies that are summed after the day's barrier.
 	humanReqs []int32
+
+	// serialScratch and workers hold per-day reusable simulation state for
+	// the serial and parallel paths respectively.
+	serialScratch *clientScratch
+	workers       []*workerState
 }
 
 // NewEngine builds the client population and samplers. Deterministic in
@@ -375,7 +396,10 @@ func (e *Engine) Run() {
 	}
 }
 
-// RunDay simulates a single day.
+// RunDay simulates a single day. With more than one worker configured the
+// day's clients are simulated concurrently in contiguous shards; the event
+// stream the sinks observe is identical for every worker count (see
+// parallel.go).
 func (e *Engine) RunDay(d int) {
 	weekend := e.IsWeekend(d)
 	for _, s := range e.sinks {
@@ -386,9 +410,16 @@ func (e *Engine) RunDay(d int) {
 	}
 
 	daySrc := e.root.Derive("day").At(d)
-	scratch := newClientScratch()
-	for i := range e.Clients {
-		e.simulateClientDay(&e.Clients[i], d, weekend, daySrc.At(i), scratch)
+	if nw := e.workerCount(); nw > 1 {
+		e.runDayClientsParallel(d, weekend, daySrc, nw)
+	} else {
+		if e.serialScratch == nil {
+			e.serialScratch = newClientScratch()
+		}
+		out := shardOut{sinks: e.sinks, humanReqs: e.humanReqs}
+		for i := range e.Clients {
+			e.simulateClientDay(&e.Clients[i], d, weekend, daySrc.At(i), e.serialScratch, &out)
+		}
 	}
 	e.simulateBots(d, daySrc.Derive("bots"))
 
@@ -431,7 +462,7 @@ func (sc *clientScratch) pickVisited(src *simrand.Source) int32 {
 	return sc.visited[len(sc.visited)-1].site
 }
 
-func (e *Engine) simulateClientDay(c *Client, d int, weekend bool, src *simrand.Source, sc *clientScratch) {
+func (e *Engine) simulateClientDay(c *Client, d int, weekend bool, src *simrand.Source, sc *clientScratch, out *shardOut) {
 	rate := float64(c.DailyRate)
 	if weekend {
 		rate *= float64(c.WeekendFactor)
@@ -451,7 +482,7 @@ func (e *Engine) simulateClientDay(c *Client, d int, weekend bool, src *simrand.
 	for j := 0; j < n; j++ {
 		sc.times = append(sc.times, int32(src.Intn(86400)))
 	}
-	sort.Slice(sc.times, func(a, b int) bool { return sc.times[a] < sc.times[b] })
+	slices.Sort(sc.times)
 
 	aliasIdx := int(c.Country)*world.NumPlatforms + int(c.Platform)
 	alias := e.siteAliases[aliasIdx]
@@ -465,7 +496,10 @@ func (e *Engine) simulateClientDay(c *Client, d int, weekend bool, src *simrand.
 		// whether or not the extension is active yet.
 		alias = e.panelAliases[aliasIdx]
 	}
-	var pl PageLoad
+	var (
+		pl PageLoad
+		q  DNSQuery
+	)
 	for j := 0; j < n; j++ {
 		var siteID int32
 		switch {
@@ -519,25 +553,21 @@ func (e *Engine) simulateClientDay(c *Client, d int, weekend bool, src *simrand.
 		pl.Completed = src.Bernoulli(float64(site.CompletionProb))
 		pl.DwellSec = src.LogNormal(float64(site.DwellMu), float64(site.DwellSigma))
 
-		e.humanReqs[siteID] += int32(pl.Requests())
+		out.humanReqs[siteID] += int32(pl.Requests())
 
 		// DNS: client-side cache by (site, hostname); a resolver query is
 		// emitted only on cache miss or expiry.
 		key := uint32(siteID)<<4 | uint32(subIdx)
 		if exp, ok := sc.lastQuery[key]; !ok || t >= exp {
 			sc.lastQuery[key] = t + site.DNSTTL
-			q := DNSQuery{
+			q = DNSQuery{
 				Day: d, Client: c, IP: ip, AtWork: atWork,
 				Site: siteID, SubIdx: subIdx, Infra: -1,
 			}
-			for _, s := range e.sinks {
-				s.OnDNSQuery(&q)
-			}
+			out.dnsQuery(&q)
 		}
 
-		for _, s := range e.sinks {
-			s.OnPageLoad(&pl)
-		}
+		out.pageLoad(&pl)
 	}
 
 	// Background device queries to infrastructure names (OS telemetry,
@@ -545,13 +575,11 @@ func (e *Engine) simulateClientDay(c *Client, d int, weekend bool, src *simrand.
 	nInfra := src.Poisson(e.Cfg.InfraQueriesPerDay)
 	for j := 0; j < nInfra; j++ {
 		idx := int32(e.infraAlias.Draw(src))
-		q := DNSQuery{
+		q = DNSQuery{
 			Day: d, Client: c, IP: ip, AtWork: atWork,
 			Site: -1, Infra: idx,
 		}
-		for _, s := range e.sinks {
-			s.OnDNSQuery(&q)
-		}
+		out.dnsQuery(&q)
 	}
 }
 

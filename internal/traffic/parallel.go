@@ -1,0 +1,190 @@
+package traffic
+
+import (
+	"runtime"
+	"sync"
+
+	"toplists/internal/simrand"
+)
+
+// The parallel execution model shards a day's clients into contiguous
+// ranges, one per worker. Each worker simulates its range with private
+// scratch state and a private event buffer; no sink is touched from a
+// worker goroutine. After the barrier the buffers are replayed into the
+// sinks shard by shard in ascending client order, so every sink observes
+// the exact event stream the serial engine would have produced. Determinism
+// is preserved by construction: per-client RNG streams are derived by index
+// (daySrc.At(i)), never shared, and the replay order is a pure function of
+// client IDs.
+
+// Event kind tags for dayBuffer.kinds.
+const (
+	evPageLoad uint8 = iota
+	evDNSQuery
+)
+
+// dayBuffer records, in emission order, the events one worker's client
+// shard produced. Events are stored by value in per-kind slices; kinds
+// preserves the interleaving so replay reproduces the serial call order.
+// Buffers are reused across days to keep steady-state allocations flat.
+type dayBuffer struct {
+	kinds   []uint8
+	loads   []PageLoad
+	queries []DNSQuery
+}
+
+func (b *dayBuffer) reset() {
+	b.kinds = b.kinds[:0]
+	b.loads = b.loads[:0]
+	b.queries = b.queries[:0]
+}
+
+// replay feeds the buffered events to the sinks in emission order.
+func (b *dayBuffer) replay(sinks []Sink) {
+	li, qi := 0, 0
+	for _, k := range b.kinds {
+		switch k {
+		case evPageLoad:
+			pl := &b.loads[li]
+			li++
+			for _, s := range sinks {
+				s.OnPageLoad(pl)
+			}
+		default:
+			q := &b.queries[qi]
+			qi++
+			for _, s := range sinks {
+				s.OnDNSQuery(q)
+			}
+		}
+	}
+}
+
+// shardOut is where simulateClientDay emits events and per-site human
+// request counts. The serial path forwards events straight to the sinks and
+// accumulates into the engine's humanReqs; a worker appends to its private
+// buffer and counts instead.
+type shardOut struct {
+	buffered  bool
+	sinks     []Sink
+	buf       *dayBuffer
+	humanReqs []int32
+}
+
+func (o *shardOut) pageLoad(pl *PageLoad) {
+	if o.buffered {
+		o.buf.kinds = append(o.buf.kinds, evPageLoad)
+		o.buf.loads = append(o.buf.loads, *pl)
+		return
+	}
+	for _, s := range o.sinks {
+		s.OnPageLoad(pl)
+	}
+}
+
+func (o *shardOut) dnsQuery(q *DNSQuery) {
+	if o.buffered {
+		o.buf.kinds = append(o.buf.kinds, evDNSQuery)
+		o.buf.queries = append(o.buf.queries, *q)
+		return
+	}
+	for _, s := range o.sinks {
+		s.OnDNSQuery(q)
+	}
+}
+
+// workerState is one worker's reusable per-day state.
+type workerState struct {
+	scratch   *clientScratch
+	buf       dayBuffer
+	humanReqs []int32
+}
+
+// shardRange is a half-open range [Lo, Hi) of client indices.
+type shardRange struct {
+	Lo, Hi int
+}
+
+// shardRanges splits n clients into at most k contiguous ranges of
+// near-equal size (the first n%k ranges are one larger). Only non-empty
+// ranges are returned.
+func shardRanges(n, k int) []shardRange {
+	if n <= 0 || k <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	out := make([]shardRange, 0, k)
+	size, rem := n/k, n%k
+	lo := 0
+	for w := 0; w < k; w++ {
+		hi := lo + size
+		if w < rem {
+			hi++
+		}
+		out = append(out, shardRange{lo, hi})
+		lo = hi
+	}
+	return out
+}
+
+// workerCount resolves the configured Workers knob for the current
+// population: 0 means one worker per available CPU, and the count never
+// exceeds the number of clients (a worker with no clients is pointless).
+func (e *Engine) workerCount() int {
+	nw := e.Cfg.Workers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	if nw > len(e.Clients) {
+		nw = len(e.Clients)
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	return nw
+}
+
+// ensureWorkers lazily builds (and retains across days) n worker states.
+func (e *Engine) ensureWorkers(n int) {
+	for len(e.workers) < n {
+		e.workers = append(e.workers, &workerState{
+			scratch:   newClientScratch(),
+			humanReqs: make([]int32, e.W.NumSites()),
+		})
+	}
+}
+
+// runDayClientsParallel simulates the day's clients across nw workers and
+// replays the buffered events into the sinks in ascending client order.
+func (e *Engine) runDayClientsParallel(d int, weekend bool, daySrc *simrand.Source, nw int) {
+	shards := shardRanges(len(e.Clients), nw)
+	e.ensureWorkers(len(shards))
+
+	var wg sync.WaitGroup
+	for w, r := range shards {
+		ws := e.workers[w]
+		ws.buf.reset()
+		for i := range ws.humanReqs {
+			ws.humanReqs[i] = 0
+		}
+		wg.Add(1)
+		go func(ws *workerState, lo, hi int) {
+			defer wg.Done()
+			out := shardOut{buffered: true, buf: &ws.buf, humanReqs: ws.humanReqs}
+			for i := lo; i < hi; i++ {
+				e.simulateClientDay(&e.Clients[i], d, weekend, daySrc.At(i), ws.scratch, &out)
+			}
+		}(ws, r.Lo, r.Hi)
+	}
+	wg.Wait()
+
+	for w := range shards {
+		ws := e.workers[w]
+		for i, v := range ws.humanReqs {
+			e.humanReqs[i] += v
+		}
+		ws.buf.replay(e.sinks)
+	}
+}

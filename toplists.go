@@ -45,6 +45,11 @@ type Config struct {
 	// required by the fig8 experiment (the seven canonical metrics are
 	// always tracked).
 	AllCombos bool
+	// Workers is the number of goroutines simulating clients within each
+	// day: 0 uses one per CPU, 1 forces the serial path. Results are
+	// bit-identical for every setting — workers emit into per-shard
+	// buffers that are replayed to observers in client order.
+	Workers int
 	// CruxMinVisitors is the CrUX per-country privacy threshold.
 	CruxMinVisitors int
 }
@@ -95,6 +100,7 @@ func Run(cfg Config) (*Study, error) {
 		Days:            cfg.Days,
 		TrackAllCombos:  cfg.AllCombos,
 		CruxMinVisitors: cfg.CruxMinVisitors,
+		Workers:         cfg.Workers,
 	})
 	s.Run()
 	return &Study{inner: s}, nil
@@ -147,6 +153,7 @@ func RunAblations(cfg Config) (Result, error) {
 		NumClients:      cfg.Clients,
 		Days:            cfg.Days,
 		CruxMinVisitors: cfg.CruxMinVisitors,
+		Workers:         cfg.Workers,
 		EvalMagIdx:      1,
 	})
 }
@@ -165,6 +172,7 @@ func RunAttack(cfg Config, budgets []int) (Result, error) {
 		NumClients:      cfg.Clients,
 		Days:            cfg.Days,
 		CruxMinVisitors: cfg.CruxMinVisitors,
+		Workers:         cfg.Workers,
 		EvalMagIdx:      1,
 	}, budgets)
 }
@@ -180,6 +188,7 @@ func RunRobustness(cfg Config, seeds []uint64) (Result, error) {
 		NumClients:      cfg.Clients,
 		Days:            cfg.Days,
 		CruxMinVisitors: cfg.CruxMinVisitors,
+		Workers:         cfg.Workers,
 		EvalMagIdx:      1,
 	}, seeds)
 }
