@@ -11,10 +11,11 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The simulation engine runs client shards concurrently; the race pass
-# covers the packages that touch the parallel path.
+# The simulation engine runs client shards concurrently and the experiments
+# evaluate on a shared artifact store; the race pass covers every package
+# that touches a parallel path.
 race:
-	$(GO) test -race ./internal/traffic ./internal/core
+	$(GO) test -race ./internal/traffic ./internal/core ./internal/experiments
 
 # Short fuzz smoke of the rank-bucketing targets (seeds + 10s each).
 fuzz:
@@ -23,6 +24,11 @@ fuzz:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# One iteration of every benchmark, everywhere: cheap proof that the bench
+# harness still compiles and runs (CI's bench smoke).
+benchsmoke:
+	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...
 
 # check is the CI gate: everything must pass before merging.
 check: build vet test race

@@ -210,18 +210,46 @@ func BenchmarkTable3Categories(b *testing.B) {
 	}
 }
 
-// BenchmarkRenderAll measures the full artifact rendering path end to end.
+// renderAllOnce evaluates every paper experiment on a pool of the given
+// width and renders each artifact to io.Discard, mirroring Study.RenderAll.
+func renderAllOnce(b *testing.B, s *core.Study, workers int) {
+	b.Helper()
+	for _, oc := range experiments.RunConcurrent(s, experiments.All(), workers) {
+		if oc.Err != nil {
+			b.Fatal(oc.Err)
+		}
+		if err := oc.Result.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRenderAll measures the full artifact rendering path end to end:
+// serial (workers=1) against the parallel pool (workers=0), each from a cold
+// artifact store (every normalized list, metric ranking, and the Cloudflare
+// probe recomputed) and from a warm one (everything already memoized, so the
+// residual cost is the per-experiment comparison and rendering work).
 func BenchmarkRenderAll(b *testing.B) {
 	s := getBenchStudy(b)
-	for i := 0; i < b.N; i++ {
-		for _, runner := range experiments.All() {
-			res, err := runner.Run(s)
-			if err != nil {
-				b.Fatal(err)
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(mode.name+"/cold", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s.ResetArtifacts()
+				b.StartTimer()
+				renderAllOnce(b, s, mode.workers)
 			}
-			if err := res.Render(io.Discard); err != nil {
-				b.Fatal(err)
+		})
+		b.Run(mode.name+"/warm", func(b *testing.B) {
+			s.ResetArtifacts()
+			renderAllOnce(b, s, mode.workers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				renderAllOnce(b, s, mode.workers)
 			}
-		}
+		})
 	}
 }

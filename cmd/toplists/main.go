@@ -9,8 +9,9 @@
 //	-sites      universe size (default 50000)
 //	-clients    browsing population (default 6000)
 //	-days       measurement window in days (default 28)
-//	-workers    simulation worker goroutines per day (default 0 = one per
-//	            CPU; 1 = serial; results are identical either way)
+//	-workers    worker goroutines for the per-day simulation and for the
+//	            concurrent experiment evaluation (default 0 = one per CPU;
+//	            1 = serial; results are identical either way)
 //	-experiment artifact to regenerate: fig1..fig8, tab1..tab3, or "all"
 //	-list       print the available experiments and exit
 //
@@ -35,7 +36,7 @@ func main() {
 		sites      = flag.Int("sites", 50000, "number of websites in the universe")
 		clients    = flag.Int("clients", 6000, "number of simulated clients")
 		days       = flag.Int("days", 28, "measurement window in days")
-		workers    = flag.Int("workers", 0, "simulation worker goroutines per day (0 = one per CPU, 1 = serial)")
+		workers    = flag.Int("workers", 0, "simulation and evaluation worker goroutines (0 = one per CPU, 1 = serial)")
 		experiment = flag.String("experiment", "all", "experiment id (fig1..fig8, tab1..tab3, stability) or 'all'")
 		list       = flag.Bool("list", false, "list available experiments and exit")
 		outdir     = flag.String("outdir", "", "also write each artifact to <outdir>/<id>.txt")
@@ -125,17 +126,24 @@ func main() {
 			ids = append(ids, e.ID)
 		}
 	}
-	for _, id := range ids {
-		res, err := study.Experiment(id)
-		if err != nil {
-			if id == "fig8" && *experiment == "all" {
-				fmt.Fprintf(os.Stderr, "[%s skipped: %v]\n", id, err)
+	// Experiments execute concurrently on the -workers pool, sharing one
+	// memoized artifact store; outcomes come back in canonical paper order
+	// so stdout is byte-identical to a serial run.
+	outcomes, err := study.RunExperiments(ids)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "toplists:", err)
+		os.Exit(1)
+	}
+	for _, oc := range outcomes {
+		if oc.Err != nil {
+			if oc.ID == "fig8" && *experiment == "all" {
+				fmt.Fprintf(os.Stderr, "[%s skipped: %v]\n", oc.ID, oc.Err)
 				continue
 			}
-			fmt.Fprintln(os.Stderr, "toplists:", err)
+			fmt.Fprintln(os.Stderr, "toplists:", oc.Err)
 			os.Exit(1)
 		}
-		if err := renderTo(res, *outdir); err != nil {
+		if err := renderTo(oc.Result, *outdir); err != nil {
 			fmt.Fprintln(os.Stderr, "toplists:", err)
 			os.Exit(1)
 		}

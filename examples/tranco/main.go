@@ -39,7 +39,7 @@ func main() {
 	engine.AddSink(telemetry)
 	engine.Run()
 
-	tranco := providers.NewTranco(alexa, umbrella, majestic, l)
+	tranco := providers.NewTranco(alexa, umbrella, majestic, l, nil)
 	for d := 0; d < days; d++ {
 		tranco.ComputeDay(d)
 	}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"toplists/internal/cfmetrics"
+	"toplists/internal/chrome"
+	"toplists/internal/httpsim"
+	"toplists/internal/providers"
+	"toplists/internal/rank"
+	"toplists/internal/world"
+)
+
+// Artifacts is the study's memoized derived-data layer: every ranking or
+// set the evaluation derives from the raw simulation output — PSL-normalized
+// list snapshots, per-day Cloudflare metric rankings, month-aggregated
+// Dowdall amalgams, Chrome telemetry cell rankings, and the probed set of
+// Cloudflare-served domains — is computed exactly once per study and shared
+// by all experiments.
+//
+// The store is safe for concurrent readers: each key is guarded by a
+// sync.Once-style entry, so when experiments run in parallel a second
+// requester for an in-flight artifact waits for the first computation
+// (singleflight) instead of duplicating it. Values handed out are treated
+// as immutable by all callers.
+type Artifacts struct {
+	s *Study
+
+	// norms memoizes PSL-normalized (list, day) snapshots. It is shared
+	// with the Tranco/Trexa amalgam construction, so normalizations done
+	// while building the study are already warm at evaluation time.
+	norms *providers.NormMemo
+
+	mu      sync.Mutex
+	derived map[any]*rankingEntry
+
+	cfOnce    sync.Once
+	cfDomains map[string]struct{}
+}
+
+type rankingEntry struct {
+	once sync.Once
+	r    *rank.Ranking
+}
+
+// Key types for the derived-ranking map. Each is a distinct comparable
+// struct, so one map can hold every artifact family without collisions.
+type (
+	comboDayKey struct {
+		day   int
+		combo cfmetrics.Combo
+	}
+	monthlyKey struct {
+		combo cfmetrics.Combo
+	}
+	telemetryKey struct {
+		country  world.Country
+		platform world.Platform
+		metric   chrome.TelemetryMetric
+	}
+)
+
+func newArtifacts(s *Study) *Artifacts {
+	return &Artifacts{
+		s:       s,
+		norms:   providers.NewNormMemo(s.PSL),
+		derived: make(map[any]*rankingEntry),
+	}
+}
+
+// memoized returns the ranking for key, building it at most once even
+// under concurrent requesters.
+func (a *Artifacts) memoized(key any, build func() *rank.Ranking) *rank.Ranking {
+	a.mu.Lock()
+	e, ok := a.derived[key]
+	if !ok {
+		e = &rankingEntry{}
+		a.derived[key] = e
+	}
+	a.mu.Unlock()
+	e.once.Do(func() {
+		e.r = build()
+	})
+	return e.r
+}
+
+// Normalized returns the list's PSL-normalized day-d snapshot (Section
+// 4.2), computed at most once per (list, day) across the whole study.
+func (a *Artifacts) Normalized(l providers.List, day int) *rank.Ranking {
+	r, _ := a.norms.Normalized(l, day)
+	return r
+}
+
+// NormalizedStats returns the normalized snapshot together with its
+// deviation statistics (the Table 2 numbers).
+func (a *Artifacts) NormalizedStats(l providers.List, day int) (*rank.Ranking, rank.NormalizeStats) {
+	return a.norms.Normalized(l, day)
+}
+
+// ComboRanking returns the day's ranked domain list for one Cloudflare
+// filter-aggregation combo, memoized per (day, combo).
+func (a *Artifacts) ComboRanking(day int, c cfmetrics.Combo) *rank.Ranking {
+	return a.memoized(comboDayKey{day, c}, func() *rank.Ranking {
+		return a.s.Pipeline.DayRanking(day, c)
+	})
+}
+
+// MetricRanking returns the day's ranking for a canonical Cloudflare
+// metric, memoized per (day, metric).
+func (a *Artifacts) MetricRanking(day int, m cfmetrics.Metric) *rank.Ranking {
+	return a.ComboRanking(day, m.Combo())
+}
+
+// MonthlyMetric combines a metric's daily rankings into one month-level
+// ranking by summing reciprocal ranks (the Dowdall rule, the same
+// amalgamation Tranco uses), memoized per metric.
+func (a *Artifacts) MonthlyMetric(m cfmetrics.Metric) *rank.Ranking {
+	return a.memoized(monthlyKey{m.Combo()}, func() *rank.Ranking {
+		scores := make(map[string]float64)
+		for d := 0; d < a.s.Pipeline.NumDays(); d++ {
+			r := a.MetricRanking(d, m)
+			for i := 1; i <= r.Len(); i++ {
+				scores[r.At(i)] += 1 / float64(i)
+			}
+		}
+		scored := make([]rank.Scored, 0, len(scores))
+		for name, v := range scores {
+			scored = append(scored, rank.Scored{Name: name, Score: v})
+		}
+		return rank.FromScores(scored, rank.TieHashed)
+	})
+}
+
+// TelemetryRanking returns the month-aggregated Chrome telemetry ranking
+// for a (country, platform, metric) cell, memoized per cell.
+func (a *Artifacts) TelemetryRanking(c world.Country, p world.Platform, m chrome.TelemetryMetric) *rank.Ranking {
+	return a.memoized(telemetryKey{c, p, m}, func() *rank.Ranking {
+		return a.s.Telemetry.Ranking(c, p, m)
+	})
+}
+
+// CFDomains returns the probed set of Cloudflare-served registrable
+// domains (the cf-ray filter of Section 4.3), established exactly once per
+// study: a HEAD probe of every domain over the virtual network, keeping
+// those that answer with a cf-ray header. Callers must not modify the
+// returned set.
+func (a *Artifacts) CFDomains() map[string]struct{} {
+	a.cfOnce.Do(func() {
+		prober := httpsim.NewProber(a.s.network().Client())
+		prober.Concurrency = 64
+		hosts := make([]string, a.s.World.NumSites())
+		for i := range hosts {
+			hosts[i] = a.s.World.Site(int32(i)).Domain
+		}
+		a.cfDomains = prober.CloudflareSet(context.Background(), hosts)
+	})
+	return a.cfDomains
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math"
+
 	"toplists/internal/rank"
 	"toplists/internal/stats"
 )
@@ -99,7 +101,7 @@ func MeanListVsMetric(daily []ListVsMetric) ListVsMetric {
 			rs = append(rs, d.Spearman)
 		}
 	}
-	out.N = int(n / float64(len(daily)))
+	out.N = int(math.Round(n / float64(len(daily))))
 	out.Jaccard = stats.Mean(jj)
 	if len(rs) > 0 {
 		out.Spearman = stats.Mean(rs)

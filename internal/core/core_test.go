@@ -150,6 +150,20 @@ func TestMeanListVsMetric(t *testing.T) {
 	}
 }
 
+func TestMeanListVsMetricRoundsN(t *testing.T) {
+	// The mean intersection size rounds to the nearest integer rather than
+	// truncating: 10,11 averages to 10.5 and reports 11, while 10,10,11
+	// averages to 10.33 and reports 10.
+	up := []ListVsMetric{{N: 10}, {N: 11}}
+	if got := MeanListVsMetric(up).N; got != 11 {
+		t.Errorf("mean N of 10,11 = %d, want 11 (round half up)", got)
+	}
+	down := []ListVsMetric{{N: 10}, {N: 10}, {N: 11}}
+	if got := MeanListVsMetric(down).N; got != 10 {
+		t.Errorf("mean N of 10,10,11 = %d, want 10", got)
+	}
+}
+
 func TestAgreedBuckets(t *testing.T) {
 	bk := rank.Bucketer{Magnitudes: [4]int{2, 4, 8, 16}}
 	m1 := rank.MustNew([]string{"a", "b", "c", "d", "e", "f"})

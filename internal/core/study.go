@@ -7,6 +7,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"toplists/internal/cfmetrics"
 	"toplists/internal/chrome"
@@ -44,7 +45,8 @@ type Config struct {
 	// is index 2 (the scaled "100K"). See DESIGN.md, "Scale".
 	EvalMagIdx int
 	// Workers is the number of goroutines simulating clients within each
-	// day (0 = one per CPU, 1 = serial). Output is identical for every
+	// day, and the evaluation pool width for experiments.RunConcurrent
+	// (0 = one per CPU, 1 = serial). Output is identical for every
 	// setting; see traffic.Config.Workers.
 	Workers int
 	// SpearmanMagIdx selects the magnitude for rank-correlation
@@ -114,11 +116,13 @@ type Study struct {
 	Crux     *providers.Crux
 
 	// Network is the virtual HTTP layer used by the probe-based filtering.
+	// It is started lazily under netMu; use network() to read it.
 	Network *httpsim.Network
+	netMu   sync.Mutex
 
-	// cfDomains caches the probed set of Cloudflare-served registrable
-	// domains (the cf-ray filter of Section 4.3).
-	cfDomains map[string]struct{}
+	// artifacts is the memoized derived-data layer shared by every
+	// experiment; see Artifacts.
+	artifacts *Artifacts
 
 	ran bool
 }
@@ -174,6 +178,7 @@ func NewStudy(cfg Config) *Study {
 	s.Engine.AddSink(s.Alexa)
 	s.Engine.AddSink(s.Umbrella)
 	s.Engine.AddSink(s.Secrank)
+	s.artifacts = newArtifacts(s)
 	return s
 }
 
@@ -183,7 +188,9 @@ func (s *Study) Run() {
 		return
 	}
 	s.Engine.Run()
-	s.Tranco = providers.NewTranco(s.Alexa, s.Umbrella, s.Majestic, s.PSL)
+	// The amalgams draw normalized input snapshots through the artifact
+	// store's memo, so that work is already warm at evaluation time.
+	s.Tranco = providers.NewTranco(s.Alexa, s.Umbrella, s.Majestic, s.PSL, s.artifacts.norms)
 	s.Trexa = providers.NewTrexa(s.Alexa, s.Tranco, s.PSL)
 	for d := 0; d < s.Cfg.Days; d++ {
 		s.Tranco.ComputeDay(d)
@@ -216,40 +223,49 @@ func (s *Study) mustRun() {
 	}
 }
 
+// Artifacts returns the study's memoized derived-data layer. It is safe
+// for concurrent use by multiple experiment goroutines.
+func (s *Study) Artifacts() *Artifacts { return s.artifacts }
+
+// ResetArtifacts discards every memoized derived artifact, forcing the
+// next evaluation to recompute from the raw simulation output. It exists
+// for benchmarks and tests that compare cold against warm evaluation; it
+// must not be called concurrently with experiment readers.
+func (s *Study) ResetArtifacts() { s.artifacts = newArtifacts(s) }
+
 // CFDomains returns the set of Cloudflare-served registrable domains,
 // established the way the paper does it: a HEAD probe of every domain over
 // the (virtual) network, keeping those that answer with a cf-ray header.
+// The probe runs once per study; see Artifacts.CFDomains.
 func (s *Study) CFDomains() map[string]struct{} {
-	if s.cfDomains != nil {
-		return s.cfDomains
-	}
+	return s.artifacts.CFDomains()
+}
+
+// network returns the virtual HTTP layer, starting it on first use.
+func (s *Study) network() *httpsim.Network {
+	s.netMu.Lock()
+	defer s.netMu.Unlock()
 	if s.Network == nil {
 		s.Network = httpsim.NewNetwork()
 		s.Network.AddWorld(s.World)
 		s.Network.Start()
 	}
-	prober := httpsim.NewProber(s.Network.Client())
-	prober.Concurrency = 64
-	hosts := make([]string, s.World.NumSites())
-	for i := range hosts {
-		hosts[i] = s.World.Site(int32(i)).Domain
-	}
-	s.cfDomains = prober.CloudflareSet(context.Background(), hosts)
-	return s.cfDomains
+	return s.Network
 }
 
 // ProbeHosts probes arbitrary hostnames (FQDN or origin-host form) and
 // reports which are Cloudflare-served; used for the per-entry coverage of
-// Table 1.
+// Table 1. Concurrent callers each run their own probe sweep.
 func (s *Study) ProbeHosts(hosts []string) map[string]struct{} {
-	s.CFDomains() // ensures the network is up
-	prober := httpsim.NewProber(s.Network.Client())
+	prober := httpsim.NewProber(s.network().Client())
 	prober.Concurrency = 64
 	return prober.CloudflareSet(context.Background(), hosts)
 }
 
 // Close releases the virtual network, if started.
 func (s *Study) Close() {
+	s.netMu.Lock()
+	defer s.netMu.Unlock()
 	if s.Network != nil {
 		s.Network.Close()
 		s.Network = nil

@@ -189,7 +189,7 @@ func adultOdds(s *core.Study, normalized func(int, *psl.List) (*rank.Ranking, ra
 // categoryOdds computes one category's inclusion odds ratio for a list.
 func categoryOdds(s *core.Study, normalized func(int, *psl.List) (*rank.Ranking, rank.NormalizeStats), cat world.Category) float64 {
 	day := evalDay(s)
-	cfTop := s.Pipeline.MetricRanking(day, cfmetrics.MAllRequests)
+	cfTop := s.Artifacts().MetricRanking(day, cfmetrics.MAllRequests)
 	list, _ := normalized(day, s.PSL)
 	odds, err := core.CategoryBias(s.World, cfTop, list, s.Bucketer.Magnitudes[2])
 	if err != nil {

@@ -69,7 +69,7 @@ func RunAttack(scale core.Config, budgets []int) (*AttackResult, error) {
 		aList, _ := s.Alexa.Normalized(day, s.PSL)
 		alexa, _ = aList.RankOf(targetDomain)
 		tranco, _ = s.Tranco.Raw(day).RankOf(targetDomain)
-		cf, _ = s.Pipeline.MetricRanking(day, cfmetrics.MAllRequests).RankOf(targetDomain)
+		cf, _ = s.Artifacts().MetricRanking(day, cfmetrics.MAllRequests).RankOf(targetDomain)
 		return alexa, tranco, cf
 	}
 

@@ -28,6 +28,7 @@ func (r *Fig6Result) ID() string { return "fig6" }
 func RunFig6(s *core.Study) *Fig6Result {
 	metrics := chrome.AllTelemetryMetrics()
 	k := s.EvalK()
+	art := s.Artifacts()
 	res := &Fig6Result{Metrics: metrics, TopK: k}
 	n := len(metrics)
 	res.Jaccard = newMatrix(n)
@@ -38,8 +39,8 @@ func RunFig6(s *core.Study) *Fig6Result {
 			var jjs, rss []float64
 			for _, c := range world.AllCountries() {
 				for _, p := range world.AllPlatforms() {
-					a := s.Telemetry.Ranking(c, p, metrics[i])
-					b := s.Telemetry.Ranking(c, p, metrics[j])
+					a := art.TelemetryRanking(c, p, metrics[i])
+					b := art.TelemetryRanking(c, p, metrics[j])
 					if a.Len() == 0 || b.Len() == 0 {
 						continue
 					}
@@ -117,7 +118,7 @@ func (r *Fig4Result) ID() string { return "fig4" }
 func RunFig4(s *core.Study) *Fig4Result {
 	lists := s.RankedLists()
 	day := evalDay(s)
-	cache := newNormCache(s)
+	art := s.Artifacts()
 	k := s.EvalK()
 	res := &Fig4Result{Platforms: world.AllPlatforms(), TopK: k}
 	for _, l := range lists {
@@ -128,11 +129,11 @@ func RunFig4(s *core.Study) *Fig4Result {
 	for li, l := range lists {
 		res.Jaccard[li] = make([]float64, len(res.Platforms))
 		res.Spearman[li] = make([]float64, len(res.Platforms))
-		norm := cache.get(l, day)
+		norm := art.Normalized(l, day)
 		for pi, p := range res.Platforms {
 			var jjs, rss []float64
 			for _, c := range world.AllCountries() {
-				cell := s.Telemetry.Ranking(c, p, chrome.CompletedPageLoads)
+				cell := art.TelemetryRanking(c, p, chrome.CompletedPageLoads)
 				if cell.Len() == 0 {
 					continue
 				}
@@ -199,7 +200,7 @@ func (r *Fig7Result) ID() string { return "fig7" }
 func RunFig7(s *core.Study) *Fig7Result {
 	lists := s.RankedLists()
 	day := evalDay(s)
-	cache := newNormCache(s)
+	art := s.Artifacts()
 	k := s.EvalK()
 	res := &Fig7Result{Countries: world.AllCountries(), TopK: k}
 	for _, l := range lists {
@@ -210,11 +211,11 @@ func RunFig7(s *core.Study) *Fig7Result {
 	for li, l := range lists {
 		res.Jaccard[li] = make([]float64, len(res.Countries))
 		res.Spearman[li] = make([]float64, len(res.Countries))
-		norm := cache.get(l, day)
+		norm := art.Normalized(l, day)
 		for ci, c := range res.Countries {
 			var jjs, rss []float64
 			for _, p := range world.AllPlatforms() {
-				cell := s.Telemetry.Ranking(c, p, chrome.CompletedPageLoads)
+				cell := art.TelemetryRanking(c, p, chrome.CompletedPageLoads)
 				if cell.Len() == 0 {
 					continue
 				}

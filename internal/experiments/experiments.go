@@ -6,10 +6,10 @@ package experiments
 
 import (
 	"io"
+	"runtime"
+	"sync"
 
 	"toplists/internal/core"
-	"toplists/internal/providers"
-	"toplists/internal/rank"
 )
 
 // Result is a runnable experiment's output.
@@ -71,30 +71,55 @@ func Lookup(id string) (Runner, bool) {
 	return Runner{}, false
 }
 
-// normCache memoizes per-(list, day) normalized rankings; experiments share
-// one per study invocation.
-type normCache struct {
-	s *core.Study
-	m map[normKey]*rank.Ranking
+// Outcome pairs a runner with its result or error, in the order the
+// runners were submitted.
+type Outcome struct {
+	Runner Runner
+	Result Result
+	Err    error
 }
 
-type normKey struct {
-	list string
-	day  int
-}
-
-func newNormCache(s *core.Study) *normCache {
-	return &normCache{s: s, m: make(map[normKey]*rank.Ranking)}
-}
-
-func (c *normCache) get(l providers.List, day int) *rank.Ranking {
-	key := normKey{l.Name(), day}
-	if r, ok := c.m[key]; ok {
-		return r
+// RunConcurrent executes the runners against one shared study on a bounded
+// worker pool and returns their outcomes in input order, regardless of
+// completion order. workers follows the study's Config.Workers semantics:
+// 0 means one worker per CPU, 1 forces the serial path (the oracle the
+// parallel path is tested against). Runners read every derived artifact
+// through the study's Artifacts store, so concurrent execution computes
+// each shared artifact exactly once.
+func RunConcurrent(s *core.Study, runners []Runner, workers int) []Outcome {
+	out := make([]Outcome, len(runners))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	r, _ := l.Normalized(day, c.s.PSL)
-	c.m[key] = r
-	return r
+	if workers > len(runners) {
+		workers = len(runners)
+	}
+	if workers <= 1 {
+		for i, r := range runners {
+			res, err := r.Run(s)
+			out[i] = Outcome{Runner: r, Result: res, Err: err}
+		}
+		return out
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				r := runners[i]
+				res, err := r.Run(s)
+				out[i] = Outcome{Runner: r, Result: res, Err: err}
+			}
+		}()
+	}
+	for i := range runners {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
 }
 
 // evalDay is the evaluation day used by single-day analyses (the paper uses

@@ -34,13 +34,14 @@ func RunFig1(s *core.Study) *Fig1Result {
 	res.Jaccard = newMatrix(n)
 	res.Spearman = newMatrix(n)
 
+	art := s.Artifacts()
 	days := s.Pipeline.NumDays()
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			var jjs, rss []float64
 			for d := 0; d < days; d++ {
-				a := s.Pipeline.MetricRanking(d, metrics[i])
-				b := s.Pipeline.MetricRanking(d, metrics[j])
+				a := art.MetricRanking(d, metrics[i])
+				b := art.MetricRanking(d, metrics[j])
 				jjs = append(jjs, core.JaccardTopK(a, b, k))
 				if rs, _, err := core.SpearmanTopK(a, b, k); err == nil {
 					rss = append(rss, rs)
@@ -147,7 +148,7 @@ func RunFig8(s *core.Study) (*Fig8Result, error) {
 		if !s.Pipeline.Tracks(c) {
 			return nil, ErrNeedAllCombos
 		}
-		rankings[i] = s.Pipeline.DayRanking(0, c)
+		rankings[i] = s.Artifacts().ComboRanking(0, c)
 	}
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {

@@ -33,8 +33,8 @@ func RunFig2(s *core.Study) *Fig2Result {
 	lists := s.Lists()
 	metrics := cfmetrics.AllMetrics()
 	k := s.EvalK()
-	cfSet := s.CFDomains()
-	cache := newNormCache(s)
+	art := s.Artifacts()
+	cfSet := art.CFDomains()
 
 	res := &Fig2Result{Metrics: metrics, TopK: k}
 	for _, l := range lists {
@@ -49,8 +49,8 @@ func RunFig2(s *core.Study) *Fig2Result {
 		for mi, m := range metrics {
 			var daily []core.ListVsMetric
 			for d := 0; d < days; d++ {
-				norm := cache.get(l, d)
-				cf := s.Pipeline.MetricRanking(d, m)
+				norm := art.Normalized(l, d)
+				cf := art.MetricRanking(d, m)
 				// Set intersection is judged at the scarce head cut; rank
 				// correlation over the full list depth, where tail noise
 				// (alphabetical runs, panel starvation) lives.

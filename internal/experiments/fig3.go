@@ -31,8 +31,8 @@ func (r *Fig3Result) ID() string { return "fig3" }
 func RunFig3(s *core.Study) *Fig3Result {
 	lists := s.Lists()
 	k := s.EvalK()
-	cfSet := s.CFDomains()
-	cache := newNormCache(s)
+	art := s.Artifacts()
+	cfSet := art.CFDomains()
 	days := s.Pipeline.NumDays()
 
 	res := &Fig3Result{Days: days, TopK: k}
@@ -50,8 +50,8 @@ func RunFig3(s *core.Study) *Fig3Result {
 		res.Spearman[li] = make([]float64, days)
 		res.SpearmanOK[li] = make([]bool, days)
 		for d := 0; d < days; d++ {
-			cf := s.Pipeline.MetricRanking(d, cfmetrics.MAllRequests)
-			norm := cache.get(l, d)
+			cf := art.MetricRanking(d, cfmetrics.MAllRequests)
+			norm := art.Normalized(l, d)
 			ev := core.EvalListVsMetric(norm, cfSet, cf, k, l.Bucketed())
 			res.Jaccard[li][d] = ev.Jaccard
 			if !l.Bucketed() {

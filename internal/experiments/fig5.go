@@ -30,18 +30,19 @@ func (r *Fig5Result) ID() string { return "fig5" }
 
 // RunFig5 computes Figure 5. The Cloudflare consensus buckets come from
 // month-aggregated metric lists (reciprocal-rank combination of the daily
-// lists): a single day of simulated traffic does not reach deep enough into
-// the tail to bucket it stably, whereas the real Cloudflare vantage does.
+// lists, memoized in the artifact store): a single day of simulated traffic
+// does not reach deep enough into the tail to bucket it stably, whereas the
+// real Cloudflare vantage does.
 func RunFig5(s *core.Study) *Fig5Result {
 	day := evalDay(s)
-	m1 := monthlyMetric(s, cfmetrics.MAllRequests)
-	m3 := monthlyMetric(s, cfmetrics.MRootRequests)
+	art := s.Artifacts()
+	m1 := art.MonthlyMetric(cfmetrics.MAllRequests)
+	m3 := art.MonthlyMetric(cfmetrics.MRootRequests)
 	agreed := core.AgreedBuckets(m1, m3, s.Bucketer)
-	cache := newNormCache(s)
 
 	res := &Fig5Result{Day: day, AgreedCount: len(agreed)}
 	for _, l := range s.Lists() {
-		norm := cache.get(l, day)
+		norm := art.Normalized(l, day)
 		res.Lists = append(res.Lists, l.Name())
 		res.Movements = append(res.Movements, core.ComputeMovement(agreed, norm, s.Bucketer))
 		res.Overrank = append(res.Overrank, []core.OverrankStats{
@@ -98,23 +99,6 @@ func (r *Fig5Result) Render(w io.Writer) error {
 			itoa(o1.N), fmt.Sprintf("%.1f", o1.OverrankedPct), fmt.Sprintf("%.1f", o1.Overranked2Pct))
 	}
 	return tbl.Render(w)
-}
-
-// monthlyMetric combines a metric's daily rankings into one month-level
-// ranking by summing reciprocal ranks (the Dowdall rule).
-func monthlyMetric(s *core.Study, m cfmetrics.Metric) *rank.Ranking {
-	scores := make(map[string]float64)
-	for d := 0; d < s.Pipeline.NumDays(); d++ {
-		r := s.Pipeline.MetricRanking(d, m)
-		for i := 1; i <= r.Len(); i++ {
-			scores[r.At(i)] += 1 / float64(i)
-		}
-	}
-	scored := make([]rank.Scored, 0, len(scores))
-	for name, v := range scores {
-		scored = append(scored, rank.Scored{Name: name, Score: v})
-	}
-	return rank.FromScores(scored, rank.TieHashed)
 }
 
 func bucketLabels() []string {

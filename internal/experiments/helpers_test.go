@@ -81,7 +81,7 @@ func TestDoubled(t *testing.T) {
 
 func TestMonthlyMetricAggregation(t *testing.T) {
 	s := getStudy(t)
-	m := monthlyMetric(s, cfmetrics.MAllRequests)
+	m := s.Artifacts().MonthlyMetric(cfmetrics.MAllRequests)
 	if m.Len() == 0 {
 		t.Fatal("empty monthly metric")
 	}
@@ -99,15 +99,21 @@ func TestMonthlyMetricAggregation(t *testing.T) {
 	}
 }
 
-func TestNormCacheReuse(t *testing.T) {
+func TestArtifactStoreReuse(t *testing.T) {
 	s := getStudy(t)
-	c := newNormCache(s)
-	a := c.get(s.Alexa, 0)
-	b := c.get(s.Alexa, 0)
+	art := s.Artifacts()
+	a := art.Normalized(s.Alexa, 0)
+	b := art.Normalized(s.Alexa, 0)
 	if a != b {
-		t.Error("cache did not reuse the normalized list")
+		t.Error("store did not reuse the normalized list")
 	}
-	if c.get(s.Alexa, 1) == a {
-		t.Error("different days share a cache entry")
+	if art.Normalized(s.Alexa, 1) == a {
+		t.Error("different days share a store entry")
+	}
+	if art.MetricRanking(0, cfmetrics.MAllRequests) != art.MetricRanking(0, cfmetrics.MAllRequests) {
+		t.Error("store did not reuse the metric ranking")
+	}
+	if art.MonthlyMetric(cfmetrics.MAllRequests) != art.MonthlyMetric(cfmetrics.MAllRequests) {
+		t.Error("store did not reuse the monthly amalgam")
 	}
 }

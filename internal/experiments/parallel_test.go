@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"toplists/internal/core"
+)
+
+// evalOracleCfg is the fixture for the evaluation-determinism oracle: small
+// enough to build twice (once serial, once shared) under -race, with every
+// combo tracked so fig8 participates.
+var evalOracleCfg = core.Config{
+	Seed:           2022,
+	NumSites:       1500,
+	NumClients:     300,
+	Days:           4,
+	TrackAllCombos: true,
+	EvalMagIdx:     1,
+}
+
+// TestConcurrentEvaluationMatchesSerial is the evaluation analogue of the
+// traffic engine's determinism-across-workers test: every experiment, run
+// concurrently (and twice over, so each memoized artifact has many
+// simultaneous requesters) against one shared study, must render
+// byte-identically to a serial run against a fresh study of the same
+// configuration. Run it with -race to also exercise the artifact store's
+// singleflight paths.
+func TestConcurrentEvaluationMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds two full studies")
+	}
+	runners := append(All(), Extensions()...)
+
+	serial := core.NewStudy(evalOracleCfg)
+	serial.Run()
+	defer serial.Close()
+	want := make(map[string]string, len(runners))
+	for _, oc := range RunConcurrent(serial, runners, 1) {
+		if oc.Err != nil {
+			t.Fatalf("serial %s: %v", oc.Runner.ID, oc.Err)
+		}
+		var b strings.Builder
+		if err := oc.Result.Render(&b); err != nil {
+			t.Fatalf("serial render %s: %v", oc.Runner.ID, err)
+		}
+		want[oc.Runner.ID] = b.String()
+	}
+
+	shared := core.NewStudy(evalOracleCfg)
+	shared.Run()
+	defer shared.Close()
+
+	const rounds = 2
+	var wg sync.WaitGroup
+	for round := 0; round < rounds; round++ {
+		for _, r := range runners {
+			wg.Add(1)
+			go func(round int, r Runner) {
+				defer wg.Done()
+				res, err := r.Run(shared)
+				if err != nil {
+					t.Errorf("round %d %s: %v", round, r.ID, err)
+					return
+				}
+				var b strings.Builder
+				if err := res.Render(&b); err != nil {
+					t.Errorf("round %d render %s: %v", round, r.ID, err)
+					return
+				}
+				if b.String() != want[r.ID] {
+					t.Errorf("round %d %s: concurrent render differs from serial fresh-study render", round, r.ID)
+				}
+			}(round, r)
+		}
+	}
+	wg.Wait()
+}
+
+// TestRunConcurrentOrderAndEquivalence pins RunConcurrent's contract:
+// outcomes come back in input order regardless of completion order, and the
+// parallel pool renders byte-identically to the serial (workers=1) path over
+// the same warmed study.
+func TestRunConcurrentOrderAndEquivalence(t *testing.T) {
+	s := getStudy(t)
+	runners := append(All(), Extensions()...)
+
+	render := func(ocs []Outcome) map[string]string {
+		t.Helper()
+		out := make(map[string]string, len(ocs))
+		for i, oc := range ocs {
+			if oc.Runner.ID != runners[i].ID {
+				t.Fatalf("outcome %d is %s, want %s (input order violated)", i, oc.Runner.ID, runners[i].ID)
+			}
+			if oc.Err != nil {
+				t.Fatalf("%s: %v", oc.Runner.ID, oc.Err)
+			}
+			var b strings.Builder
+			if err := oc.Result.Render(&b); err != nil {
+				t.Fatalf("render %s: %v", oc.Runner.ID, err)
+			}
+			out[oc.Runner.ID] = b.String()
+		}
+		return out
+	}
+
+	serial := render(RunConcurrent(s, runners, 1))
+	parallel := render(RunConcurrent(s, runners, 0))
+	for id, want := range serial {
+		if parallel[id] != want {
+			t.Errorf("%s: parallel render differs from serial", id)
+		}
+	}
+}

@@ -32,7 +32,7 @@ func (r *StabilityResult) ID() string { return "stability" }
 // RunStability computes the stability and cross-list agreement profile.
 func RunStability(s *core.Study) *StabilityResult {
 	lists := s.Lists()
-	cache := newNormCache(s)
+	art := s.Artifacts()
 	k := s.EvalK()
 	days := s.Cfg.Days
 
@@ -44,8 +44,8 @@ func RunStability(s *core.Study) *StabilityResult {
 	for _, l := range lists {
 		var sims []float64
 		for d := 1; d < days; d++ {
-			prev := cache.get(l, d-1)
-			cur := cache.get(l, d)
+			prev := art.Normalized(l, d-1)
+			cur := art.Normalized(l, d)
 			sims = append(sims, stats.Jaccard(prev.TopSet(k), cur.TopSet(k)))
 		}
 		res.DayOverDay = append(res.DayOverDay, stats.Mean(sims))
@@ -55,8 +55,8 @@ func RunStability(s *core.Study) *StabilityResult {
 	res.Pairwise = newMatrix(len(lists))
 	for i := range lists {
 		for j := range lists {
-			a := cache.get(lists[i], day)
-			b := cache.get(lists[j], day)
+			a := art.Normalized(lists[i], day)
+			b := art.Normalized(lists[j], day)
 			res.Pairwise[i][j] = stats.Jaccard(a.TopSet(k), b.TopSet(k))
 		}
 	}

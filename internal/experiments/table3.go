@@ -29,12 +29,12 @@ func (r *Table3Result) ID() string { return "tab3" }
 func RunTable3(s *core.Study) (*Table3Result, error) {
 	day := evalDay(s)
 	topK := s.Bucketer.Magnitudes[2]
-	cfTop := s.Pipeline.MetricRanking(day, cfmetrics.MAllRequests)
-	cache := newNormCache(s)
+	art := s.Artifacts()
+	cfTop := art.MetricRanking(day, cfmetrics.MAllRequests)
 
 	res := &Table3Result{Day: day, TopK: topK}
 	for _, l := range s.Lists() {
-		odds, err := core.CategoryBias(s.World, cfTop, cache.get(l, day), topK)
+		odds, err := core.CategoryBias(s.World, cfTop, art.Normalized(l, day), topK)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: table 3 for %s: %w", l.Name(), err)
 		}

@@ -7,6 +7,8 @@
 package providers
 
 import (
+	"sync"
+
 	"toplists/internal/psl"
 	"toplists/internal/rank"
 )
@@ -32,6 +34,52 @@ type List interface {
 // names (domains or FQDNs).
 func domainNormalized(r *rank.Ranking, l *psl.List) (*rank.Ranking, rank.NormalizeStats) {
 	return r.NormalizePSL(l)
+}
+
+// NormMemo memoizes PSL-normalized list snapshots per (list, day). It is
+// the caching hook shared by the Tranco/Trexa amalgam construction (which
+// re-reads its inputs' normalized snapshots across a trailing window every
+// day) and the evaluation's derived-artifact store. It is safe for
+// concurrent use: each (list, day) is normalized at most once, with
+// singleflight deduplication — a second requester for an in-flight key
+// waits for the first computation instead of repeating it.
+type NormMemo struct {
+	psl *psl.List
+	mu  sync.Mutex
+	m   map[normMemoKey]*normMemoEntry
+}
+
+type normMemoKey struct {
+	list string
+	day  int
+}
+
+type normMemoEntry struct {
+	once  sync.Once
+	r     *rank.Ranking
+	stats rank.NormalizeStats
+}
+
+// NewNormMemo builds an empty memo normalizing against l.
+func NewNormMemo(l *psl.List) *NormMemo {
+	return &NormMemo{psl: l, m: make(map[normMemoKey]*normMemoEntry)}
+}
+
+// Normalized returns the list's normalized day-d snapshot with its
+// deviation statistics, computing it at most once per (list, day).
+func (m *NormMemo) Normalized(l List, day int) (*rank.Ranking, rank.NormalizeStats) {
+	key := normMemoKey{l.Name(), day}
+	m.mu.Lock()
+	e, ok := m.m[key]
+	if !ok {
+		e = &normMemoEntry{}
+		m.m[key] = e
+	}
+	m.mu.Unlock()
+	e.once.Do(func() {
+		e.r, e.stats = l.Normalized(day, m.psl)
+	})
+	return e.r, e.stats
 }
 
 // The canonical provider ordering used in tables and figures.

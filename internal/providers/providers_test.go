@@ -50,7 +50,7 @@ func buildFixture(t testing.TB, seed uint64, days int) *fixture {
 	e.AddSink(tel)
 	e.Run()
 
-	f.tranco = NewTranco(f.alexa, f.umbrella, f.majestic, l)
+	f.tranco = NewTranco(f.alexa, f.umbrella, f.majestic, l, nil)
 	f.trexa = NewTrexa(f.alexa, f.tranco, l)
 	for d := 0; d < days; d++ {
 		f.tranco.ComputeDay(d)

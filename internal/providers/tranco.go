@@ -24,23 +24,25 @@ type Tranco struct {
 	Window int
 
 	lists []*rank.Ranking
-	// normCache caches per-day normalized inputs so consecutive Tranco days
-	// do not re-normalize the same snapshots.
-	normCache map[normKey]*rank.Ranking
+	// memo caches per-(list, day) normalized inputs so consecutive Tranco
+	// days do not re-normalize the same snapshots. When shared with the
+	// study's artifact store, the normalizations done here are reused by
+	// the evaluation.
+	memo *NormMemo
 }
 
-type normKey struct {
-	input int
-	day   int
-}
-
-// NewTranco builds a Tranco provider over its three input lists.
-func NewTranco(alexa, umbrella, majestic List, l *psl.List) *Tranco {
+// NewTranco builds a Tranco provider over its three input lists. memo is
+// the normalization cache to draw input snapshots through; nil builds a
+// private one.
+func NewTranco(alexa, umbrella, majestic List, l *psl.List, memo *NormMemo) *Tranco {
+	if memo == nil {
+		memo = NewNormMemo(l)
+	}
 	return &Tranco{
-		inputs:    []List{alexa, umbrella, majestic},
-		psl:       l,
-		Window:    30,
-		normCache: make(map[normKey]*rank.Ranking),
+		inputs: []List{alexa, umbrella, majestic},
+		psl:    l,
+		Window: 30,
+		memo:   memo,
 	}
 }
 
@@ -59,8 +61,8 @@ func (t *Tranco) ComputeDay(day int) {
 		start = 0
 	}
 	for d := start; d <= day; d++ {
-		for i := range t.inputs {
-			norm := t.normalizedInput(i, d)
+		for _, in := range t.inputs {
+			norm, _ := t.memo.Normalized(in, d)
 			for rk := 1; rk <= norm.Len(); rk++ {
 				scores[norm.At(rk)] += 1 / float64(rk)
 			}
@@ -71,16 +73,6 @@ func (t *Tranco) ComputeDay(day int) {
 		scored = append(scored, rank.Scored{Name: name, Score: v})
 	}
 	t.lists = append(t.lists, rank.FromScores(scored, rank.TieHashed))
-}
-
-func (t *Tranco) normalizedInput(i, day int) *rank.Ranking {
-	key := normKey{i, day}
-	if r, ok := t.normCache[key]; ok {
-		return r
-	}
-	r, _ := t.inputs[i].Normalized(day, t.psl)
-	t.normCache[key] = r
-	return r
 }
 
 // Raw implements List. Tranco publishes registrable domains already.
@@ -106,7 +98,8 @@ type Trexa struct {
 	lists []*rank.Ranking
 }
 
-// NewTrexa builds a Trexa provider.
+// NewTrexa builds a Trexa provider. Normalized Alexa snapshots are drawn
+// through the Tranco amalgam's memo, which already holds them.
 func NewTrexa(alexa List, tranco *Tranco, l *psl.List) *Trexa {
 	return &Trexa{alexa: alexa, tranco: tranco, psl: l, AlexaWeight: 2}
 }
@@ -120,7 +113,7 @@ func (t *Trexa) Bucketed() bool { return false }
 // ComputeDay builds and stores the published list for day d. The Tranco day
 // must already be computed.
 func (t *Trexa) ComputeDay(day int) {
-	a, _ := t.alexa.Normalized(day, t.psl)
+	a, _ := t.tranco.memo.Normalized(t.alexa, day)
 	tr := t.tranco.Raw(day)
 	seen := make(map[string]struct{}, a.Len()+tr.Len())
 	out := make([]string, 0, a.Len()+tr.Len())

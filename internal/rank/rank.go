@@ -7,31 +7,67 @@ package rank
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"toplists/internal/psl"
 )
 
 // Ranking is an ordered list of names, most popular first. Ranks are
-// 1-based. A Ranking is immutable after construction.
+// 1-based. The name sequence is immutable after construction; the rank
+// index and top-k sets are derived lazily under sync.Once-style guards, so
+// a Ranking is safe for concurrent use by multiple goroutines.
 type Ranking struct {
 	names []string
-	pos   map[string]int // name -> 0-based index
+
+	// pos maps name -> 0-based index. It is built at most once, on first
+	// lookup, so rankings that are only iterated (truncations, filtered
+	// intermediates) never pay for it.
+	posOnce sync.Once
+	pos     map[string]int
+
+	// topSets memoizes TopSet results per k: the evaluation asks for the
+	// same few cuts (EvalK, SpearmanK) of long-lived rankings over and
+	// over across experiments.
+	topMu   sync.Mutex
+	topSets map[int]map[string]struct{}
 }
 
 // New builds a Ranking from names in rank order. Duplicate names are an
 // error: a list must rank each name once.
 func New(names []string) (*Ranking, error) {
-	r := &Ranking{
-		names: names,
-		pos:   make(map[string]int, len(names)),
-	}
-	for i, n := range names {
-		if _, dup := r.pos[n]; dup {
-			return nil, fmt.Errorf("rank: duplicate name %q", n)
+	r := &Ranking{names: names}
+	if len(r.index()) != len(names) {
+		seen := make(map[string]struct{}, len(names))
+		for _, n := range names {
+			if _, dup := seen[n]; dup {
+				return nil, fmt.Errorf("rank: duplicate name %q", n)
+			}
+			seen[n] = struct{}{}
 		}
-		r.pos[n] = i
 	}
 	return r, nil
+}
+
+// fromUnique wraps names already known to be pairwise distinct (slices
+// derived from an existing Ranking), deferring the index build until a
+// rank lookup actually needs it.
+func fromUnique(names []string) *Ranking {
+	return &Ranking{names: names}
+}
+
+// index returns the name -> 0-based-index map, building it on first use.
+// Duplicates keep their first index (New rejects them for external input).
+func (r *Ranking) index() map[string]int {
+	r.posOnce.Do(func() {
+		pos := make(map[string]int, len(r.names))
+		for i, n := range r.names {
+			if _, dup := pos[n]; !dup {
+				pos[n] = i
+			}
+		}
+		r.pos = pos
+	})
+	return r.pos
 }
 
 // MustNew is New for inputs known to be unique; it panics on error.
@@ -55,7 +91,7 @@ func (r *Ranking) Names() []string { return r.names }
 
 // RankOf returns the 1-based rank of name, or (0, false) if absent.
 func (r *Ranking) RankOf(name string) (int, bool) {
-	i, ok := r.pos[name]
+	i, ok := r.index()[name]
 	if !ok {
 		return 0, false
 	}
@@ -64,7 +100,7 @@ func (r *Ranking) RankOf(name string) (int, bool) {
 
 // Contains reports whether name appears in the ranking.
 func (r *Ranking) Contains(name string) bool {
-	_, ok := r.pos[name]
+	_, ok := r.index()[name]
 	return ok
 }
 
@@ -77,18 +113,31 @@ func (r *Ranking) Top(k int) *Ranking {
 	if k < 0 {
 		k = 0
 	}
-	return MustNew(r.names[:k:k])
+	return fromUnique(r.names[:k:k])
 }
 
-// TopSet returns the top-k names as a set.
+// TopSet returns the top-k names as a set, memoized per k. Callers must
+// not modify the returned set.
 func (r *Ranking) TopSet(k int) map[string]struct{} {
 	if k > len(r.names) {
 		k = len(r.names)
+	}
+	if k < 0 {
+		k = 0
+	}
+	r.topMu.Lock()
+	defer r.topMu.Unlock()
+	if s, ok := r.topSets[k]; ok {
+		return s
 	}
 	s := make(map[string]struct{}, k)
 	for _, n := range r.names[:k] {
 		s[n] = struct{}{}
 	}
+	if r.topSets == nil {
+		r.topSets = make(map[int]map[string]struct{})
+	}
+	r.topSets[k] = s
 	return s
 }
 
@@ -101,7 +150,7 @@ func (r *Ranking) Filter(keep func(name string) bool) *Ranking {
 			out = append(out, n)
 		}
 	}
-	return MustNew(out)
+	return fromUnique(out)
 }
 
 // Scored pairs a name with a raw popularity score.

@@ -46,9 +46,12 @@ type Config struct {
 	// always tracked).
 	AllCombos bool
 	// Workers is the number of goroutines simulating clients within each
-	// day: 0 uses one per CPU, 1 forces the serial path. Results are
-	// bit-identical for every setting — workers emit into per-shard
-	// buffers that are replayed to observers in client order.
+	// day, and also the size of the worker pool RenderAll and
+	// RunExperiments evaluate experiments on: 0 uses one per CPU, 1 forces
+	// the serial path. Results are bit-identical for every setting —
+	// simulation workers emit into per-shard buffers that are replayed to
+	// observers in client order, and evaluation results are emitted in
+	// canonical paper order regardless of completion order.
 	Workers int
 	// CruxMinVisitors is the CrUX per-country privacy threshold.
 	CruxMinVisitors int
@@ -87,7 +90,9 @@ type Study struct {
 }
 
 // Run builds the universe, simulates the measurement window, and finalizes
-// every top list. It is CPU-bound and single-threaded; expect seconds to
+// every top list. It is CPU-bound and scales across cores: the simulation
+// fans each day's clients out over Config.Workers goroutines (0 = one per
+// CPU) with output bit-identical to the serial path. Expect seconds to
 // minutes depending on Config.
 func Run(cfg Config) (*Study, error) {
 	if cfg.Sites < 0 || cfg.Clients < 0 || cfg.Days < 0 {
@@ -125,18 +130,55 @@ func (s *Study) Lists() []string {
 func (s *Study) Experiment(id string) (Result, error) {
 	runner, ok := experiments.Lookup(id)
 	if !ok {
-		ids := make([]string, 0, len(experiments.All()))
-		for _, r := range experiments.All() {
-			ids = append(ids, r.ID)
-		}
-		sort.Strings(ids)
-		return nil, fmt.Errorf("toplists: unknown experiment %q (have %v)", id, ids)
+		return nil, unknownExperiment(id)
 	}
 	res, err := runner.Run(s.inner)
 	if err != nil {
 		return nil, err
 	}
 	return res, nil
+}
+
+// unknownExperiment builds the error for an unrecognized ID, advertising
+// every ID Lookup accepts: the paper artifacts and the extensions.
+func unknownExperiment(id string) error {
+	exps := Experiments()
+	ids := make([]string, 0, len(exps))
+	for _, e := range exps {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return fmt.Errorf("toplists: unknown experiment %q (have %v)", id, ids)
+}
+
+// ExperimentOutcome pairs an experiment ID with its result or error.
+type ExperimentOutcome struct {
+	ID     string
+	Result Result
+	Err    error
+}
+
+// RunExperiments executes the named experiments against the study,
+// concurrently on a bounded worker pool sized by Config.Workers (0 = one
+// per CPU, 1 = serial). Outcomes are returned in input order regardless of
+// completion order, and every derived artifact (normalized lists, metric
+// rankings, the probed Cloudflare set) is computed at most once across the
+// whole batch. An unknown ID fails the call before anything runs.
+func (s *Study) RunExperiments(ids []string) ([]ExperimentOutcome, error) {
+	runners := make([]experiments.Runner, len(ids))
+	for i, id := range ids {
+		r, ok := experiments.Lookup(id)
+		if !ok {
+			return nil, unknownExperiment(id)
+		}
+		runners[i] = r
+	}
+	outcomes := experiments.RunConcurrent(s.inner, runners, s.inner.Cfg.Workers)
+	out := make([]ExperimentOutcome, len(outcomes))
+	for i, oc := range outcomes {
+		out[i] = ExperimentOutcome{ID: oc.Runner.ID, Result: oc.Result, Err: oc.Err}
+	}
+	return out, nil
 }
 
 // RunAblations runs the mechanism-ablation study (an extension beyond the
@@ -196,17 +238,22 @@ func RunRobustness(cfg Config, seeds []uint64) (Result, error) {
 // RenderAll runs every experiment the study's configuration supports and
 // writes the artifacts to w, separated by blank lines. fig8 is skipped with
 // a note unless the study was built with AllCombos.
+//
+// Independent experiments execute concurrently on a bounded worker pool
+// sized by Config.Workers (0 = one per CPU, 1 = serial), sharing one
+// memoized artifact store; artifacts are emitted in canonical paper order
+// regardless of completion order, so the output is byte-identical to a
+// serial run.
 func (s *Study) RenderAll(w io.Writer) error {
-	for _, runner := range experiments.All() {
-		res, err := runner.Run(s.inner)
-		if err != nil {
-			if runner.ID == "fig8" {
-				fmt.Fprintf(w, "[%s skipped: %v]\n\n", runner.ID, err)
+	for _, oc := range experiments.RunConcurrent(s.inner, experiments.All(), s.inner.Cfg.Workers) {
+		if oc.Err != nil {
+			if oc.Runner.ID == "fig8" {
+				fmt.Fprintf(w, "[%s skipped: %v]\n\n", oc.Runner.ID, oc.Err)
 				continue
 			}
-			return fmt.Errorf("toplists: %s: %w", runner.ID, err)
+			return fmt.Errorf("toplists: %s: %w", oc.Runner.ID, oc.Err)
 		}
-		if err := res.Render(w); err != nil {
+		if err := oc.Result.Render(w); err != nil {
 			return err
 		}
 		fmt.Fprintln(w)
