@@ -11,22 +11,31 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The simulation engine runs client shards concurrently and the experiments
-# evaluate on a shared artifact store; the race pass covers every package
-# that touches a parallel path.
+# The simulation engine runs client shards concurrently, the experiments
+# evaluate on a shared artifact store, and the name interner serves
+# lock-free concurrent readers; the race pass covers every package that
+# touches a parallel path.
 race:
-	$(GO) test -race ./internal/traffic ./internal/core ./internal/experiments
+	$(GO) test -race ./internal/names ./internal/rank ./internal/traffic ./internal/core ./internal/experiments
 
-# Short fuzz smoke of the rank-bucketing targets (seeds + 10s each).
+# Short fuzz smoke of the rank-bucketing and interner targets (seeds + 10s each).
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzScaledMagnitudes -fuzztime=10s ./internal/rank
 	$(GO) test -run=^$$ -fuzz=FuzzBucketer -fuzztime=10s ./internal/rank
+	$(GO) test -run=^$$ -fuzz=FuzzInternLookupRoundTrip -fuzztime=10s ./internal/names
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
+# The interned-evaluation microbenchmarks: string path vs ID path for
+# top-k set builds, rank lookups, and Jaccard (recorded in BENCH_rank.json).
+benchrank:
+	$(GO) test -run=^$$ -bench='BenchmarkRanking|BenchmarkJaccard' -benchmem ./internal/rank ./internal/stats
+
 # One iteration of every benchmark, everywhere: cheap proof that the bench
-# harness still compiles and runs (CI's bench smoke).
+# harness still compiles and runs (CI's bench smoke). The rank/stats set
+# includes BenchmarkRankingTopSetIDs and BenchmarkJaccardIDs, keeping the
+# interned fast paths exercised on every CI run.
 benchsmoke:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...
 

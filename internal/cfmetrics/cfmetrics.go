@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 
+	"toplists/internal/names"
 	"toplists/internal/rank"
 	"toplists/internal/sketch"
 	"toplists/internal/traffic"
@@ -402,13 +403,15 @@ func (p *Pipeline) DayList(day int, c Combo) []int32 {
 }
 
 // DayRanking returns the day's ranked list for a combo as a domain Ranking.
+// The pipeline already ranks dense site IDs, which are interner IDs for the
+// sites' domains by the world's construction, so no strings are touched.
 func (p *Pipeline) DayRanking(day int, c Combo) *rank.Ranking {
-	ids := p.DayList(day, c)
-	names := make([]string, len(ids))
-	for i, id := range ids {
-		names[i] = p.w.Site(id).Domain
+	sites := p.DayList(day, c)
+	ids := make([]names.ID, len(sites))
+	for i, s := range sites {
+		ids[i] = p.w.DomainID(s)
 	}
-	return rank.MustNew(names)
+	return rank.MustFromIDs(p.w.Interner(), ids)
 }
 
 // MetricRanking returns the day's ranking for a canonical metric.

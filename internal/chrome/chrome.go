@@ -114,13 +114,13 @@ func (t *Telemetry) OnPageLoad(pl *traffic.PageLoad) {
 // platform, and metric. Sites with zero observed value are absent.
 func (t *Telemetry) Ranking(c world.Country, p world.Platform, m TelemetryMetric) *rank.Ranking {
 	vals := t.cells[cellKey(c, p, m)]
-	scored := make([]rank.Scored, 0, 1024)
+	scored := make([]rank.ScoredID, 0, 1024)
 	for site, v := range vals {
 		if v > 0 {
-			scored = append(scored, rank.Scored{Name: t.w.Site(int32(site)).Domain, Score: v})
+			scored = append(scored, rank.ScoredID{ID: t.w.DomainID(int32(site)), Score: v})
 		}
 	}
-	return rank.FromScores(scored, rank.TieHashed)
+	return rank.FromScoredIDs(t.w.Interner(), scored, rank.TieHashed)
 }
 
 // CruxEntry is one origin in the public CrUX dataset.
@@ -164,7 +164,7 @@ func (t *Telemetry) DeriveCrux(minVisitors int, bk rank.Bucketer) *CruxList {
 		}
 		scored = append(scored, rank.Scored{Name: scheme + site.Hostname(int(key.sub)), Score: v})
 	}
-	r := rank.FromScores(scored, rank.TieHashed)
+	r := rank.FromScoresIn(t.w.Interner(), scored, rank.TieHashed)
 	entries := make([]CruxEntry, r.Len())
 	for i := 1; i <= r.Len(); i++ {
 		entries[i-1] = CruxEntry{Origin: r.At(i), Bucket: bk.BucketOf(i)}
@@ -212,7 +212,7 @@ func (t *Telemetry) DeriveCruxCountry(country world.Country, minVisitors int, bk
 			Score: countryLoads * share,
 		})
 	}
-	r := rank.FromScores(scored, rank.TieHashed)
+	r := rank.FromScoresIn(t.w.Interner(), scored, rank.TieHashed)
 	entries := make([]CruxEntry, r.Len())
 	for i := 1; i <= r.Len(); i++ {
 		entries[i-1] = CruxEntry{Origin: r.At(i), Bucket: bk.BucketOf(i)}

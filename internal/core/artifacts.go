@@ -7,6 +7,7 @@ import (
 	"toplists/internal/cfmetrics"
 	"toplists/internal/chrome"
 	"toplists/internal/httpsim"
+	"toplists/internal/names"
 	"toplists/internal/providers"
 	"toplists/internal/rank"
 	"toplists/internal/world"
@@ -27,6 +28,10 @@ import (
 type Artifacts struct {
 	s *Study
 
+	// nz is the study-wide PSL normalizer: one apex-resolution cache over
+	// the world's interned name table, shared by every normalization.
+	nz *rank.Normalizer
+
 	// norms memoizes PSL-normalized (list, day) snapshots. It is shared
 	// with the Tranco/Trexa amalgam construction, so normalizations done
 	// while building the study are already warm at evaluation time.
@@ -37,6 +42,7 @@ type Artifacts struct {
 
 	cfOnce    sync.Once
 	cfDomains map[string]struct{}
+	cfIDs     *names.Set
 }
 
 type rankingEntry struct {
@@ -62,12 +68,18 @@ type (
 )
 
 func newArtifacts(s *Study) *Artifacts {
+	nz := rank.NewNormalizer(s.World.Interner(), s.PSL)
 	return &Artifacts{
 		s:       s,
-		norms:   providers.NewNormMemo(s.PSL),
+		nz:      nz,
+		norms:   providers.NewInternedNormMemo(nz),
 		derived: make(map[any]*rankingEntry),
 	}
 }
+
+// Normalizer returns the study-wide PSL normalizer; its per-interned-name
+// apex cache is shared by every normalization in the study.
+func (a *Artifacts) Normalizer() *rank.Normalizer { return a.nz }
 
 // memoized returns the ranking for key, building it at most once even
 // under concurrent requesters.
@@ -117,18 +129,18 @@ func (a *Artifacts) MetricRanking(day int, m cfmetrics.Metric) *rank.Ranking {
 // amalgamation Tranco uses), memoized per metric.
 func (a *Artifacts) MonthlyMetric(m cfmetrics.Metric) *rank.Ranking {
 	return a.memoized(monthlyKey{m.Combo()}, func() *rank.Ranking {
-		scores := make(map[string]float64)
+		tab := a.s.World.Interner()
+		scores := make(map[names.ID]float64)
 		for d := 0; d < a.s.Pipeline.NumDays(); d++ {
-			r := a.MetricRanking(d, m)
-			for i := 1; i <= r.Len(); i++ {
-				scores[r.At(i)] += 1 / float64(i)
+			for i, id := range a.MetricRanking(d, m).IDs() {
+				scores[id] += 1 / float64(i+1)
 			}
 		}
-		scored := make([]rank.Scored, 0, len(scores))
-		for name, v := range scores {
-			scored = append(scored, rank.Scored{Name: name, Score: v})
+		scored := make([]rank.ScoredID, 0, len(scores))
+		for id, v := range scores {
+			scored = append(scored, rank.ScoredID{ID: id, Score: v})
 		}
-		return rank.FromScores(scored, rank.TieHashed)
+		return rank.FromScoredIDs(tab, scored, rank.TieHashed)
 	})
 }
 
@@ -146,6 +158,19 @@ func (a *Artifacts) TelemetryRanking(c world.Country, p world.Platform, m chrome
 // those that answer with a cf-ray header. Callers must not modify the
 // returned set.
 func (a *Artifacts) CFDomains() map[string]struct{} {
+	a.probeCF()
+	return a.cfDomains
+}
+
+// CFDomainIDs is the interned form of CFDomains: the same probed set as a
+// bitset over the world's name table, usable with rank.FilterIDs and
+// stats.JaccardIDs. Built from the same single probe sweep.
+func (a *Artifacts) CFDomainIDs() *names.Set {
+	a.probeCF()
+	return a.cfIDs
+}
+
+func (a *Artifacts) probeCF() {
 	a.cfOnce.Do(func() {
 		prober := httpsim.NewProber(a.s.network().Client())
 		prober.Concurrency = 64
@@ -154,6 +179,13 @@ func (a *Artifacts) CFDomains() map[string]struct{} {
 			hosts[i] = a.s.World.Site(int32(i)).Domain
 		}
 		a.cfDomains = prober.CloudflareSet(context.Background(), hosts)
+		ids := make([]names.ID, 0, len(a.cfDomains))
+		for name := range a.cfDomains {
+			// Every probed host is a site domain, interned at world build.
+			if id, ok := a.s.World.Interner().Find(name); ok {
+				ids = append(ids, id)
+			}
+		}
+		a.cfIDs = names.NewSet(ids)
 	})
-	return a.cfDomains
 }

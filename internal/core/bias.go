@@ -31,14 +31,28 @@ func CategoryBias(w *world.World, cfTop *rank.Ranking, list *rank.Ranking, topK 
 	n := universe.Len()
 	cats := make([]world.Category, n)
 	included := make([]bool, n)
-	for i := 1; i <= n; i++ {
-		name := universe.At(i)
-		id, ok := w.ByDomain(name)
-		if !ok {
-			continue
+	if interned := cfTop.Table() == w.Interner() && list.Table() == w.Interner(); interned {
+		// Site domains are interned in true-rank order, so a universe
+		// entry's ID resolves to its site without touching the name string.
+		for i := 1; i <= n; i++ {
+			id := universe.IDAt(i)
+			site, ok := w.SiteOfID(id)
+			if !ok {
+				continue
+			}
+			cats[i-1] = w.Site(site).Category
+			included[i-1] = list.ContainsID(id)
 		}
-		cats[i-1] = w.Site(id).Category
-		included[i-1] = list.Contains(name)
+	} else {
+		for i := 1; i <= n; i++ {
+			name := universe.At(i)
+			id, ok := w.ByDomain(name)
+			if !ok {
+				continue
+			}
+			cats[i-1] = w.Site(id).Category
+			included[i-1] = list.Contains(name)
+		}
 	}
 
 	out := make([]CategoryOdds, 0, world.NumCategories)
@@ -118,7 +132,13 @@ type CellComparison struct {
 func CompareListToChromeCell(list *rank.Ranking, cell *rank.Ranking, k int) CellComparison {
 	var out CellComparison
 	top := list.Top(k)
-	inCell := top.Filter(cell.Contains)
+	interned := list.Table() == cell.Table()
+	var inCell *rank.Ranking
+	if interned {
+		inCell = top.FilterIDs(cell.ContainsID)
+	} else {
+		inCell = top.Filter(cell.Contains)
+	}
 	n := inCell.Len()
 	if n == 0 {
 		return out
@@ -127,12 +147,22 @@ func CompareListToChromeCell(list *rank.Ranking, cell *rank.Ranking, k int) Cell
 		n = cell.Len()
 	}
 	cellTop := cell.Top(n)
-	out.Jaccard = stats.Jaccard(inCell.TopSet(n), cellTop.TopSet(n))
 	var xs, ys []float64
-	for i := 1; i <= inCell.Len(); i++ {
-		if r, ok := cellTop.RankOf(inCell.At(i)); ok {
-			xs = append(xs, float64(i))
-			ys = append(ys, float64(r))
+	if interned {
+		out.Jaccard = stats.JaccardIDs(inCell.TopSetIDs(n), cellTop.TopSetIDs(n))
+		for i := 1; i <= inCell.Len(); i++ {
+			if r, ok := cellTop.RankOfID(inCell.IDAt(i)); ok {
+				xs = append(xs, float64(i))
+				ys = append(ys, float64(r))
+			}
+		}
+	} else {
+		out.Jaccard = stats.Jaccard(inCell.TopSet(n), cellTop.TopSet(n))
+		for i := 1; i <= inCell.Len(); i++ {
+			if r, ok := cellTop.RankOf(inCell.At(i)); ok {
+				xs = append(xs, float64(i))
+				ys = append(ys, float64(r))
+			}
 		}
 	}
 	if rs, err := stats.Spearman(xs, ys); err == nil {

@@ -3,12 +3,18 @@ package core
 import (
 	"math"
 
+	"toplists/internal/names"
 	"toplists/internal/rank"
 	"toplists/internal/stats"
 )
 
 // JaccardTopK returns the Jaccard index of the top-k sets of two rankings.
+// Rankings over the same name table compare as ID bitsets; the string-set
+// path remains for free-standing fixtures.
 func JaccardTopK(a, b *rank.Ranking, k int) float64 {
+	if a.Table() == b.Table() {
+		return stats.JaccardIDs(a.TopSetIDs(k), b.TopSetIDs(k))
+	}
 	return stats.Jaccard(a.TopSet(k), b.TopSet(k))
 }
 
@@ -19,11 +25,19 @@ func JaccardTopK(a, b *rank.Ranking, k int) float64 {
 func SpearmanTopK(a, b *rank.Ranking, k int) (rs float64, shared int, err error) {
 	aTop := a.Top(k)
 	var xs, ys []float64
-	for i := 1; i <= aTop.Len(); i++ {
-		name := aTop.At(i)
-		if rb, ok := b.RankOf(name); ok && rb <= k {
-			xs = append(xs, float64(i))
-			ys = append(ys, float64(rb))
+	if a.Table() == b.Table() {
+		for i := 1; i <= aTop.Len(); i++ {
+			if rb, ok := b.RankOfID(aTop.IDAt(i)); ok && rb <= k {
+				xs = append(xs, float64(i))
+				ys = append(ys, float64(rb))
+			}
+		}
+	} else {
+		for i := 1; i <= aTop.Len(); i++ {
+			if rb, ok := b.RankOf(aTop.At(i)); ok && rb <= k {
+				xs = append(xs, float64(i))
+				ys = append(ys, float64(rb))
+			}
 		}
 	}
 	rs, err = stats.Spearman(xs, ys)
@@ -74,6 +88,41 @@ func EvalListVsMetric(list *rank.Ranking, cfSet map[string]struct{}, cf *rank.Ra
 	for i := 1; i <= n; i++ {
 		name := cfOnly.At(i)
 		if r, ok := cfTop.RankOf(name); ok {
+			xs = append(xs, float64(i))
+			ys = append(ys, float64(r))
+		}
+	}
+	if rs, err := stats.Spearman(xs, ys); err == nil {
+		res.Spearman = rs
+		res.SpearmanOK = true
+	}
+	return res
+}
+
+// EvalListVsMetricIDs is the interned-evaluation form of EvalListVsMetric:
+// cfSet is the probed Cloudflare set as a bitset over the study's name
+// table (Artifacts.CFDomainIDs). Both rankings must be ranked over that
+// same table — the experiment runners only pass study-owned artifacts, so
+// a mismatch is an internal invariant violation, not an input error.
+func EvalListVsMetricIDs(list *rank.Ranking, cfSet *names.Set, cf *rank.Ranking, k int, bucketed bool) ListVsMetric {
+	if list.Table() != cf.Table() {
+		panic("core: EvalListVsMetricIDs rankings use different name tables")
+	}
+	cfOnly := list.Top(k).FilterIDs(cfSet.Contains)
+	n := cfOnly.Len()
+	res := ListVsMetric{N: n}
+	if n == 0 {
+		return res
+	}
+	cfTop := cf.Top(n)
+	res.Jaccard = stats.JaccardIDs(cfOnly.TopSetIDs(n), cfTop.TopSetIDs(n))
+
+	if bucketed {
+		return res
+	}
+	var xs, ys []float64
+	for i := 1; i <= n; i++ {
+		if r, ok := cfTop.RankOfID(cfOnly.IDAt(i)); ok {
 			xs = append(xs, float64(i))
 			ys = append(ys, float64(r))
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"toplists/internal/names"
 	"toplists/internal/rank"
 )
 
@@ -23,6 +24,31 @@ func AgreedBuckets(m1, m3 *rank.Ranking, bk rank.Bucketer) map[string]rank.Bucke
 		}
 		if bk.BucketOf(r3) == b1 {
 			out[name] = b1
+		}
+	}
+	return out
+}
+
+// AgreedBucketsIDs is the interned form of AgreedBuckets, keyed by ID on
+// the rankings' shared name table. Both rankings must be ranked over the
+// same table.
+func AgreedBucketsIDs(m1, m3 *rank.Ranking, bk rank.Bucketer) map[names.ID]rank.Bucket {
+	if m1.Table() != m3.Table() {
+		panic("core: AgreedBucketsIDs rankings use different name tables")
+	}
+	out := make(map[names.ID]rank.Bucket)
+	for i := 1; i <= m1.Len(); i++ {
+		b1 := bk.BucketOf(i)
+		if b1 == rank.BucketBeyond {
+			continue
+		}
+		id := m1.IDAt(i)
+		r3, ok := m3.RankOfID(id)
+		if !ok {
+			continue
+		}
+		if bk.BucketOf(r3) == b1 {
+			out[id] = b1
 		}
 	}
 	return out
@@ -54,6 +80,20 @@ func ComputeMovement(agreed map[string]rank.Bucket, list *rank.Ranking, bk rank.
 	return m
 }
 
+// ComputeMovementIDs is the interned form of ComputeMovement. The list
+// must be ranked over the table the agreed set was built on.
+func ComputeMovementIDs(agreed map[names.ID]rank.Bucket, list *rank.Ranking, bk rank.Bucketer) Movement {
+	m := Movement{Bucketer: bk}
+	for id, cfB := range agreed {
+		listB := rank.BucketBeyond
+		if r, ok := list.RankOfID(id); ok {
+			listB = bk.BucketOf(r)
+		}
+		m.Matrix[cfB][listB]++
+	}
+	return m
+}
+
 // OverrankStats quantifies the Section 5.3 headline numbers for the list's
 // "top magnitude" prefix (topIdx indexes Bucketer.Magnitudes; 1 means the
 // scaled "top 10K"): among agreed domains the list ranks within that
@@ -78,6 +118,34 @@ func ComputeOverrank(agreed map[string]rank.Bucket, list *rank.Ranking, bk rank.
 	for i := 1; i <= top.Len(); i++ {
 		name := top.At(i)
 		cfB, ok := agreed[name]
+		if !ok {
+			continue
+		}
+		st.N++
+		listB := bk.BucketOf(i)
+		if cfB > listB {
+			over++
+			if int(cfB)-int(listB) >= 2 {
+				over2++
+			}
+		}
+	}
+	if st.N > 0 {
+		st.OverrankedPct = 100 * float64(over) / float64(st.N)
+		st.Overranked2Pct = 100 * float64(over2) / float64(st.N)
+	}
+	return st
+}
+
+// ComputeOverrankIDs is the interned form of ComputeOverrank. The list
+// must be ranked over the table the agreed set was built on.
+func ComputeOverrankIDs(agreed map[names.ID]rank.Bucket, list *rank.Ranking, bk rank.Bucketer, topIdx int) OverrankStats {
+	limit := bk.Magnitudes[topIdx]
+	var st OverrankStats
+	var over, over2 int
+	top := list.Top(limit)
+	for i := 1; i <= top.Len(); i++ {
+		cfB, ok := agreed[top.IDAt(i)]
 		if !ok {
 			continue
 		}

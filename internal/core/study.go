@@ -13,6 +13,7 @@ import (
 	"toplists/internal/chrome"
 	"toplists/internal/httpsim"
 	"toplists/internal/linkgraph"
+	"toplists/internal/names"
 	"toplists/internal/providers"
 	"toplists/internal/psl"
 	"toplists/internal/rank"
@@ -226,6 +227,10 @@ func (s *Study) mustRun() {
 // Artifacts returns the study's memoized derived-data layer. It is safe
 // for concurrent use by multiple experiment goroutines.
 func (s *Study) Artifacts() *Artifacts { return s.artifacts }
+
+// Names returns the study's name table: every ranking the study produces
+// is backed by IDs interned here.
+func (s *Study) Names() *names.Table { return s.World.Interner() }
 
 // ResetArtifacts discards every memoized derived artifact, forcing the
 // next evaluation to recompute from the raw simulation output. It exists

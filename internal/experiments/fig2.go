@@ -34,7 +34,7 @@ func RunFig2(s *core.Study) *Fig2Result {
 	metrics := cfmetrics.AllMetrics()
 	k := s.EvalK()
 	art := s.Artifacts()
-	cfSet := art.CFDomains()
+	cfSet := art.CFDomainIDs()
 
 	res := &Fig2Result{Metrics: metrics, TopK: k}
 	for _, l := range lists {
@@ -54,9 +54,9 @@ func RunFig2(s *core.Study) *Fig2Result {
 				// Set intersection is judged at the scarce head cut; rank
 				// correlation over the full list depth, where tail noise
 				// (alphabetical runs, panel starvation) lives.
-				ev := core.EvalListVsMetric(norm, cfSet, cf, k, l.Bucketed())
+				ev := core.EvalListVsMetricIDs(norm, cfSet, cf, k, l.Bucketed())
 				if !l.Bucketed() {
-					deep := core.EvalListVsMetric(norm, cfSet, cf, deepK, false)
+					deep := core.EvalListVsMetricIDs(norm, cfSet, cf, deepK, false)
 					ev.Spearman, ev.SpearmanOK = deep.Spearman, deep.SpearmanOK
 				}
 				daily = append(daily, ev)

@@ -46,7 +46,7 @@ func RunStability(s *core.Study) *StabilityResult {
 		for d := 1; d < days; d++ {
 			prev := art.Normalized(l, d-1)
 			cur := art.Normalized(l, d)
-			sims = append(sims, stats.Jaccard(prev.TopSet(k), cur.TopSet(k)))
+			sims = append(sims, core.JaccardTopK(prev, cur, k))
 		}
 		res.DayOverDay = append(res.DayOverDay, stats.Mean(sims))
 	}
@@ -57,7 +57,7 @@ func RunStability(s *core.Study) *StabilityResult {
 		for j := range lists {
 			a := art.Normalized(lists[i], day)
 			b := art.Normalized(lists[j], day)
-			res.Pairwise[i][j] = stats.Jaccard(a.TopSet(k), b.TopSet(k))
+			res.Pairwise[i][j] = core.JaccardTopK(a, b, k)
 		}
 	}
 	return res

@@ -1,0 +1,108 @@
+// Package names implements the study's domain-name vocabulary: an
+// append-only, concurrency-safe string interner mapping each distinct name
+// to a dense uint32 ID, plus a bitset over those IDs. Every ranking in the
+// evaluation layer is backed by IDs from one Table (owned by the Study's
+// world), so set and rank algebra runs on integers and strings only appear
+// at the I/O boundary (CSV, report rendering, error messages).
+package names
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ID identifies one interned name within its Table. IDs are dense: the
+// n-th distinct name interned gets ID n-1. An ID is only meaningful
+// together with the Table that issued it.
+type ID uint32
+
+// Table is an append-only string interner. Intern is amortized O(1) and
+// safe for concurrent use; Lookup, Find, Hash, and Len are lock-free reads
+// of an atomically published snapshot, so hot evaluation paths never
+// contend with interning.
+type Table struct {
+	mu sync.Mutex // serializes interning
+
+	// ids maps name -> ID. Read lock-free on the Intern/Find fast path;
+	// writes happen under mu after the slice snapshots are published, so a
+	// hit here always resolves against a slice that already contains it.
+	ids sync.Map
+
+	// strs and hashes are the ID -> name and ID -> tie-hash tables,
+	// published as immutable snapshots. Appends under mu may write into
+	// spare capacity beyond a reader's snapshot length, which no reader
+	// can observe.
+	strs   atomic.Pointer[[]string]
+	hashes atomic.Pointer[[]uint64]
+}
+
+// NewTable returns an empty interner.
+func NewTable() *Table {
+	t := &Table{}
+	strs := make([]string, 0, 16)
+	hashes := make([]uint64, 0, 16)
+	t.strs.Store(&strs)
+	t.hashes.Store(&hashes)
+	return t
+}
+
+// Intern returns the ID for s, assigning the next dense ID if s has not
+// been seen before. Interning the same string always returns the same ID.
+func (t *Table) Intern(s string) ID {
+	if v, ok := t.ids.Load(s); ok {
+		return v.(ID)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if v, ok := t.ids.Load(s); ok {
+		return v.(ID)
+	}
+	strs := append(*t.strs.Load(), s)
+	hashes := append(*t.hashes.Load(), strhash(s))
+	id := ID(len(strs) - 1)
+	t.strs.Store(&strs)
+	t.hashes.Store(&hashes)
+	t.ids.Store(s, id)
+	return id
+}
+
+// Find returns the ID for s if it has been interned, without interning it.
+// Lookups of absent names (RankOf on a name outside the study's universe)
+// must not grow the table.
+func (t *Table) Find(s string) (ID, bool) {
+	if v, ok := t.ids.Load(s); ok {
+		return v.(ID), true
+	}
+	return 0, false
+}
+
+// Lookup returns the name for id. It panics if id was not issued by this
+// table.
+func (t *Table) Lookup(id ID) string {
+	return (*t.strs.Load())[id]
+}
+
+// Hash returns the precomputed FNV-1a hash of the name for id — the same
+// value rank.TieHashed derives from the string, so hashed tie-breaks over
+// IDs order identically to tie-breaks over the strings themselves.
+func (t *Table) Hash(id ID) uint64 {
+	return (*t.hashes.Load())[id]
+}
+
+// Len returns the number of interned names.
+func (t *Table) Len() int {
+	return len(*t.strs.Load())
+}
+
+// strhash is 64-bit FNV-1a, matching the tie-break hash historically
+// applied to name strings (rank.TieHashed); precomputing it per ID keeps
+// hashed tie-breaking byte-identical while sorting IDs.
+func strhash(s string) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}

@@ -1,0 +1,151 @@
+package names
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestInternIdempotent(t *testing.T) {
+	tab := NewTable()
+	words := []string{"example.com", "example.org", "", "example.com", "a.example.com"}
+	first := make(map[string]ID)
+	for _, w := range words {
+		id := tab.Intern(w)
+		if prev, seen := first[w]; seen && prev != id {
+			t.Fatalf("Intern(%q) = %d, previously %d", w, id, prev)
+		}
+		first[w] = id
+		if got := tab.Lookup(id); got != w {
+			t.Fatalf("Lookup(%d) = %q, want %q", id, got, w)
+		}
+	}
+	if tab.Len() != 4 {
+		t.Fatalf("Len = %d, want 4 distinct names", tab.Len())
+	}
+	// IDs are dense in first-intern order.
+	for i, w := range []string{"example.com", "example.org", "", "a.example.com"} {
+		if id, ok := tab.Find(w); !ok || id != ID(i) {
+			t.Errorf("Find(%q) = %d,%v, want %d,true", w, id, ok, i)
+		}
+	}
+}
+
+func TestFindDoesNotIntern(t *testing.T) {
+	tab := NewTable()
+	if _, ok := tab.Find("absent.example"); ok {
+		t.Fatal("Find reported an absent name")
+	}
+	if tab.Len() != 0 {
+		t.Fatalf("Find grew the table to %d entries", tab.Len())
+	}
+}
+
+func TestHashMatchesStringHash(t *testing.T) {
+	tab := NewTable()
+	for _, w := range []string{"example.com", "x", ""} {
+		id := tab.Intern(w)
+		if tab.Hash(id) != strhash(w) {
+			t.Errorf("Hash(%q) = %#x, want strhash %#x", w, tab.Hash(id), strhash(w))
+		}
+	}
+}
+
+// TestConcurrentInternLookup hammers one table from many goroutines with
+// overlapping vocabularies; run under -race this exercises the published-
+// snapshot discipline. Every goroutine must observe idempotent IDs and
+// consistent Lookup/Hash for every ID it holds.
+func TestConcurrentInternLookup(t *testing.T) {
+	tab := NewTable()
+	const goroutines = 8
+	const words = 400
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < words; i++ {
+				// Overlapping across goroutines: each word is interned by
+				// several goroutines racing for the first assignment.
+				w := fmt.Sprintf("site-%d.example", (i+g*words/2)%words)
+				id := tab.Intern(w)
+				if got := tab.Lookup(id); got != w {
+					errs <- fmt.Errorf("Lookup(Intern(%q)) = %q", w, got)
+					return
+				}
+				if tab.Hash(id) != strhash(w) {
+					errs <- fmt.Errorf("Hash mismatch for %q", w)
+					return
+				}
+				if again := tab.Intern(w); again != id {
+					errs <- fmt.Errorf("Intern(%q) = %d then %d", w, id, again)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if tab.Len() != words {
+		t.Errorf("Len = %d, want %d", tab.Len(), words)
+	}
+}
+
+func FuzzInternLookupRoundTrip(f *testing.F) {
+	f.Add("example.com", "example.org")
+	f.Add("", "a")
+	f.Add("same", "same")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		tab := NewTable()
+		ida := tab.Intern(a)
+		idb := tab.Intern(b)
+		if tab.Lookup(ida) != a || tab.Lookup(idb) != b {
+			t.Fatalf("round trip broken: %q->%d->%q, %q->%d->%q",
+				a, ida, tab.Lookup(ida), b, idb, tab.Lookup(idb))
+		}
+		if (a == b) != (ida == idb) {
+			t.Fatalf("identity broken: %q=%d %q=%d", a, ida, b, idb)
+		}
+		if tab.Intern(a) != ida || tab.Intern(b) != idb {
+			t.Fatal("re-intern not idempotent")
+		}
+		if id, ok := tab.Find(a); !ok || id != ida {
+			t.Fatalf("Find(%q) = %d,%v after Intern", a, id, ok)
+		}
+	})
+}
+
+func TestSet(t *testing.T) {
+	s := NewSet([]ID{1, 3, 200, 3})
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (duplicates collapse)", s.Len())
+	}
+	for _, id := range []ID{1, 3, 200} {
+		if !s.Contains(id) {
+			t.Errorf("Contains(%d) = false", id)
+		}
+	}
+	for _, id := range []ID{0, 2, 64, 199, 201, 100000} {
+		if s.Contains(id) {
+			t.Errorf("Contains(%d) = true", id)
+		}
+	}
+	o := NewSet([]ID{3, 200, 201})
+	if got := s.IntersectCount(o); got != 2 {
+		t.Errorf("IntersectCount = %d, want 2", got)
+	}
+	if got := o.IntersectCount(s); got != 2 {
+		t.Errorf("IntersectCount reversed = %d, want 2", got)
+	}
+	empty := NewSet(nil)
+	if empty.Len() != 0 || empty.Contains(0) {
+		t.Error("empty set not empty")
+	}
+	if got := empty.IntersectCount(s); got != 0 {
+		t.Errorf("empty intersect = %d", got)
+	}
+}

@@ -1,0 +1,59 @@
+package names
+
+import "math/bits"
+
+// Set is an immutable-by-convention bitset over IDs from one Table. It is
+// the TopSet representation of the interned evaluation: membership is one
+// bit probe and Jaccard reduces to word-wise AND/OR with popcounts instead
+// of string-map iteration. A Set built from one table must never be
+// intersected with a Set from another (the IDs are unrelated); callers in
+// core guard cross-table comparisons and fall back to the string path.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// NewSet returns a set containing ids. Duplicate ids are counted once.
+func NewSet(ids []ID) *Set {
+	s := &Set{}
+	for _, id := range ids {
+		s.add(id)
+	}
+	return s
+}
+
+func (s *Set) add(id ID) {
+	w := int(id >> 6)
+	if w >= len(s.words) {
+		grown := make([]uint64, w+1)
+		copy(grown, s.words)
+		s.words = grown
+	}
+	bit := uint64(1) << (id & 63)
+	if s.words[w]&bit == 0 {
+		s.words[w] |= bit
+		s.n++
+	}
+}
+
+// Contains reports whether id is in the set.
+func (s *Set) Contains(id ID) bool {
+	w := int(id >> 6)
+	return w < len(s.words) && s.words[w]&(uint64(1)<<(id&63)) != 0
+}
+
+// Len returns the number of IDs in the set.
+func (s *Set) Len() int { return s.n }
+
+// IntersectCount returns |s ∩ o|.
+func (s *Set) IntersectCount(o *Set) int {
+	words, other := s.words, o.words
+	if len(other) < len(words) {
+		words, other = other, words
+	}
+	n := 0
+	for i, w := range words {
+		n += bits.OnesCount64(w & other[i])
+	}
+	return n
+}

@@ -127,12 +127,12 @@ func (a *Alexa) computeList() *rank.Ranking {
 			vis[s] += v
 		}
 	}
-	scored := make([]rank.Scored, 0, len(pv))
+	scored := make([]rank.ScoredID, 0, len(pv))
 	for s, p := range pv {
 		score := math.Sqrt((p / float64(window)) * (vis[s] / float64(window)))
-		scored = append(scored, rank.Scored{Name: a.w.Site(s).Domain, Score: score})
+		scored = append(scored, rank.ScoredID{ID: a.w.DomainID(s), Score: score})
 	}
-	return rank.FromScores(scored, rank.TieHashed)
+	return rank.FromScoredIDs(a.w.Interner(), scored, rank.TieHashed)
 }
 
 // Raw implements List.
@@ -141,4 +141,9 @@ func (a *Alexa) Raw(day int) *rank.Ranking { return a.lists[day] }
 // Normalized implements List.
 func (a *Alexa) Normalized(day int, l *psl.List) (*rank.Ranking, rank.NormalizeStats) {
 	return domainNormalized(a.Raw(day), l)
+}
+
+// NormalizedIn implements the memoized normalization fast path.
+func (a *Alexa) NormalizedIn(day int, nz *rank.Normalizer) (*rank.Ranking, rank.NormalizeStats) {
+	return domainNormalizedIn(a.Raw(day), nz)
 }

@@ -18,20 +18,21 @@ import (
 // whole month, matching the stability the real list exhibits day over day.
 type Majestic struct {
 	list *rank.Ranking
+	norm monthNorm
 }
 
 // NewMajestic ranks the world by the link graph.
 func NewMajestic(w *world.World, g *linkgraph.Graph) *Majestic {
-	scored := make([]rank.Scored, 0, w.NumSites())
+	scored := make([]rank.ScoredID, 0, w.NumSites())
 	for i := 0; i < w.NumSites(); i++ {
 		// Majestic's published ordering leads with referring subnets and
 		// breaks ties by referring domains.
 		score := float64(g.RefSubnets(int32(i)))*1000 + float64(g.RefDomains(int32(i)))
 		if score > 0 {
-			scored = append(scored, rank.Scored{Name: w.Site(int32(i)).Domain, Score: score})
+			scored = append(scored, rank.ScoredID{ID: w.DomainID(int32(i)), Score: score})
 		}
 	}
-	return &Majestic{list: rank.FromScores(scored, rank.TieLexicographic)}
+	return &Majestic{list: rank.FromScoredIDs(w.Interner(), scored, rank.TieLexicographic)}
 }
 
 // Name implements List.
@@ -43,7 +44,17 @@ func (m *Majestic) Bucketed() bool { return false }
 // Raw implements List.
 func (m *Majestic) Raw(day int) *rank.Ranking { return m.list }
 
-// Normalized implements List.
+// Normalized implements List. The snapshot is month-stable, so the
+// normalization is computed once and shared by every day.
 func (m *Majestic) Normalized(day int, l *psl.List) (*rank.Ranking, rank.NormalizeStats) {
-	return domainNormalized(m.list, l)
+	return m.norm.get(l, func() (*rank.Ranking, rank.NormalizeStats) {
+		return domainNormalized(m.list, l)
+	})
+}
+
+// NormalizedIn implements the memoized normalization fast path.
+func (m *Majestic) NormalizedIn(day int, nz *rank.Normalizer) (*rank.Ranking, rank.NormalizeStats) {
+	return m.norm.get(nz, func() (*rank.Ranking, rank.NormalizeStats) {
+		return domainNormalizedIn(m.list, nz)
+	})
 }

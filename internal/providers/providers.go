@@ -36,6 +36,24 @@ func domainNormalized(r *rank.Ranking, l *psl.List) (*rank.Ranking, rank.Normali
 	return r.NormalizePSL(l)
 }
 
+// internNormalized is the optional fast path of Normalized: providers that
+// implement it normalize through a rank.Normalizer, whose per-interned-ID
+// apex memo runs each name's PSL trie walk once per study instead of once
+// per (list, day). All seven providers implement it.
+type internNormalized interface {
+	NormalizedIn(day int, nz *rank.Normalizer) (*rank.Ranking, rank.NormalizeStats)
+}
+
+// domainNormalizedIn implements NormalizedIn for DNS-name lists. A ranking
+// whose IDs belong to a different table than the normalizer (free-standing
+// fixtures) falls back to the uncached walk.
+func domainNormalizedIn(r *rank.Ranking, nz *rank.Normalizer) (*rank.Ranking, rank.NormalizeStats) {
+	if r.Table() != nz.Table() {
+		return r.NormalizePSL(nz.PSL())
+	}
+	return r.NormalizePSLIn(nz)
+}
+
 // NormMemo memoizes PSL-normalized list snapshots per (list, day). It is
 // the caching hook shared by the Tranco/Trexa amalgam construction (which
 // re-reads its inputs' normalized snapshots across a trailing window every
@@ -45,8 +63,11 @@ func domainNormalized(r *rank.Ranking, l *psl.List) (*rank.Ranking, rank.Normali
 // waits for the first computation instead of repeating it.
 type NormMemo struct {
 	psl *psl.List
-	mu  sync.Mutex
-	m   map[normMemoKey]*normMemoEntry
+	// nz, when set, routes providers implementing internNormalized through
+	// the study-wide apex memo.
+	nz *rank.Normalizer
+	mu sync.Mutex
+	m  map[normMemoKey]*normMemoEntry
 }
 
 type normMemoKey struct {
@@ -60,9 +81,16 @@ type normMemoEntry struct {
 	stats rank.NormalizeStats
 }
 
-// NewNormMemo builds an empty memo normalizing against l.
+// NewNormMemo builds an empty memo normalizing against l, with no apex
+// memo (each snapshot walks the PSL trie per name).
 func NewNormMemo(l *psl.List) *NormMemo {
 	return &NormMemo{psl: l, m: make(map[normMemoKey]*normMemoEntry)}
+}
+
+// NewInternedNormMemo builds an empty memo normalizing through nz, sharing
+// its per-interned-name apex cache across every list and day.
+func NewInternedNormMemo(nz *rank.Normalizer) *NormMemo {
+	return &NormMemo{psl: nz.PSL(), nz: nz, m: make(map[normMemoKey]*normMemoEntry)}
 }
 
 // Normalized returns the list's normalized day-d snapshot with its
@@ -77,9 +105,35 @@ func (m *NormMemo) Normalized(l List, day int) (*rank.Ranking, rank.NormalizeSta
 	}
 	m.mu.Unlock()
 	e.once.Do(func() {
+		if in, ok := l.(internNormalized); ok && m.nz != nil {
+			e.r, e.stats = in.NormalizedIn(day, m.nz)
+			return
+		}
 		e.r, e.stats = l.Normalized(day, m.psl)
 	})
 	return e.r, e.stats
+}
+
+// monthNorm caches one normalization result for providers that publish a
+// single snapshot for the whole month (Majestic, CrUX): every day's
+// Normalized call returns the same list, so the grouping work runs once
+// per distinct normalization source (PSL list or Normalizer) instead of
+// once per day. Safe for concurrent use.
+type monthNorm struct {
+	mu    sync.Mutex
+	key   any // the *psl.List or *rank.Normalizer the cache was filled for
+	r     *rank.Ranking
+	stats rank.NormalizeStats
+}
+
+func (m *monthNorm) get(key any, compute func() (*rank.Ranking, rank.NormalizeStats)) (*rank.Ranking, rank.NormalizeStats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.key != key {
+		m.r, m.stats = compute()
+		m.key = key
+	}
+	return m.r, m.stats
 }
 
 // The canonical provider ordering used in tables and figures.

@@ -3,6 +3,7 @@ package providers
 import (
 	"math"
 
+	"toplists/internal/names"
 	"toplists/internal/psl"
 	"toplists/internal/rank"
 	"toplists/internal/traffic"
@@ -25,12 +26,17 @@ type Secrank struct {
 	traffic.BaseSink
 	w   *world.World
 	psl *psl.List
+	tab *names.Table
+
+	// infraApex memoizes per infra name the interned registrable domain a
+	// query votes for, or noVote when the name has none.
+	infraApex []names.ID
 
 	// perIP accumulates today's per-IP query profile: domain -> count.
-	perIP map[uint32]map[string]int
+	perIP map[uint32]map[names.ID]int
 
 	// dayVotes holds each frozen day's aggregated votes.
-	dayVotes []map[string]float64
+	dayVotes []map[names.ID]float64
 
 	// Window is the trailing number of days averaged per published list;
 	// the Secrank design goal is temporal stability (default 7).
@@ -39,9 +45,22 @@ type Secrank struct {
 	lists []*rank.Ranking
 }
 
+// noVote marks an infra name without a registrable domain (a bare public
+// suffix); queries for it cast no vote. No real ID can collide with it
+// before the interner holds 2^32-1 names.
+const noVote = names.ID(0xffffffff)
+
 // NewSecrank returns a Secrank provider observing the Chinese resolver.
 func NewSecrank(w *world.World, l *psl.List) *Secrank {
-	return &Secrank{w: w, psl: l, Window: 7}
+	s := &Secrank{w: w, psl: l, tab: w.Interner(), Window: 7}
+	s.infraApex = make([]names.ID, len(w.Infra))
+	for i, inf := range w.Infra {
+		s.infraApex[i] = noVote
+		if etld1, ok := l.RegisteredDomain(inf.FQDN); ok {
+			s.infraApex[i] = s.tab.Intern(etld1)
+		}
+	}
+	return s
 }
 
 // Name implements List.
@@ -52,7 +71,7 @@ func (s *Secrank) Bucketed() bool { return false }
 
 // BeginDay implements traffic.Sink.
 func (s *Secrank) BeginDay(day int, weekend bool) {
-	s.perIP = make(map[uint32]map[string]int)
+	s.perIP = make(map[uint32]map[names.ID]int)
 }
 
 // OnDNSQuery implements traffic.Sink.
@@ -60,29 +79,27 @@ func (s *Secrank) OnDNSQuery(q *traffic.DNSQuery) {
 	if q.Client.Country != world.CN {
 		return // the resolver serves Chinese clients
 	}
-	var name string
+	var id names.ID
 	if q.Site >= 0 {
 		// Votes are for registrable domains.
-		name = s.w.Site(q.Site).Domain
+		id = s.w.DomainID(q.Site)
 	} else {
-		fqdn := s.w.Infra[q.Infra].FQDN
-		etld1, ok := s.psl.RegisteredDomain(fqdn)
-		if !ok {
+		id = s.infraApex[q.Infra]
+		if id == noVote {
 			return
 		}
-		name = etld1
 	}
 	prof, ok := s.perIP[q.IP]
 	if !ok {
-		prof = make(map[string]int, 8)
+		prof = make(map[names.ID]int, 8)
 		s.perIP[q.IP] = prof
 	}
-	prof[name]++
+	prof[id]++
 }
 
 // EndDay implements traffic.Sink: run the per-IP voting round.
 func (s *Secrank) EndDay(day int) {
-	votes := make(map[string]float64)
+	votes := make(map[names.ID]float64)
 	for _, prof := range s.perIP {
 		var total int
 		for _, c := range prof {
@@ -93,8 +110,8 @@ func (s *Secrank) EndDay(day int) {
 		}
 		// IP weight grows with domain diversity and (sub-linearly) volume.
 		weight := math.Log2(1+float64(len(prof))) * math.Log2(2+float64(total))
-		for name, c := range prof {
-			votes[name] += weight * float64(c) / float64(total)
+		for id, c := range prof {
+			votes[id] += weight * float64(c) / float64(total)
 		}
 	}
 	s.dayVotes = append(s.dayVotes, votes)
@@ -104,17 +121,17 @@ func (s *Secrank) EndDay(day int) {
 	if window > len(s.dayVotes) {
 		window = len(s.dayVotes)
 	}
-	agg := make(map[string]float64)
+	agg := make(map[names.ID]float64)
 	for _, dv := range s.dayVotes[len(s.dayVotes)-window:] {
-		for name, v := range dv {
-			agg[name] += v
+		for id, v := range dv {
+			agg[id] += v
 		}
 	}
-	scored := make([]rank.Scored, 0, len(agg))
-	for name, v := range agg {
-		scored = append(scored, rank.Scored{Name: name, Score: v / float64(window)})
+	scored := make([]rank.ScoredID, 0, len(agg))
+	for id, v := range agg {
+		scored = append(scored, rank.ScoredID{ID: id, Score: v / float64(window)})
 	}
-	s.lists = append(s.lists, rank.FromScores(scored, rank.TieHashed))
+	s.lists = append(s.lists, rank.FromScoredIDs(s.tab, scored, rank.TieHashed))
 }
 
 // Raw implements List.
@@ -123,4 +140,9 @@ func (s *Secrank) Raw(day int) *rank.Ranking { return s.lists[day] }
 // Normalized implements List.
 func (s *Secrank) Normalized(day int, l *psl.List) (*rank.Ranking, rank.NormalizeStats) {
 	return domainNormalized(s.Raw(day), l)
+}
+
+// NormalizedIn implements the memoized normalization fast path.
+func (s *Secrank) NormalizedIn(day int, nz *rank.Normalizer) (*rank.Ranking, rank.NormalizeStats) {
+	return domainNormalizedIn(s.Raw(day), nz)
 }

@@ -1,6 +1,7 @@
 package providers
 
 import (
+	"toplists/internal/names"
 	"toplists/internal/psl"
 	"toplists/internal/rank"
 )
@@ -53,9 +54,12 @@ func (t *Tranco) Name() string { return "Tranco" }
 func (t *Tranco) Bucketed() bool { return false }
 
 // ComputeDay builds and stores the published list for day d; days must be
-// computed in order after the inputs have published day d.
+// computed in order after the inputs have published day d. The Dowdall
+// accumulation is keyed by interned ID: every input snapshot of a study
+// shares the world's table, so no name strings are revisited.
 func (t *Tranco) ComputeDay(day int) {
-	scores := make(map[string]float64)
+	var tab *names.Table
+	scores := make(map[names.ID]float64)
 	start := day - t.Window + 1
 	if start < 0 {
 		start = 0
@@ -63,16 +67,21 @@ func (t *Tranco) ComputeDay(day int) {
 	for d := start; d <= day; d++ {
 		for _, in := range t.inputs {
 			norm, _ := t.memo.Normalized(in, d)
-			for rk := 1; rk <= norm.Len(); rk++ {
-				scores[norm.At(rk)] += 1 / float64(rk)
+			if tab == nil {
+				tab = norm.Table()
+			} else if tab != norm.Table() {
+				panic("providers: Tranco inputs ranked over different name tables")
+			}
+			for i, id := range norm.IDs() {
+				scores[id] += 1 / float64(i+1)
 			}
 		}
 	}
-	scored := make([]rank.Scored, 0, len(scores))
-	for name, v := range scores {
-		scored = append(scored, rank.Scored{Name: name, Score: v})
+	scored := make([]rank.ScoredID, 0, len(scores))
+	for id, v := range scores {
+		scored = append(scored, rank.ScoredID{ID: id, Score: v})
 	}
-	t.lists = append(t.lists, rank.FromScores(scored, rank.TieHashed))
+	t.lists = append(t.lists, rank.FromScoredIDs(tab, scored, rank.TieHashed))
 }
 
 // Raw implements List. Tranco publishes registrable domains already.
@@ -81,6 +90,11 @@ func (t *Tranco) Raw(day int) *rank.Ranking { return t.lists[day] }
 // Normalized implements List.
 func (t *Tranco) Normalized(day int, l *psl.List) (*rank.Ranking, rank.NormalizeStats) {
 	return domainNormalized(t.Raw(day), l)
+}
+
+// NormalizedIn implements the memoized normalization fast path.
+func (t *Tranco) NormalizedIn(day int, nz *rank.Normalizer) (*rank.Ranking, rank.NormalizeStats) {
+	return domainNormalizedIn(t.Raw(day), nz)
 }
 
 // Trexa reconstructs the Trexa list [35]: an interleave of Tranco and Alexa
@@ -111,20 +125,23 @@ func (t *Trexa) Name() string { return "Trexa" }
 func (t *Trexa) Bucketed() bool { return false }
 
 // ComputeDay builds and stores the published list for day d. The Tranco day
-// must already be computed.
+// must already be computed. The interleave walks both inputs by ID.
 func (t *Trexa) ComputeDay(day int) {
 	a, _ := t.tranco.memo.Normalized(t.alexa, day)
 	tr := t.tranco.Raw(day)
-	seen := make(map[string]struct{}, a.Len()+tr.Len())
-	out := make([]string, 0, a.Len()+tr.Len())
+	if a.Table() != tr.Table() {
+		panic("providers: Trexa inputs ranked over different name tables")
+	}
+	seen := make(map[names.ID]struct{}, a.Len()+tr.Len())
+	out := make([]names.ID, 0, a.Len()+tr.Len())
 	ai, ti := 1, 1
 	take := func(r *rank.Ranking, idx *int) {
 		for *idx <= r.Len() {
-			name := r.At(*idx)
+			id := r.IDAt(*idx)
 			*idx++
-			if _, dup := seen[name]; !dup {
-				seen[name] = struct{}{}
-				out = append(out, name)
+			if _, dup := seen[id]; !dup {
+				seen[id] = struct{}{}
+				out = append(out, id)
 				return
 			}
 		}
@@ -135,7 +152,7 @@ func (t *Trexa) ComputeDay(day int) {
 		}
 		take(tr, &ti)
 	}
-	t.lists = append(t.lists, rank.MustNew(out))
+	t.lists = append(t.lists, rank.MustFromIDs(a.Table(), out))
 }
 
 // Raw implements List.
@@ -144,4 +161,9 @@ func (t *Trexa) Raw(day int) *rank.Ranking { return t.lists[day] }
 // Normalized implements List.
 func (t *Trexa) Normalized(day int, l *psl.List) (*rank.Ranking, rank.NormalizeStats) {
 	return domainNormalized(t.Raw(day), l)
+}
+
+// NormalizedIn implements the memoized normalization fast path.
+func (t *Trexa) NormalizedIn(day int, nz *rank.Normalizer) (*rank.Ranking, rank.NormalizeStats) {
+	return domainNormalizedIn(t.Raw(day), nz)
 }

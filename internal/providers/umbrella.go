@@ -3,6 +3,7 @@ package providers
 import (
 	"math"
 
+	"toplists/internal/names"
 	"toplists/internal/psl"
 	"toplists/internal/rank"
 	"toplists/internal/traffic"
@@ -27,17 +28,36 @@ type Umbrella struct {
 	traffic.BaseSink
 	w   *world.World
 	psl *psl.List
+	tab *names.Table
 
-	// ips[name] is the set of client IPs that queried name today. Plain
+	// hostID memoizes the interned FQDN per (site, subdomain) or infra
+	// name, so the month's query stream builds each hostname string once.
+	hostID map[hostKey]names.ID
+	// suffixID memoizes per FQDN the interned public suffix to credit;
+	// the FQDN's own ID marks "no separate suffix" (empty, or the name is
+	// itself a suffix).
+	suffixID map[names.ID]names.ID
+
+	// ips[id] is the set of client IPs that queried the name today. Plain
 	// map sets: enterprise office IPs are few and heavily shared.
-	ips map[string]map[uint32]struct{}
+	ips map[names.ID]map[uint32]struct{}
 
 	lists []*rank.Ranking
 }
 
+// hostKey identifies a queried FQDN: (site << 8) | subdomain index for
+// website hostnames, -1-infra for infrastructure names.
+type hostKey int64
+
 // NewUmbrella returns an Umbrella provider observing the corporate resolver.
 func NewUmbrella(w *world.World, l *psl.List) *Umbrella {
-	return &Umbrella{w: w, psl: l}
+	return &Umbrella{
+		w:        w,
+		psl:      l,
+		tab:      w.Interner(),
+		hostID:   make(map[hostKey]names.ID),
+		suffixID: make(map[names.ID]names.ID),
+	}
 }
 
 // Name implements List.
@@ -48,7 +68,7 @@ func (u *Umbrella) Bucketed() bool { return false }
 
 // BeginDay implements traffic.Sink.
 func (u *Umbrella) BeginDay(day int, weekend bool) {
-	u.ips = make(map[string]map[uint32]struct{})
+	u.ips = make(map[names.ID]map[uint32]struct{})
 }
 
 // OnDNSQuery implements traffic.Sink.
@@ -58,28 +78,60 @@ func (u *Umbrella) OnDNSQuery(q *traffic.DNSQuery) {
 		// networks pointed at OpenDNS.
 		return
 	}
-	var fqdn string
+	var key hostKey
 	if q.Site >= 0 {
-		site := u.w.Site(q.Site)
-		if !q.AtWork && q.Client.FamilyFilter && familyFiltered[site.Category] {
+		if !q.AtWork && q.Client.FamilyFilter && familyFiltered[u.w.Site(q.Site).Category] {
 			// The household's filtering policy answers with a block page;
 			// blocked resolutions do not feed the popularity ranking.
 			return
 		}
-		fqdn = site.Hostname(int(q.SubIdx))
+		key = hostKey(q.Site)<<8 | hostKey(q.SubIdx)
 	} else {
-		fqdn = u.w.Infra[q.Infra].FQDN
+		key = -1 - hostKey(q.Infra)
 	}
-	u.credit(fqdn, q.IP)
+	id := u.fqdnID(key, q)
+	u.credit(id, q.IP)
 	// Umbrella counts the names clients actually query: the signal for one
 	// website splits across its hostnames rather than aggregating by
 	// registrable domain — a big part of why the list ranks websites
 	// poorly even when it includes them (Section 5.2). Resolution of the
 	// suffix chain (TLD servers) is also observed, which is how bare
 	// suffixes like "com" top the list.
-	if suffix, _ := u.psl.PublicSuffix(fqdn); suffix != "" && suffix != fqdn {
-		u.credit(suffix, q.IP)
+	if sid := u.suffixOf(id); sid != id {
+		u.credit(sid, q.IP)
 	}
+}
+
+// fqdnID returns the interned FQDN for a query, building the hostname
+// string only on the first query of each (site, subdomain) or infra name.
+func (u *Umbrella) fqdnID(key hostKey, q *traffic.DNSQuery) names.ID {
+	if id, ok := u.hostID[key]; ok {
+		return id
+	}
+	var fqdn string
+	if q.Site >= 0 {
+		fqdn = u.w.Site(q.Site).Hostname(int(q.SubIdx))
+	} else {
+		fqdn = u.w.Infra[q.Infra].FQDN
+	}
+	id := u.tab.Intern(fqdn)
+	u.hostID[key] = id
+	return id
+}
+
+// suffixOf returns the interned public suffix to credit for fqdn id, or id
+// itself when no separate suffix should be credited.
+func (u *Umbrella) suffixOf(id names.ID) names.ID {
+	if sid, ok := u.suffixID[id]; ok {
+		return sid
+	}
+	fqdn := u.tab.Lookup(id)
+	sid := id
+	if suffix, _ := u.psl.PublicSuffix(fqdn); suffix != "" && suffix != fqdn {
+		sid = u.tab.Intern(suffix)
+	}
+	u.suffixID[id] = sid
+	return sid
 }
 
 // familyFiltered lists the categories OpenDNS home filtering blocks.
@@ -91,23 +143,23 @@ var familyFiltered = func() [world.NumCategories]bool {
 	return v
 }()
 
-func (u *Umbrella) credit(name string, ip uint32) {
-	s, ok := u.ips[name]
+func (u *Umbrella) credit(id names.ID, ip uint32) {
+	s, ok := u.ips[id]
 	if !ok {
 		s = make(map[uint32]struct{}, 4)
-		u.ips[name] = s
+		u.ips[id] = s
 	}
 	s[ip] = struct{}{}
 }
 
 // EndDay implements traffic.Sink.
 func (u *Umbrella) EndDay(day int) {
-	scored := make([]rank.Scored, 0, len(u.ips))
-	for name, set := range u.ips {
-		scored = append(scored, rank.Scored{Name: name, Score: quantize(len(set))})
+	scored := make([]rank.ScoredID, 0, len(u.ips))
+	for id, set := range u.ips {
+		scored = append(scored, rank.ScoredID{ID: id, Score: quantize(len(set))})
 	}
 	// Alphabetical tie-break: the signature Umbrella artifact.
-	u.lists = append(u.lists, rank.FromScores(scored, rank.TieLexicographic))
+	u.lists = append(u.lists, rank.FromScoredIDs(u.tab, scored, rank.TieLexicographic))
 }
 
 // quantize coarsens a unique-IP count to the resolution the published list
@@ -124,4 +176,9 @@ func (u *Umbrella) Raw(day int) *rank.Ranking { return u.lists[day] }
 // Normalized implements List.
 func (u *Umbrella) Normalized(day int, l *psl.List) (*rank.Ranking, rank.NormalizeStats) {
 	return domainNormalized(u.Raw(day), l)
+}
+
+// NormalizedIn implements the memoized normalization fast path.
+func (u *Umbrella) NormalizedIn(day int, nz *rank.Normalizer) (*rank.Ranking, rank.NormalizeStats) {
+	return domainNormalizedIn(u.Raw(day), nz)
 }

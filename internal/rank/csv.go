@@ -12,7 +12,8 @@ import (
 // Alexa, Umbrella, and Majestic downloads: "rank,name" with no header.
 func (r *Ranking) WriteCSV(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	for i, name := range r.names {
+	for i, id := range r.ids {
+		name := r.tab.Lookup(id)
 		if _, err := fmt.Fprintf(bw, "%d,%s\n", i+1, name); err != nil {
 			return err
 		}

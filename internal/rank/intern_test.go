@@ -1,0 +1,176 @@
+package rank
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"toplists/internal/names"
+	"toplists/internal/psl"
+)
+
+// TestFromScoredIDsMatchesFromScores pins the core byte-identity invariant
+// of the interned refactor: sorting ScoredIDs must produce exactly the
+// order sorting the corresponding Scored strings produces, for both tie
+// policies, because ties are decided by the name (or its hash), never by
+// the ID.
+func TestFromScoredIDsMatchesFromScores(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, tie := range []Tie{TieLexicographic, TieHashed} {
+		tab := names.NewTable()
+		var scored []Scored
+		var scoredIDs []ScoredID
+		for i := 0; i < 500; i++ {
+			name := fmt.Sprintf("site-%03d.example", rng.Intn(10_000))
+			// Coarse scores force plenty of ties.
+			score := float64(rng.Intn(8))
+			if _, dup := tab.Find(name); dup {
+				continue
+			}
+			scored = append(scored, Scored{Name: name, Score: score})
+			scoredIDs = append(scoredIDs, ScoredID{ID: tab.Intern(name), Score: score})
+		}
+		byName := FromScoresIn(tab, scored, tie)
+		byID := FromScoredIDs(tab, scoredIDs, tie)
+		if !reflect.DeepEqual(byName.Names(), byID.Names()) {
+			t.Errorf("tie=%d: FromScoredIDs order differs from FromScores", tie)
+		}
+	}
+}
+
+func TestTopSetIDsMatchesTopSet(t *testing.T) {
+	r := MustNew([]string{"a.com", "b.com", "c.com", "d.com", "e.com"})
+	for _, k := range []int{0, 1, 3, 5, 99} {
+		strs := r.TopSet(k)
+		ids := r.TopSetIDs(k)
+		if len(strs) != ids.Len() {
+			t.Fatalf("k=%d: |TopSet|=%d |TopSetIDs|=%d", k, len(strs), ids.Len())
+		}
+		for name := range strs {
+			id, ok := r.Table().Find(name)
+			if !ok || !ids.Contains(id) {
+				t.Errorf("k=%d: %q in TopSet but not in TopSetIDs", k, name)
+			}
+		}
+		if r.TopSetIDs(k) != ids {
+			t.Errorf("k=%d: TopSetIDs not memoized", k)
+		}
+	}
+}
+
+func TestRankOfIDAndContainsID(t *testing.T) {
+	tab := names.NewTable()
+	r, err := NewIn(tab, []string{"a.com", "b.com", "c.com"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range []string{"a.com", "b.com", "c.com"} {
+		id, _ := tab.Find(name)
+		if rk, ok := r.RankOfID(id); !ok || rk != i+1 {
+			t.Errorf("RankOfID(%q) = %d,%v want %d,true", name, rk, ok, i+1)
+		}
+		if !r.ContainsID(id) {
+			t.Errorf("ContainsID(%q) = false", name)
+		}
+	}
+	absent := tab.Intern("zzz.com")
+	if _, ok := r.RankOfID(absent); ok || r.ContainsID(absent) {
+		t.Error("absent ID reported present")
+	}
+	// RankOf on a never-interned name must not grow the table.
+	before := tab.Len()
+	if _, ok := r.RankOf("never-interned.example"); ok {
+		t.Error("RankOf found a never-interned name")
+	}
+	if tab.Len() != before {
+		t.Errorf("RankOf grew the table: %d -> %d", before, tab.Len())
+	}
+}
+
+func TestFilterIDsMatchesFilter(t *testing.T) {
+	r := MustNew([]string{"a.com", "bb.com", "c.com", "dd.com"})
+	byName := r.Filter(func(name string) bool { return len(name) == 5 })
+	byID := r.FilterIDs(func(id names.ID) bool { return len(r.Table().Lookup(id)) == 5 })
+	if !reflect.DeepEqual(byName.Names(), byID.Names()) {
+		t.Errorf("FilterIDs = %v, Filter = %v", byID.Names(), byName.Names())
+	}
+}
+
+func TestDuplicateDetectionSinglePass(t *testing.T) {
+	tab := names.NewTable()
+	if _, err := NewIn(tab, []string{"a.com", "b.com", "a.com"}); err == nil {
+		t.Error("NewIn accepted a duplicate name")
+	}
+	id := tab.Intern("x.com")
+	if _, err := FromIDs(tab, []names.ID{id, tab.Intern("y.com"), id}); err == nil {
+		t.Error("FromIDs accepted a duplicate ID")
+	}
+	// A ranking constructed from unique input must not retain an index
+	// until a lookup asks for one.
+	r, err := NewIn(tab, []string{"u.com", "v.com"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.pos != nil {
+		t.Error("construction built the rank index eagerly")
+	}
+	r.RankOf("u.com")
+	if r.pos == nil {
+		t.Error("lookup did not build the rank index")
+	}
+}
+
+// TestNormalizePSLInMatchesNormalizePSL checks the memoized apex path
+// renders the same ranking and stats as the direct PSL walk, and that the
+// normalizer's cache returns stable answers on repeat queries.
+func TestNormalizePSLInMatchesNormalizePSL(t *testing.T) {
+	tab := names.NewTable()
+	r, err := NewIn(tab, []string{
+		"com",
+		"www.google.com",
+		"api.google.com",
+		"example.co.uk",
+		"cdn.shop.example.de",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nz := NewNormalizer(tab, psl.Default())
+
+	wantR, wantStats := r.NormalizePSL(psl.Default())
+	for pass := 0; pass < 2; pass++ { // second pass hits the warm apex cache
+		gotR, gotStats := r.NormalizePSLIn(nz)
+		if !reflect.DeepEqual(gotR.Names(), wantR.Names()) {
+			t.Errorf("pass %d: NormalizePSLIn = %v, want %v", pass, gotR.Names(), wantR.Names())
+		}
+		if gotStats != wantStats {
+			t.Errorf("pass %d: stats = %+v, want %+v", pass, gotStats, wantStats)
+		}
+	}
+
+	id, _ := tab.Find("www.google.com")
+	apex1, ok1 := nz.Apex(id)
+	apex2, ok2 := nz.Apex(id)
+	if !ok1 || !ok2 || apex1 != apex2 {
+		t.Errorf("Apex unstable: (%d,%v) then (%d,%v)", apex1, ok1, apex2, ok2)
+	}
+	if got := tab.Lookup(apex1); got != "google.com" {
+		t.Errorf("Apex(www.google.com) = %q, want google.com", got)
+	}
+	suffix, _ := tab.Find("com")
+	if _, ok := nz.Apex(suffix); ok {
+		t.Error("Apex accepted a bare public suffix")
+	}
+}
+
+func TestNormalizePSLInWrongTablePanics(t *testing.T) {
+	r := MustNew([]string{"a.com"})
+	nz := NewNormalizer(names.NewTable(), psl.Default())
+	defer func() {
+		if recover() == nil {
+			t.Error("NormalizePSLIn accepted a normalizer over a foreign table")
+		}
+	}()
+	r.NormalizePSLIn(nz)
+}

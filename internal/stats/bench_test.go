@@ -1,0 +1,52 @@
+package stats
+
+import (
+	"fmt"
+	"testing"
+
+	"toplists/internal/names"
+)
+
+// benchJaccardSets builds two half-overlapping top-k sets of size n, in
+// both the string-map and ID-bitset representations, mirroring the fig1/
+// fig2 hot path (sets are memoized per ranking; the comparison is what
+// runs per pair).
+func benchJaccardSets(n int) (a, b map[string]struct{}, as, bs *names.Set) {
+	tab := names.NewTable()
+	a = make(map[string]struct{}, n)
+	b = make(map[string]struct{}, n)
+	var aIDs, bIDs []names.ID
+	for i := 0; i < n+n/2; i++ {
+		name := fmt.Sprintf("site-%06d.example", i)
+		id := tab.Intern(name)
+		if i < n {
+			a[name] = struct{}{}
+			aIDs = append(aIDs, id)
+		}
+		if i >= n/2 {
+			b[name] = struct{}{}
+			bIDs = append(bIDs, id)
+		}
+	}
+	return a, b, names.NewSet(aIDs), names.NewSet(bIDs)
+}
+
+func BenchmarkJaccard(b *testing.B) {
+	x, y, _, _ := benchJaccardSets(10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if Jaccard(x, y) <= 0 {
+			b.Fatal("bad jaccard")
+		}
+	}
+}
+
+func BenchmarkJaccardIDs(b *testing.B) {
+	_, _, x, y := benchJaccardSets(10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if JaccardIDs(x, y) <= 0 {
+			b.Fatal("bad jaccard")
+		}
+	}
+}

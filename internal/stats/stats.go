@@ -8,6 +8,8 @@ import (
 	"errors"
 	"math"
 	"sort"
+
+	"toplists/internal/names"
 )
 
 // Errors returned by the estimators.
@@ -124,17 +126,44 @@ func Jaccard[K comparable](a, b map[K]struct{}) float64 {
 	return float64(inter) / float64(union)
 }
 
-// JaccardSlices is Jaccard over two slices, treating them as sets.
+// JaccardIDs returns |a ∩ b| / |a ∪ b| for two interned-ID bitsets over
+// the same names.Table — the hot-path form of Jaccard, one popcount sweep
+// instead of a string-map walk. Two empty sets have Jaccard index 1 by
+// convention (they are identical), matching Jaccard.
+func JaccardIDs(a, b *names.Set) float64 {
+	if a.Len() == 0 && b.Len() == 0 {
+		return 1
+	}
+	inter := a.IntersectCount(b)
+	union := a.Len() + b.Len() - inter
+	return float64(inter) / float64(union)
+}
+
+// JaccardSlices is Jaccard over two slices, treating them as sets
+// (duplicates within a slice count once). One scratch map tracks both
+// sides: values 1/2 mark distinct members of a (2 = also seen in b),
+// 3 marks members of b absent from a.
 func JaccardSlices[K comparable](a, b []K) float64 {
-	am := make(map[K]struct{}, len(a))
+	m := make(map[K]uint8, len(a))
 	for _, k := range a {
-		am[k] = struct{}{}
+		m[k] = 1
 	}
-	bm := make(map[K]struct{}, len(b))
+	na := len(m)
+	inter, bOnly := 0, 0
 	for _, k := range b {
-		bm[k] = struct{}{}
+		switch m[k] {
+		case 1:
+			inter++
+			m[k] = 2
+		case 0:
+			bOnly++
+			m[k] = 3
+		}
 	}
-	return Jaccard(am, bm)
+	if na == 0 && bOnly == 0 {
+		return 1
+	}
+	return float64(inter) / float64(na+bOnly)
 }
 
 // NormalCDF returns the standard normal CDF at x.

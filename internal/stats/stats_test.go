@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"toplists/internal/names"
 	"toplists/internal/simrand"
 )
 
@@ -155,6 +156,59 @@ func TestJaccardPaperExample(t *testing.T) {
 	}
 	if got := JaccardSlices(a, b); !almostEq(got, 90.0/110.0, 1e-12) {
 		t.Errorf("Jaccard = %v, want %v", got, 90.0/110.0)
+	}
+}
+
+// TestJaccardEmptyConvention pins the "two empty sets ⇒ 1.0" convention on
+// every Jaccard code path: the map form, the slice form, and the
+// interned-ID bitset form.
+func TestJaccardEmptyConvention(t *testing.T) {
+	if got := Jaccard(map[string]struct{}{}, map[string]struct{}{}); got != 1 {
+		t.Errorf("Jaccard(∅,∅) = %v, want 1", got)
+	}
+	if got := JaccardSlices([]string(nil), []string{}); got != 1 {
+		t.Errorf("JaccardSlices(∅,∅) = %v, want 1", got)
+	}
+	if got := JaccardIDs(names.NewSet(nil), names.NewSet(nil)); got != 1 {
+		t.Errorf("JaccardIDs(∅,∅) = %v, want 1", got)
+	}
+	// One-sided empties are 0, not 1, on all three paths.
+	if got := Jaccard(map[string]struct{}{"a": {}}, map[string]struct{}{}); got != 0 {
+		t.Errorf("Jaccard({a},∅) = %v, want 0", got)
+	}
+	if got := JaccardSlices([]string{"a"}, nil); got != 0 {
+		t.Errorf("JaccardSlices({a},∅) = %v, want 0", got)
+	}
+	if got := JaccardIDs(names.NewSet([]names.ID{3}), names.NewSet(nil)); got != 0 {
+		t.Errorf("JaccardIDs({3},∅) = %v, want 0", got)
+	}
+}
+
+// TestJaccardIDsMatchesJaccard cross-checks the bitset form against the
+// map form on random ID sets.
+func TestJaccardIDsMatchesJaccard(t *testing.T) {
+	err := quick.Check(func(xs, ys []uint16) bool {
+		ax, ay := make([]names.ID, len(xs)), make([]names.ID, len(ys))
+		mx, my := map[names.ID]struct{}{}, map[names.ID]struct{}{}
+		for i, x := range xs {
+			ax[i] = names.ID(x)
+			mx[names.ID(x)] = struct{}{}
+		}
+		for i, y := range ys {
+			ay[i] = names.ID(y)
+			my[names.ID(y)] = struct{}{}
+		}
+		return JaccardIDs(names.NewSet(ax), names.NewSet(ay)) == Jaccard(mx, my)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJaccardSlicesDuplicates(t *testing.T) {
+	// Duplicates collapse on both sides: {a,a,b} vs {b,b,c} = {a,b}∩{b,c}.
+	if got := JaccardSlices([]string{"a", "a", "b"}, []string{"b", "b", "c"}); !almostEq(got, 1.0/3.0, 1e-12) {
+		t.Errorf("JaccardSlices dup = %v, want 1/3", got)
 	}
 }
 

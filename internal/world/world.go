@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 
+	"toplists/internal/names"
 	"toplists/internal/rank"
 	"toplists/internal/simrand"
 )
@@ -172,6 +173,12 @@ type World struct {
 
 	byDomain map[string]int32
 	trueRank *rank.Ranking
+
+	// tab is the study's name interner. Site domains are interned first,
+	// in true-rank order, establishing the invariant that a site's domain
+	// has interner ID equal to the site ID; every observer and every
+	// derived ranking of the study shares this table.
+	tab *names.Table
 }
 
 // Generate builds a world from the config. Generation is deterministic in
@@ -192,7 +199,7 @@ func Generate(cfg Config) *World {
 	}
 	homeAlias := simrand.NewAlias(siteShare)
 
-	names := newNameGen(root.Derive("names"))
+	nameGen := newNameGen(root.Derive("names"))
 	gen := root.Derive("sites")
 	n := cfg.NumSites
 	for i := 0; i < n; i++ {
@@ -204,7 +211,7 @@ func Generate(cfg Config) *World {
 		ci := s.Home.Info()
 		cat := s.Category.Info()
 
-		s.Domain = names.generate(src, s.Category, s.Home)
+		s.Domain = nameGen.generate(src, s.Category, s.Home)
 		s.HTTPS = src.Bernoulli(cfg.HTTPSShare)
 		boost := cat.WeightBoost
 		if cfg.Ablate.NoWeightBoost {
@@ -256,14 +263,16 @@ func Generate(cfg Config) *World {
 	}
 
 	// Sort by true weight descending; re-assign IDs so ID == true rank - 1.
+	// Interning the domains in this order pins interner ID == site ID.
 	sortSitesByWeight(w.Sites)
-	namesInOrder := make([]string, n)
+	w.tab = names.NewTable()
+	idsInOrder := make([]names.ID, n)
 	for i := range w.Sites {
 		w.Sites[i].ID = int32(i)
 		w.byDomain[w.Sites[i].Domain] = int32(i)
-		namesInOrder[i] = w.Sites[i].Domain
+		idsInOrder[i] = w.tab.Intern(w.Sites[i].Domain)
 	}
-	w.trueRank = rank.MustNew(namesInOrder)
+	w.trueRank = rank.MustFromIDs(w.tab, idsInOrder)
 
 	// None of the global top ten sites use Cloudflare (Section 4.5).
 	for i := 0; i < 10 && i < n; i++ {
@@ -415,6 +424,24 @@ func (w *World) ByDomain(name string) (int32, bool) {
 
 // TrueRank returns the ground-truth global popularity ranking by domain.
 func (w *World) TrueRank() *rank.Ranking { return w.trueRank }
+
+// Interner returns the study-wide name table. Site domains occupy IDs
+// 0..NumSites-1 in true-rank order; apexes, FQDNs, and origins interned by
+// observers follow.
+func (w *World) Interner() *names.Table { return w.tab }
+
+// DomainID returns the interner ID of a site's registrable domain, which
+// by construction equals the site ID.
+func (w *World) DomainID(site int32) names.ID { return names.ID(site) }
+
+// SiteOfID returns the site whose domain has interner ID id, if id is a
+// site domain (IDs at and beyond NumSites belong to other interned names).
+func (w *World) SiteOfID(id names.ID) (int32, bool) {
+	if int(id) >= len(w.Sites) {
+		return 0, false
+	}
+	return int32(id), true
+}
 
 // CloudflareSet returns the set of Cloudflare-served registrable domains.
 func (w *World) CloudflareSet() map[string]struct{} {
