@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz bench check
+.PHONY: build test vet race fuzz bench check faultcheck
 
 build:
 	$(GO) build ./...
@@ -12,17 +12,26 @@ vet:
 	$(GO) vet ./...
 
 # The simulation engine runs client shards concurrently, the experiments
-# evaluate on a shared artifact store, and the name interner serves
-# lock-free concurrent readers; the race pass covers every package that
-# touches a parallel path.
+# evaluate on a shared artifact store, the name interner serves lock-free
+# concurrent readers, and the probe network injects faults under load; the
+# race pass covers every package that touches a parallel path, with
+# -shuffle=on so test-order coupling can't hide behind a fixed schedule.
 race:
-	$(GO) test -race ./internal/names ./internal/rank ./internal/traffic ./internal/core ./internal/experiments
+	$(GO) test -race -shuffle=on ./internal/names ./internal/rank ./internal/traffic ./internal/core ./internal/experiments ./internal/httpsim
 
-# Short fuzz smoke of the rank-bucketing and interner targets (seeds + 10s each).
+# faultcheck is the fault-injection determinism oracle: a fixed seed at a
+# nonzero fault rate must render the full evaluation byte-identically
+# across worker counts and across repeated runs.
+faultcheck:
+	$(GO) test -run=TestFaultDeterminism -count=1 .
+
+# Short fuzz smoke of the rank-bucketing, interner, and fault-plan targets
+# (seeds + 10s each).
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzScaledMagnitudes -fuzztime=10s ./internal/rank
 	$(GO) test -run=^$$ -fuzz=FuzzBucketer -fuzztime=10s ./internal/rank
 	$(GO) test -run=^$$ -fuzz=FuzzInternLookupRoundTrip -fuzztime=10s ./internal/names
+	$(GO) test -run=^$$ -fuzz=FuzzFaultPlan -fuzztime=10s ./internal/faults
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -40,4 +49,4 @@ benchsmoke:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...
 
 # check is the CI gate: everything must pass before merging.
-check: build vet test race
+check: build vet test race faultcheck

@@ -8,6 +8,7 @@ package toplists
 // paper's values.
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -170,7 +171,11 @@ func BenchmarkTable1Coverage(b *testing.B) {
 	s := getBenchStudy(b)
 	var r *experiments.Table1Result
 	for i := 0; i < b.N; i++ {
-		r = experiments.RunTable1(s)
+		var err error
+		r, err = experiments.RunTable1(context.Background(), s)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(r.Coverage("CrUX", 3), "crux-coverage-pct")
 	b.ReportMetric(r.Coverage("Alexa", 3), "alexa-coverage-pct")
@@ -214,7 +219,7 @@ func BenchmarkTable3Categories(b *testing.B) {
 // width and renders each artifact to io.Discard, mirroring Study.RenderAll.
 func renderAllOnce(b *testing.B, s *core.Study, workers int) {
 	b.Helper()
-	for _, oc := range experiments.RunConcurrent(s, experiments.All(), workers) {
+	for _, oc := range experiments.RunConcurrent(context.Background(), s, experiments.All(), workers) {
 		if oc.Err != nil {
 			b.Fatal(oc.Err)
 		}

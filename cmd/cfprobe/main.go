@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	cfprobe [-sites 5000] [-top 200] [-seed 1] [-concurrency 32] [-v]
+//	cfprobe [-sites 5000] [-top 200] [-seed 1] [-concurrency 32]
+//	        [-faultrate 0] [-faultseed 1] [-singleshot] [-v]
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"os"
 	"time"
 
+	"toplists/internal/faults"
 	"toplists/internal/httpsim"
 	"toplists/internal/world"
 )
@@ -25,6 +27,9 @@ func main() {
 		sites       = flag.Int("sites", 5000, "universe size")
 		top         = flag.Int("top", 200, "number of top domains to probe")
 		concurrency = flag.Int("concurrency", 32, "concurrent probes")
+		faultRate   = flag.Float64("faultrate", 0, "inject network faults at this rate (0..1)")
+		faultSeed   = flag.Uint64("faultseed", 1, "fault plan seed")
+		singleShot  = flag.Bool("singleshot", false, "disable retries/backoff (the fragile baseline prober)")
 		verbose     = flag.Bool("v", false, "print one line per probed host")
 	)
 	flag.Parse()
@@ -34,11 +39,15 @@ func main() {
 
 	net := httpsim.NewNetwork()
 	net.AddWorld(w)
+	if *faultRate > 0 {
+		net.SetFaultPlan(&faults.Plan{Seed: *faultSeed, Rate: *faultRate})
+	}
 	net.Start()
 	defer net.Close()
 
 	prober := httpsim.NewProber(net.Client())
 	prober.Concurrency = *concurrency
+	prober.SingleShot = *singleShot
 
 	n := *top
 	if n > w.NumSites() {
@@ -55,19 +64,22 @@ func main() {
 	results := prober.ProbeAll(ctx, hosts)
 	elapsed := time.Since(start)
 
-	cf, unreachable := 0, 0
+	cf, down, unknown := 0, 0, 0
 	for _, r := range results {
 		if r.Cloudflare {
 			cf++
 		}
-		if !r.Reachable {
-			unreachable++
+		switch r.Outcome {
+		case httpsim.OutcomeDown:
+			down++
+		case httpsim.OutcomeUnknown:
+			unknown++
 		}
 		if *verbose {
 			status := "direct"
 			switch {
-			case !r.Reachable:
-				status = "unreachable"
+			case r.Outcome != httpsim.OutcomeOK:
+				status = r.Outcome.String()
 			case r.Cloudflare:
 				status = "cloudflare"
 			}
@@ -77,6 +89,6 @@ func main() {
 	fmt.Printf("probed %d hosts in %v (%.0f probes/s)\n",
 		len(results), elapsed.Round(time.Millisecond),
 		float64(len(results))/elapsed.Seconds())
-	fmt.Printf("cloudflare: %d (%.1f%%), unreachable: %d\n",
-		cf, 100*float64(cf)/float64(len(results)), unreachable)
+	fmt.Printf("cloudflare: %d (%.1f%%), down: %d, unknown: %d\n",
+		cf, 100*float64(cf)/float64(len(results)), down, unknown)
 }

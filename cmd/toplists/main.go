@@ -13,7 +13,12 @@
 //	            concurrent experiment evaluation (default 0 = one per CPU;
 //	            1 = serial; results are identical either way)
 //	-experiment artifact to regenerate: fig1..fig8, tab1..tab3, or "all"
+//	-faultrate  inject deterministic network faults at this rate (0..1);
+//	            output stays reproducible for a fixed seed
 //	-list       print the available experiments and exit
+//
+// Interrupting the run (Ctrl-C) cancels the simulation and evaluation
+// promptly via context cancellation.
 //
 // Example:
 //
@@ -21,9 +26,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"time"
 
@@ -37,11 +44,15 @@ func main() {
 		clients    = flag.Int("clients", 6000, "number of simulated clients")
 		days       = flag.Int("days", 28, "measurement window in days")
 		workers    = flag.Int("workers", 0, "simulation and evaluation worker goroutines (0 = one per CPU, 1 = serial)")
-		experiment = flag.String("experiment", "all", "experiment id (fig1..fig8, tab1..tab3, stability) or 'all'")
+		experiment = flag.String("experiment", "all", "experiment id (fig1..fig8, tab1..tab3, stability, faultsense) or 'all'")
+		faultRate  = flag.Float64("faultrate", 0, "inject deterministic network faults at this rate (0..1)")
 		list       = flag.Bool("list", false, "list available experiments and exit")
 		outdir     = flag.String("outdir", "", "also write each artifact to <outdir>/<id>.txt")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	if *list {
 		for _, e := range toplists.Experiments() {
@@ -104,13 +115,14 @@ func main() {
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "building study: %d sites, %d clients, %d days (seed %d)...\n",
 		*sites, *clients, *days, *seed)
-	study, err := toplists.Run(toplists.Config{
+	study, err := toplists.RunContext(ctx, toplists.Config{
 		Seed:      *seed,
 		Sites:     *sites,
 		Clients:   *clients,
 		Days:      *days,
 		Workers:   *workers,
 		AllCombos: true,
+		FaultRate: *faultRate,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "toplists:", err)
@@ -129,7 +141,7 @@ func main() {
 	// Experiments execute concurrently on the -workers pool, sharing one
 	// memoized artifact store; outcomes come back in canonical paper order
 	// so stdout is byte-identical to a serial run.
-	outcomes, err := study.RunExperiments(ids)
+	outcomes, err := study.RunExperimentsContext(ctx, ids)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "toplists:", err)
 		os.Exit(1)

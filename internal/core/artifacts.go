@@ -6,7 +6,6 @@ import (
 
 	"toplists/internal/cfmetrics"
 	"toplists/internal/chrome"
-	"toplists/internal/httpsim"
 	"toplists/internal/names"
 	"toplists/internal/providers"
 	"toplists/internal/rank"
@@ -40,7 +39,11 @@ type Artifacts struct {
 	mu      sync.Mutex
 	derived map[any]*rankingEntry
 
-	cfOnce    sync.Once
+	// cfMu guards the probed Cloudflare set. A plain mutex rather than a
+	// sync.Once: a sweep aborted by context cancellation must not be
+	// memoized as "the" answer, so only a completed sweep sets cfReady.
+	cfMu      sync.Mutex
+	cfReady   bool
 	cfDomains map[string]struct{}
 	cfIDs     *names.Set
 }
@@ -154,11 +157,13 @@ func (a *Artifacts) TelemetryRanking(c world.Country, p world.Platform, m chrome
 
 // CFDomains returns the probed set of Cloudflare-served registrable
 // domains (the cf-ray filter of Section 4.3), established exactly once per
-// study: a HEAD probe of every domain over the virtual network, keeping
-// those that answer with a cf-ray header. Callers must not modify the
-// returned set.
+// study: a multi-day probe sweep of every domain over the virtual network,
+// keeping those that answer with a cf-ray header. Callers must not modify
+// the returned set.
 func (a *Artifacts) CFDomains() map[string]struct{} {
-	a.probeCF()
+	mustProbe(a.ProbeCF(context.Background()))
+	a.cfMu.Lock()
+	defer a.cfMu.Unlock()
 	return a.cfDomains
 }
 
@@ -166,26 +171,48 @@ func (a *Artifacts) CFDomains() map[string]struct{} {
 // bitset over the world's name table, usable with rank.FilterIDs and
 // stats.JaccardIDs. Built from the same single probe sweep.
 func (a *Artifacts) CFDomainIDs() *names.Set {
-	a.probeCF()
+	mustProbe(a.ProbeCF(context.Background()))
+	a.cfMu.Lock()
+	defer a.cfMu.Unlock()
 	return a.cfIDs
 }
 
-func (a *Artifacts) probeCF() {
-	a.cfOnce.Do(func() {
-		prober := httpsim.NewProber(a.s.network().Client())
-		prober.Concurrency = 64
-		hosts := make([]string, a.s.World.NumSites())
-		for i := range hosts {
-			hosts[i] = a.s.World.Site(int32(i)).Domain
+func mustProbe(err error) {
+	if err != nil {
+		// Only a canceled context can fail the sweep, and these callers
+		// probe under Background.
+		panic(err)
+	}
+}
+
+// ProbeCF establishes the Cloudflare set, probing at most once per study.
+// Concurrent requesters wait for the in-flight sweep; a sweep aborted by
+// ctx is not memoized, so the next caller retries. Experiments that honor
+// cancellation call this (with their context) before touching CFDomains
+// or CFDomainIDs.
+func (a *Artifacts) ProbeCF(ctx context.Context) error {
+	a.cfMu.Lock()
+	defer a.cfMu.Unlock()
+	if a.cfReady {
+		return nil
+	}
+	hosts := make([]string, a.s.World.NumSites())
+	for i := range hosts {
+		hosts[i] = a.s.World.Site(int32(i)).Domain
+	}
+	cf, err := a.s.probeSweep(ctx, hosts)
+	if err != nil {
+		return err
+	}
+	ids := make([]names.ID, 0, len(cf))
+	for name := range cf {
+		// Every probed host is a site domain, interned at world build.
+		if id, ok := a.s.World.Interner().Find(name); ok {
+			ids = append(ids, id)
 		}
-		a.cfDomains = prober.CloudflareSet(context.Background(), hosts)
-		ids := make([]names.ID, 0, len(a.cfDomains))
-		for name := range a.cfDomains {
-			// Every probed host is a site domain, interned at world build.
-			if id, ok := a.s.World.Interner().Find(name); ok {
-				ids = append(ids, id)
-			}
-		}
-		a.cfIDs = names.NewSet(ids)
-	})
+	}
+	a.cfDomains = cf
+	a.cfIDs = names.NewSet(ids)
+	a.cfReady = true
+	return nil
 }

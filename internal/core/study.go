@@ -11,6 +11,7 @@ import (
 
 	"toplists/internal/cfmetrics"
 	"toplists/internal/chrome"
+	"toplists/internal/faults"
 	"toplists/internal/httpsim"
 	"toplists/internal/linkgraph"
 	"toplists/internal/names"
@@ -56,6 +57,16 @@ type Config struct {
 	// scarcity) and the full depth of every list (rank-noise exposure); a
 	// compressed universe needs two cuts to express both regimes.
 	SpearmanMagIdx int
+	// FaultRate enables deterministic fault injection across the virtual
+	// network: the fraction (0..1) of probe attempts that hit an injected
+	// failure — refused/reset/truncated/stalled dials, 5xx edge responses.
+	// 0 (the default) leaves the network byte-identical to a study built
+	// before fault injection existed.
+	FaultRate float64
+	// FaultSeed keys the fault plan independently of the study seed
+	// (0 = derive from Seed), so fault-sensitivity sweeps can vary the
+	// weather while holding the world fixed.
+	FaultSeed uint64
 	// Ablate disables selected mechanisms across the world and the
 	// traffic engine for ablation studies (see experiments.RunAblations).
 	Ablate Ablations
@@ -184,21 +195,38 @@ func NewStudy(cfg Config) *Study {
 }
 
 // Run simulates the month and finalizes the amalgam and monthly lists.
+// It panics on a shard failure; RunContext reports it as an error instead.
 func (s *Study) Run() {
-	if s.ran {
-		return
+	if err := s.RunContext(context.Background()); err != nil {
+		panic(err)
 	}
-	s.Engine.Run()
+}
+
+// RunContext simulates the month and finalizes the amalgam and monthly
+// lists, honoring ctx: cancellation mid-simulation returns the context's
+// error promptly (the study is then unusable), and a panicking client
+// shard surfaces as a *traffic.ShardPanicError instead of crashing.
+func (s *Study) RunContext(ctx context.Context) error {
+	if s.ran {
+		return nil
+	}
+	if err := s.Engine.RunContext(ctx); err != nil {
+		return err
+	}
 	// The amalgams draw normalized input snapshots through the artifact
 	// store's memo, so that work is already warm at evaluation time.
 	s.Tranco = providers.NewTranco(s.Alexa, s.Umbrella, s.Majestic, s.PSL, s.artifacts.norms)
 	s.Trexa = providers.NewTrexa(s.Alexa, s.Tranco, s.PSL)
 	for d := 0; d < s.Cfg.Days; d++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		s.Tranco.ComputeDay(d)
 		s.Trexa.ComputeDay(d)
 	}
 	s.Crux = providers.NewCrux(s.Telemetry, s.Cfg.CruxMinVisitors, s.Bucketer)
 	s.ran = true
+	return nil
 }
 
 // Lists returns the seven providers in canonical table order.
@@ -246,25 +274,38 @@ func (s *Study) CFDomains() map[string]struct{} {
 	return s.artifacts.CFDomains()
 }
 
-// network returns the virtual HTTP layer, starting it on first use.
+// FaultSeed returns the seed keying the study's fault plan: the
+// configured override, or a stream derived from the study seed so two
+// studies with equal seeds see identical weather.
+func (s *Study) FaultSeed() uint64 {
+	if s.Cfg.FaultSeed != 0 {
+		return s.Cfg.FaultSeed
+	}
+	return simrand.New(s.Cfg.Seed).Derive("faults").Uint64()
+}
+
+// FaultPlan returns the study's fault plan, or nil when FaultRate is 0.
+func (s *Study) FaultPlan() *faults.Plan {
+	if s.Cfg.FaultRate <= 0 {
+		return nil
+	}
+	return &faults.Plan{Seed: s.FaultSeed(), Rate: s.Cfg.FaultRate}
+}
+
+// network returns the virtual HTTP layer, starting it on first use. A
+// configured FaultRate installs the study's fault plan before any probe
+// can observe the network.
 func (s *Study) network() *httpsim.Network {
 	s.netMu.Lock()
 	defer s.netMu.Unlock()
 	if s.Network == nil {
-		s.Network = httpsim.NewNetwork()
-		s.Network.AddWorld(s.World)
-		s.Network.Start()
+		n := httpsim.NewNetwork()
+		n.AddWorld(s.World)
+		n.SetFaultPlan(s.FaultPlan())
+		n.Start()
+		s.Network = n
 	}
 	return s.Network
-}
-
-// ProbeHosts probes arbitrary hostnames (FQDN or origin-host form) and
-// reports which are Cloudflare-served; used for the per-entry coverage of
-// Table 1. Concurrent callers each run their own probe sweep.
-func (s *Study) ProbeHosts(hosts []string) map[string]struct{} {
-	prober := httpsim.NewProber(s.network().Client())
-	prober.Concurrency = 64
-	return prober.CloudflareSet(context.Background(), hosts)
 }
 
 // Close releases the virtual network, if started.

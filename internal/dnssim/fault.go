@@ -1,0 +1,81 @@
+package dnssim
+
+import (
+	"sync"
+
+	"toplists/internal/faults"
+)
+
+// FaultHandler wraps a MessageHandler with deterministic fault injection:
+// SERVFAIL, spurious NXDOMAIN, TC-bit truncation, and dropped datagrams,
+// drawn from a faults.Plan keyed on (query name, virtual day, per-name
+// attempt index). The attempt counter makes a client's retries of the same
+// name roll fresh decisions — so a retrying stub eventually gets through —
+// while the plan itself stays a pure function of its key: a fresh handler
+// replaying the same query sequence injects the same faults.
+type FaultHandler struct {
+	Inner MessageHandler
+	Plan  *faults.Plan
+	// Day keys the plan's decisions (virtual time, never the wall clock).
+	Day int
+
+	mu       sync.Mutex
+	attempts map[string]int
+}
+
+// HandleMessage implements MessageHandler.
+func (f *FaultHandler) HandleMessage(clientIP uint32, raw []byte) []byte {
+	if !f.Plan.Enabled() {
+		return f.Inner.HandleMessage(clientIP, raw)
+	}
+	q, err := Decode(raw)
+	if err != nil || len(q.Questions) == 0 {
+		// Malformed queries are the inner handler's problem.
+		return f.Inner.HandleMessage(clientIP, raw)
+	}
+	name := q.Questions[0].Name
+	f.mu.Lock()
+	if f.attempts == nil {
+		f.attempts = make(map[string]int)
+	}
+	attempt := f.attempts[name]
+	f.attempts[name] = attempt + 1
+	f.mu.Unlock()
+
+	switch f.Plan.DNS(name, faults.Key{Day: f.Day, Attempt: attempt}) {
+	case faults.DNSDrop:
+		return nil
+	case faults.DNSServFail:
+		return errorReply(q, RCodeServFail)
+	case faults.DNSTruncate:
+		resp := f.Inner.HandleMessage(clientIP, raw)
+		if resp == nil {
+			return nil
+		}
+		return truncateForUDP(resp)
+	case faults.DNSNXDomain:
+		return errorReply(q, RCodeNXDomain)
+	}
+	return f.Inner.HandleMessage(clientIP, raw)
+}
+
+// errorReply builds a records-free response echoing the query's ID and
+// question with the given RCode.
+func errorReply(q *Message, rc RCode) []byte {
+	resp := &Message{
+		Header: Header{
+			ID:                 q.Header.ID,
+			Response:           true,
+			Opcode:             q.Header.Opcode,
+			RecursionDesired:   q.Header.RecursionDesired,
+			RecursionAvailable: true,
+			RCode:              rc,
+		},
+		Questions: q.Questions,
+	}
+	raw, err := resp.Encode()
+	if err != nil {
+		return nil
+	}
+	return raw
+}

@@ -1,0 +1,181 @@
+package dnssim
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"toplists/internal/faults"
+)
+
+// rawQuery encodes one A query for name with the given ID.
+func rawQuery(t *testing.T, id uint16, name string) []byte {
+	t.Helper()
+	q := &Message{
+		Header:    Header{ID: id, RecursionDesired: true},
+		Questions: []Question{{Name: name, Type: TypeA, Class: ClassIN}},
+	}
+	raw, err := q.Encode()
+	if err != nil {
+		t.Fatalf("encode query: %v", err)
+	}
+	return raw
+}
+
+// TestFaultHandlerInjectsAllKinds drives enough distinct names through a
+// high-rate handler to observe every DNS fault kind, and checks the shape
+// of each injected response.
+func TestFaultHandlerInjectsAllKinds(t *testing.T) {
+	w, auth := testAuthority(t)
+	f := &FaultHandler{
+		Inner: NewResolver(auth, nil),
+		Plan:  &faults.Plan{Seed: 5, Rate: 0.9},
+	}
+
+	var drops, servfail, nxdomain, truncated, clean int
+	for i := 0; i < w.NumSites(); i++ {
+		name := w.Site(int32(i)).Domain
+		resp := f.HandleMessage(1, rawQuery(t, uint16(i+1), name))
+		if resp == nil {
+			drops++
+			continue
+		}
+		m, err := Decode(resp)
+		if err != nil {
+			t.Fatalf("%s: undecodable response: %v", name, err)
+		}
+		if m.Header.ID != uint16(i+1) || !m.Header.Response {
+			t.Fatalf("%s: response header does not match query: %+v", name, m.Header)
+		}
+		switch {
+		case m.Header.RCode == RCodeServFail:
+			servfail++
+		case m.Header.RCode == RCodeNXDomain:
+			nxdomain++
+		case m.Header.Truncated:
+			truncated++
+		default:
+			if len(m.Answers) == 0 {
+				t.Fatalf("%s: clean response carries no answers", name)
+			}
+			clean++
+		}
+	}
+	for what, n := range map[string]int{
+		"drop": drops, "servfail": servfail, "nxdomain": nxdomain,
+		"truncated": truncated, "clean": clean,
+	} {
+		if n == 0 {
+			t.Errorf("no %s outcomes over %d names at rate 0.9", what, w.NumSites())
+		}
+	}
+}
+
+// TestFaultHandlerDeterministicReplay: two handlers over the same plan
+// replaying the same query sequence inject byte-identical responses — the
+// per-name attempt counters are part of the replayed state, not shared
+// mutable globals.
+func TestFaultHandlerDeterministicReplay(t *testing.T) {
+	_, auth := testAuthority(t)
+	run := func() [][]byte {
+		f := &FaultHandler{
+			Inner: NewResolver(auth, nil),
+			Plan:  &faults.Plan{Seed: 11, Rate: 0.5},
+		}
+		var out [][]byte
+		for rep := 0; rep < 3; rep++ {
+			for i := 0; i < 50; i++ {
+				name := "host-" + string(rune('a'+i%26)) + ".example"
+				out = append(out, f.HandleMessage(1, rawQuery(t, uint16(i+1), name)))
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if string(a[i]) != string(b[i]) {
+			t.Fatalf("response %d differs between identical replays", i)
+		}
+	}
+}
+
+// TestFaultHandlerRetriesRollFresh: consecutive queries of one name get
+// distinct attempt keys, so a retrying client is not doomed to the same
+// fault forever.
+func TestFaultHandlerRetriesRollFresh(t *testing.T) {
+	w, auth := testAuthority(t)
+	name := w.Site(0).Domain
+	f := &FaultHandler{
+		Inner: NewResolver(auth, nil),
+		Plan:  &faults.Plan{Seed: 3, Rate: 0.5},
+	}
+	for attempt := 0; attempt < 64; attempt++ {
+		resp := f.HandleMessage(1, rawQuery(t, uint16(attempt+1), name))
+		if resp == nil {
+			continue
+		}
+		m, err := Decode(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Header.RCode == RCodeNoError && !m.Header.Truncated && len(m.Answers) > 0 {
+			return // got through
+		}
+	}
+	t.Fatal("64 retries at rate 0.5 never produced a clean answer")
+}
+
+// TestFaultHandlerRateZeroPassThrough: a disabled plan delegates untouched.
+func TestFaultHandlerRateZeroPassThrough(t *testing.T) {
+	w, auth := testAuthority(t)
+	inner := NewResolver(auth, nil)
+	f := &FaultHandler{Inner: NewResolver(auth, nil), Plan: &faults.Plan{Seed: 1}}
+	for i := 0; i < 40; i++ {
+		name := w.Site(int32(i)).Domain
+		raw := rawQuery(t, uint16(i+1), name)
+		want := inner.HandleMessage(1, raw)
+		got := f.HandleMessage(1, raw)
+		if string(got) != string(want) {
+			t.Fatalf("%s: rate-0 handler altered the response", name)
+		}
+	}
+}
+
+// TestServerWithFaultHandler runs the wire path end to end: a stub client
+// against a faulty UDP server still resolves (its retries roll fresh
+// attempt keys), and injected SERVFAILs surface as RCodes.
+func TestServerWithFaultHandler(t *testing.T) {
+	w, auth := testAuthority(t)
+	f := &FaultHandler{
+		Inner: NewResolver(auth, nil),
+		Plan:  &faults.Plan{Seed: 21, Rate: 0.3},
+	}
+	srv := NewServerWithHandler(f)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c := &Client{Server: addr.String(), Timeout: 250 * time.Millisecond, Retries: 8}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	resolved, servfails := 0, 0
+	for i := 0; i < 25; i++ {
+		name := w.Site(int32(i)).Domain
+		rrs, rc, err := c.Query(ctx, name, TypeA)
+		switch {
+		case err != nil:
+			// All retries eaten by drops/truncation: acceptable weather.
+		case rc == RCodeServFail || rc == RCodeNXDomain:
+			servfails++
+		case len(rrs) > 0:
+			resolved++
+		}
+	}
+	if resolved == 0 {
+		t.Fatal("no queries resolved through the faulty server")
+	}
+	t.Logf("resolved %d/25, error rcodes %d", resolved, servfails)
+}

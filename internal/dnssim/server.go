@@ -10,11 +10,18 @@ import (
 	"time"
 )
 
-// Server serves a Resolver over UDP. It is the wire front-end used by
-// cmd/dnsload and the networking tests; the bulk simulation feeds the
+// MessageHandler answers one raw DNS message for a client; a nil return
+// drops the query. Resolver.HandleMessage is the canonical implementation,
+// and FaultHandler wraps any handler with deterministic fault injection.
+type MessageHandler interface {
+	HandleMessage(clientIP uint32, raw []byte) []byte
+}
+
+// Server serves a MessageHandler over UDP. It is the wire front-end used
+// by cmd/dnsload and the networking tests; the bulk simulation feeds the
 // resolver in-process for speed.
 type Server struct {
-	resolver *Resolver
+	handler MessageHandler
 
 	mu   sync.Mutex
 	conn net.PacketConn
@@ -23,7 +30,13 @@ type Server struct {
 
 // NewServer wraps a resolver.
 func NewServer(r *Resolver) *Server {
-	return &Server{resolver: r}
+	return NewServerWithHandler(r)
+}
+
+// NewServerWithHandler wraps an arbitrary message handler (e.g. a
+// FaultHandler around a resolver).
+func NewServerWithHandler(h MessageHandler) *Server {
+	return &Server{handler: h}
 }
 
 // Start begins serving on addr (e.g. "127.0.0.1:0") and returns the bound
@@ -49,7 +62,7 @@ func (s *Server) serve(conn net.PacketConn) {
 		if err != nil {
 			return // closed
 		}
-		resp := s.resolver.HandleMessage(peerIP(peer), buf[:n])
+		resp := s.handler.HandleMessage(peerIP(peer), buf[:n])
 		if resp != nil {
 			// Oversized answers are truncated per RFC 1035; the client
 			// retries over TCP.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -25,8 +26,9 @@ type Table1Result struct {
 func (r *Table1Result) ID() string { return "tab1" }
 
 // RunTable1 computes Table 1 by probing each list's raw entries on the
-// evaluation day.
-func RunTable1(s *core.Study) *Table1Result {
+// evaluation day. The probe sweep honors ctx; cancellation returns the
+// context's error rather than a table built from a partial probe.
+func RunTable1(ctx context.Context, s *core.Study) (*Table1Result, error) {
 	lists := s.Lists()
 	day := evalDay(s)
 	res := &Table1Result{Day: day, Magnitudes: s.Bucketer.Magnitudes[:]}
@@ -53,7 +55,10 @@ func RunTable1(s *core.Study) *Table1Result {
 	for h := range union {
 		all = append(all, h)
 	}
-	cf := s.ProbeHosts(all)
+	cf, err := s.ProbeHostsContext(ctx, all)
+	if err != nil {
+		return nil, err
+	}
 
 	res.CoveragePct = make([][]float64, len(lists))
 	for li := range lists {
@@ -75,7 +80,7 @@ func RunTable1(s *core.Study) *Table1Result {
 			res.CoveragePct[li][mi] = 100 * float64(hit) / float64(n)
 		}
 	}
-	return res
+	return res, nil
 }
 
 // Coverage returns one list's coverage at magnitude index mi.

@@ -5,8 +5,11 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"toplists/internal/core"
@@ -20,27 +23,42 @@ type Result interface {
 	Render(w io.Writer) error
 }
 
-// Runner executes one experiment against a study.
+// Runner executes one experiment against a study. Run honors ctx:
+// experiments that probe the virtual network check it before and during
+// the sweep, and a canceled context yields the context's error rather
+// than a partial result.
 type Runner struct {
 	ID   string
 	Name string
-	Run  func(s *core.Study) (Result, error)
+	Run  func(ctx context.Context, s *core.Study) (Result, error)
 }
 
 // All returns every experiment in paper order.
 func All() []Runner {
 	return []Runner{
-		{"fig1", "Intra-Cloudflare metric consistency", func(s *core.Study) (Result, error) { return RunFig1(s), nil }},
-		{"fig2", "Top lists vs Cloudflare metrics", func(s *core.Study) (Result, error) { return RunFig2(s), nil }},
-		{"fig3", "Popularity metrics over time", func(s *core.Study) (Result, error) { return RunFig3(s), nil }},
-		{"fig4", "Top list performance by platform", func(s *core.Study) (Result, error) { return RunFig4(s), nil }},
-		{"fig5", "Rank-magnitude movement", func(s *core.Study) (Result, error) { return RunFig5(s), nil }},
-		{"fig6", "Intra-Chrome metric consistency", func(s *core.Study) (Result, error) { return RunFig6(s), nil }},
-		{"fig7", "Top list performance by country", func(s *core.Study) (Result, error) { return RunFig7(s), nil }},
-		{"fig8", "All 21 filter-aggregation combos", func(s *core.Study) (Result, error) { return RunFig8(s) }},
-		{"tab1", "Cloudflare coverage of top lists", func(s *core.Study) (Result, error) { return RunTable1(s), nil }},
-		{"tab2", "PSL deviation of top lists", func(s *core.Study) (Result, error) { return RunTable2(s), nil }},
-		{"tab3", "Odds of inclusion by category", func(s *core.Study) (Result, error) { return RunTable3(s) }},
+		{"fig1", "Intra-Cloudflare metric consistency", func(ctx context.Context, s *core.Study) (Result, error) { return RunFig1(s), nil }},
+		{"fig2", "Top lists vs Cloudflare metrics", func(ctx context.Context, s *core.Study) (Result, error) {
+			// The CF probe is the only part of fig2 that can block on the
+			// network; run it cancellably before the pure evaluation.
+			if err := s.Artifacts().ProbeCF(ctx); err != nil {
+				return nil, err
+			}
+			return RunFig2(s), nil
+		}},
+		{"fig3", "Popularity metrics over time", func(ctx context.Context, s *core.Study) (Result, error) {
+			if err := s.Artifacts().ProbeCF(ctx); err != nil {
+				return nil, err
+			}
+			return RunFig3(s), nil
+		}},
+		{"fig4", "Top list performance by platform", func(ctx context.Context, s *core.Study) (Result, error) { return RunFig4(s), nil }},
+		{"fig5", "Rank-magnitude movement", func(ctx context.Context, s *core.Study) (Result, error) { return RunFig5(s), nil }},
+		{"fig6", "Intra-Chrome metric consistency", func(ctx context.Context, s *core.Study) (Result, error) { return RunFig6(s), nil }},
+		{"fig7", "Top list performance by country", func(ctx context.Context, s *core.Study) (Result, error) { return RunFig7(s), nil }},
+		{"fig8", "All 21 filter-aggregation combos", func(ctx context.Context, s *core.Study) (Result, error) { return RunFig8(s) }},
+		{"tab1", "Cloudflare coverage of top lists", func(ctx context.Context, s *core.Study) (Result, error) { return RunTable1(ctx, s) }},
+		{"tab2", "PSL deviation of top lists", func(ctx context.Context, s *core.Study) (Result, error) { return RunTable2(s), nil }},
+		{"tab3", "Odds of inclusion by category", func(ctx context.Context, s *core.Study) (Result, error) { return RunTable3(s) }},
 	}
 }
 
@@ -50,9 +68,11 @@ func All() []Runner {
 func Extensions() []Runner {
 	return []Runner{
 		{"stability", "List stability and cross-list agreement (extension)",
-			func(s *core.Study) (Result, error) { return RunStability(s), nil }},
+			func(ctx context.Context, s *core.Study) (Result, error) { return RunStability(s), nil }},
 		{"survey", "Section 2 literature-survey constants",
-			func(s *core.Study) (Result, error) { return SurveyResult{}, nil }},
+			func(ctx context.Context, s *core.Study) (Result, error) { return SurveyResult{}, nil }},
+		{"faultsense", "Probe-fault sensitivity of the Cloudflare filter (extension)",
+			RunFaultSense},
 	}
 }
 
@@ -79,14 +99,44 @@ type Outcome struct {
 	Err    error
 }
 
+// PanicError reports a panic recovered from one experiment runner: the
+// experiment keeps its slot in the outcome list (as this error) instead
+// of taking down the whole evaluation pool.
+type PanicError struct {
+	ID    string
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("experiment %s panicked: %v\n%s", e.ID, e.Value, e.Stack)
+}
+
+// safeRun executes one runner, converting a panic into a *PanicError.
+func safeRun(ctx context.Context, s *core.Study, r Runner) (res Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			res, err = nil, &PanicError{ID: r.ID, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return r.Run(ctx, s)
+}
+
 // RunConcurrent executes the runners against one shared study on a bounded
 // worker pool and returns their outcomes in input order, regardless of
 // completion order. workers follows the study's Config.Workers semantics:
 // 0 means one worker per CPU, 1 forces the serial path (the oracle the
 // parallel path is tested against). Runners read every derived artifact
 // through the study's Artifacts store, so concurrent execution computes
-// each shared artifact exactly once.
-func RunConcurrent(s *core.Study, runners []Runner, workers int) []Outcome {
+// each shared artifact exactly once. A canceled ctx stops launching
+// runners (already-launched ones observe it through their own checks) and
+// marks the rest with the context's error; a panicking runner is reported
+// in its outcome slot as a *PanicError.
+func RunConcurrent(ctx context.Context, s *core.Study, runners []Runner, workers int) []Outcome {
 	out := make([]Outcome, len(runners))
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -96,7 +146,7 @@ func RunConcurrent(s *core.Study, runners []Runner, workers int) []Outcome {
 	}
 	if workers <= 1 {
 		for i, r := range runners {
-			res, err := r.Run(s)
+			res, err := safeRun(ctx, s, r)
 			out[i] = Outcome{Runner: r, Result: res, Err: err}
 		}
 		return out
@@ -109,7 +159,7 @@ func RunConcurrent(s *core.Study, runners []Runner, workers int) []Outcome {
 			defer wg.Done()
 			for i := range idx {
 				r := runners[i]
-				res, err := r.Run(s)
+				res, err := safeRun(ctx, s, r)
 				out[i] = Outcome{Runner: r, Result: res, Err: err}
 			}
 		}()

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -211,7 +212,10 @@ func TestFig3Temporal(t *testing.T) {
 
 func TestTable1Coverage(t *testing.T) {
 	s := getStudy(t)
-	r := RunTable1(s)
+	r, err := RunTable1(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
 	renderOK(t, r)
 	// Largest-magnitude column comparisons (index 3 = scaled "1M").
 	crux := r.Coverage("CrUX", 3)
@@ -429,7 +433,7 @@ func TestTable3CategoryBias(t *testing.T) {
 func TestRunnersExecuteAll(t *testing.T) {
 	s := getStudy(t)
 	for _, runner := range All() {
-		res, err := runner.Run(s)
+		res, err := runner.Run(context.Background(), s)
 		if err != nil {
 			t.Fatalf("%s: %v", runner.ID, err)
 		}

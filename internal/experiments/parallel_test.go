@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -37,7 +38,7 @@ func TestConcurrentEvaluationMatchesSerial(t *testing.T) {
 	serial.Run()
 	defer serial.Close()
 	want := make(map[string]string, len(runners))
-	for _, oc := range RunConcurrent(serial, runners, 1) {
+	for _, oc := range RunConcurrent(context.Background(), serial, runners, 1) {
 		if oc.Err != nil {
 			t.Fatalf("serial %s: %v", oc.Runner.ID, oc.Err)
 		}
@@ -59,7 +60,7 @@ func TestConcurrentEvaluationMatchesSerial(t *testing.T) {
 			wg.Add(1)
 			go func(round int, r Runner) {
 				defer wg.Done()
-				res, err := r.Run(shared)
+				res, err := r.Run(context.Background(), shared)
 				if err != nil {
 					t.Errorf("round %d %s: %v", round, r.ID, err)
 					return
@@ -105,8 +106,8 @@ func TestRunConcurrentOrderAndEquivalence(t *testing.T) {
 		return out
 	}
 
-	serial := render(RunConcurrent(s, runners, 1))
-	parallel := render(RunConcurrent(s, runners, 0))
+	serial := render(RunConcurrent(context.Background(), s, runners, 1))
+	parallel := render(RunConcurrent(context.Background(), s, runners, 0))
 	for id, want := range serial {
 		if parallel[id] != want {
 			t.Errorf("%s: parallel render differs from serial", id)

@@ -1,0 +1,44 @@
+package faults
+
+import "testing"
+
+// FuzzFaultPlan asserts plan decisions are pure functions of their key: any
+// (seed, rate, host, day, attempt) evaluated twice agrees with itself,
+// always lands in the valid kind set for its channel, and a disabled plan
+// never injects.
+func FuzzFaultPlan(f *testing.F) {
+	f.Add(uint64(1), 0.05, "example.com", 0, 0)
+	f.Add(uint64(2022), 0.2, "a.b.c.example", 27, 7)
+	f.Add(uint64(0), 0.0, "", -1, -3)
+	f.Add(^uint64(0), 1.0, "x", 1<<20, 1<<20)
+	f.Fuzz(func(t *testing.T, seed uint64, rate float64, host string, day, attempt int) {
+		if rate < 0 || rate > 1 || rate != rate {
+			return
+		}
+		p := &Plan{Seed: seed, Rate: rate}
+		k := Key{Day: day, Attempt: attempt}
+
+		d1, d2 := p.Dial(host, k), p.Dial(host, k)
+		e1, e2 := p.Edge(host, k), p.Edge(host, k)
+		n1, n2 := p.DNS(host, k), p.DNS(host, k)
+		if d1 != d2 || e1 != e2 || n1 != n2 {
+			t.Fatalf("impure decision: dial %v/%v edge %v/%v dns %v/%v", d1, d2, e1, e2, n1, n2)
+		}
+		switch d1 {
+		case None, DialRefused, DialReset, DialTruncate, DialStall:
+		default:
+			t.Fatalf("Dial returned non-dial kind %v", d1)
+		}
+		if e1 != None && e1 != Edge5xx {
+			t.Fatalf("Edge returned non-edge kind %v", e1)
+		}
+		switch n1 {
+		case None, DNSServFail, DNSNXDomain, DNSTruncate, DNSDrop:
+		default:
+			t.Fatalf("DNS returned non-DNS kind %v", n1)
+		}
+		if rate == 0 && (d1 != None || e1 != None || n1 != None) {
+			t.Fatal("zero-rate plan injected a fault")
+		}
+	})
+}

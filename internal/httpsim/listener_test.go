@@ -1,0 +1,122 @@
+package httpsim
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestMemListenerDoubleClose: Close is idempotent.
+func TestMemListenerDoubleClose(t *testing.T) {
+	l := newMemListener()
+	if err := l.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+// TestMemListenerDialAfterClose: dials after Close fail promptly with
+// net.ErrClosed instead of enqueueing onto a dead listener.
+func TestMemListenerDialAfterClose(t *testing.T) {
+	l := newMemListener()
+	l.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.dial(context.Background())
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("dial after close: %v, want net.ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("dial after close hung")
+	}
+	if _, err := l.Accept(); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("accept after close: %v, want net.ErrClosed", err)
+	}
+}
+
+// TestMemListenerCloseDrainsQueued: a conn enqueued but never accepted is
+// closed by Close, so its dialer's reads fail instead of blocking forever.
+func TestMemListenerCloseDrainsQueued(t *testing.T) {
+	l := newMemListener()
+	c, err := l.dial(context.Background())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	l.Close()
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("read from drained conn succeeded; want closed-pipe error")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("read from drained conn blocked until deadline; Close did not drain it")
+	}
+}
+
+// TestMemListenerConcurrentLifecycle hammers Accept, dial, and Close
+// concurrently (run with -race): every dial must resolve promptly to a
+// conn or net.ErrClosed, and nothing may deadlock.
+func TestMemListenerConcurrentLifecycle(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		l := newMemListener()
+		var wg sync.WaitGroup
+
+		// Accepter: serves until close, closing what it accepts.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c, err := l.Accept()
+				if err != nil {
+					return
+				}
+				c.Close()
+			}
+		}()
+
+		const dialers = 16
+		errs := make([]error, dialers)
+		for d := 0; d < dialers; d++ {
+			wg.Add(1)
+			go func(d int) {
+				defer wg.Done()
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				defer cancel()
+				c, err := l.dial(ctx)
+				if err == nil {
+					c.Close()
+				}
+				errs[d] = err
+			}(d)
+		}
+
+		// Close races the dialers and the accepter.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l.Close()
+		}()
+
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("round %d: lifecycle race deadlocked", round)
+		}
+		for d, err := range errs {
+			if err != nil && !errors.Is(err, net.ErrClosed) {
+				t.Fatalf("round %d dialer %d: %v, want nil or net.ErrClosed", round, d, err)
+			}
+		}
+		l.Close()
+	}
+}

@@ -20,8 +20,10 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"toplists/internal/domain"
+	"toplists/internal/faults"
 	"toplists/internal/world"
 )
 
@@ -50,9 +52,21 @@ func (l *memListener) Accept() (net.Conn, error) {
 	}
 }
 
-// Close implements net.Listener.
+// Close implements net.Listener. It is idempotent, and it drains any
+// queued-but-unaccepted conns so their dialers see the pipe close rather
+// than hanging on a server that will never read.
 func (l *memListener) Close() error {
-	l.once.Do(func() { close(l.closed) })
+	l.once.Do(func() {
+		close(l.closed)
+		for {
+			select {
+			case c := <-l.conns:
+				c.Close()
+			default:
+				return
+			}
+		}
+	})
 	return nil
 }
 
@@ -61,8 +75,17 @@ func (l *memListener) Addr() net.Addr {
 	return &net.UnixAddr{Name: "httpsim", Net: "mem"}
 }
 
-// dial hands one end of a fresh pipe to the listener.
+// dial hands one end of a fresh pipe to the listener. The closed channel
+// is checked up front: the select below picks randomly among ready cases,
+// so without the pre-check a dial racing Close could enqueue onto a
+// listener that will never Accept again (Close's drain closes any loser of
+// that race, and the pre-check makes dial-after-close fail promptly).
 func (l *memListener) dial(ctx context.Context) (net.Conn, error) {
+	select {
+	case <-l.closed:
+		return nil, net.ErrClosed
+	default:
+	}
 	client, server := net.Pipe()
 	select {
 	case l.conns <- server:
@@ -102,6 +125,11 @@ type Network struct {
 
 	rayCounter atomic.Uint64
 	started    bool
+
+	// plan, when set, injects deterministic faults into dials and
+	// responses; see SetFaultPlan.
+	planMu sync.RWMutex
+	plan   *faults.Plan
 }
 
 // NewNetwork returns an empty network.
@@ -187,6 +215,22 @@ func hostOf(addr string) string {
 	return host
 }
 
+// SetFaultPlan installs (or, with nil, removes) the fault plan. Faults
+// only strike requests that carry a faults.Key — the probe paths stamp one
+// per attempt — so a plan's decisions stay pure functions of
+// (host, day, attempt) no matter how requests interleave.
+func (n *Network) SetFaultPlan(p *faults.Plan) {
+	n.planMu.Lock()
+	n.plan = p
+	n.planMu.Unlock()
+}
+
+func (n *Network) faultPlan() *faults.Plan {
+	n.planMu.RLock()
+	defer n.planMu.RUnlock()
+	return n.plan
+}
+
 // DialContext routes a dial to the edge (Cloudflare hosts) or the origin
 // farm. It implements the http.Transport DialContext signature.
 func (n *Network) DialContext(ctx context.Context, network, addr string) (net.Conn, error) {
@@ -195,6 +239,43 @@ func (n *Network) DialContext(ctx context.Context, network, addr string) (net.Co
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNoSuchHost, host)
 	}
+	if p := n.faultPlan(); p.Enabled() {
+		if key, ok := faults.FromContext(ctx); ok {
+			switch p.Dial(host, key) {
+			case faults.DialRefused:
+				return nil, fmt.Errorf("dial %s: %w", host, faults.ErrRefused)
+			case faults.DialStall:
+				// Hang for a fixed simulated latency, then fail. The stall
+				// is bounded below any sane attempt timeout so classification
+				// never depends on how the timeout races the scheduler.
+				t := time.NewTimer(stallLatency)
+				defer t.Stop()
+				select {
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				case <-t.C:
+					return nil, fmt.Errorf("dial %s: %w", host, faults.ErrStalled)
+				}
+			case faults.DialReset:
+				c, err := n.dialBackend(ctx, info)
+				if err != nil {
+					return nil, err
+				}
+				return &resetConn{Conn: c}, nil
+			case faults.DialTruncate:
+				c, err := n.dialBackend(ctx, info)
+				if err != nil {
+					return nil, err
+				}
+				return &truncConn{Conn: c, remain: truncateAfter}, nil
+			}
+		}
+	}
+	return n.dialBackend(ctx, info)
+}
+
+// dialBackend connects to the listener serving the host.
+func (n *Network) dialBackend(ctx context.Context, info hostInfo) (net.Conn, error) {
 	if info.cloudflare {
 		return n.edge.dial(ctx)
 	}
@@ -220,6 +301,9 @@ func (n *Network) Client() *http.Client {
 // the origin content.
 func (n *Network) serveEdge(w http.ResponseWriter, r *http.Request) {
 	host := domain.Normalize(hostOf(r.Host))
+	if n.injectResponseFault(w, r, host) {
+		return
+	}
 	info, ok := n.lookup(host)
 	if !ok || !info.cloudflare {
 		// A direct-to-edge request for a host Cloudflare does not front.
@@ -233,9 +317,39 @@ func (n *Network) serveEdge(w http.ResponseWriter, r *http.Request) {
 	n.writeContent(w, r, host)
 }
 
+// injectResponseFault applies the fault plan to one response. It returns
+// true when a fault consumed the request. While a plan is installed every
+// response is marked Connection: close, so each keyed attempt dials fresh:
+// whether a retry would reuse a pooled connection is timing-dependent, and
+// letting it skip the dialer would make dial-fault decisions depend on
+// scheduling. With no plan (the golden-tested configuration) responses are
+// untouched.
+func (n *Network) injectResponseFault(w http.ResponseWriter, r *http.Request, host string) bool {
+	p := n.faultPlan()
+	if !p.Enabled() {
+		return false
+	}
+	w.Header().Set("Connection", "close")
+	key, ok := faults.DecodeKey(r.Header.Get(faults.ProbeHeader))
+	if !ok {
+		return false
+	}
+	if p.Edge(host, key) == faults.Edge5xx {
+		// A transient error from in front of the backend (overloaded load
+		// balancer, upstream hiccup): no cf-ray header, the signature the
+		// naive single-shot prober misreads as "not Cloudflare-served".
+		http.Error(w, "502 bad gateway (injected fault)", http.StatusBadGateway)
+		return true
+	}
+	return false
+}
+
 // serveOrigin serves hosts that are not behind the edge.
 func (n *Network) serveOrigin(w http.ResponseWriter, r *http.Request) {
 	host := domain.Normalize(hostOf(r.Host))
+	if n.injectResponseFault(w, r, host) {
+		return
+	}
 	if _, ok := n.lookup(host); !ok {
 		http.NotFound(w, r)
 		return

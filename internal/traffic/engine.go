@@ -1,6 +1,7 @@
 package traffic
 
 import (
+	"context"
 	"slices"
 
 	"toplists/internal/simrand"
@@ -190,6 +191,10 @@ type Engine struct {
 	// the serial and parallel paths respectively.
 	serialScratch *clientScratch
 	workers       []*workerState
+
+	// testHook, when set, runs before each client-day simulation; tests
+	// use it to inject panics and cancellation races into shards.
+	testHook func(client, day int)
 }
 
 // NewEngine builds the client population and samplers. Deterministic in
@@ -389,18 +394,43 @@ func (e *Engine) IsWeekend(d int) bool {
 	return wd == 5 || wd == 6
 }
 
-// Run simulates all configured days, feeding every registered sink.
+// Run simulates all configured days, feeding every registered sink. A
+// shard panic (which RunContext would return as an error) crashes, as it
+// did before panic recovery existed.
 func (e *Engine) Run() {
-	for d := 0; d < e.Cfg.Days; d++ {
-		e.RunDay(d)
+	if err := e.RunContext(context.Background()); err != nil {
+		panic(err)
 	}
+}
+
+// RunContext simulates all configured days, stopping early with ctx's
+// error when it is canceled. A panic inside a client shard is recovered
+// and returned as a *ShardPanicError identifying the shard, instead of
+// crashing the process. On error the sinks are left mid-day; the run
+// cannot be resumed.
+func (e *Engine) RunContext(ctx context.Context) error {
+	for d := 0; d < e.Cfg.Days; d++ {
+		if err := e.runDay(ctx, d); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // RunDay simulates a single day. With more than one worker configured the
 // day's clients are simulated concurrently in contiguous shards; the event
 // stream the sinks observe is identical for every worker count (see
-// parallel.go).
+// parallel.go). Like Run, a shard panic propagates.
 func (e *Engine) RunDay(d int) {
+	if err := e.runDay(context.Background(), d); err != nil {
+		panic(err)
+	}
+}
+
+func (e *Engine) runDay(ctx context.Context, d int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	weekend := e.IsWeekend(d)
 	for _, s := range e.sinks {
 		s.BeginDay(d, weekend)
@@ -410,22 +440,25 @@ func (e *Engine) RunDay(d int) {
 	}
 
 	daySrc := e.root.Derive("day").At(d)
+	var err error
 	if nw := e.workerCount(); nw > 1 {
-		e.runDayClientsParallel(d, weekend, daySrc, nw)
+		err = e.runDayClientsParallel(ctx, d, weekend, daySrc, nw)
 	} else {
 		if e.serialScratch == nil {
 			e.serialScratch = newClientScratch()
 		}
 		out := shardOut{sinks: e.sinks, humanReqs: e.humanReqs}
-		for i := range e.Clients {
-			e.simulateClientDay(&e.Clients[i], d, weekend, daySrc.At(i), e.serialScratch, &out)
-		}
+		err = e.simulateShard(ctx, 0, d, weekend, daySrc, e.serialScratch, &out, 0, len(e.Clients))
+	}
+	if err != nil {
+		return err
 	}
 	e.simulateBots(d, daySrc.Derive("bots"))
 
 	for _, s := range e.sinks {
 		s.EndDay(d)
 	}
+	return nil
 }
 
 // clientScratch is per-client-day reusable state.

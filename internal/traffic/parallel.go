@@ -1,7 +1,10 @@
 package traffic
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"toplists/internal/simrand"
@@ -156,12 +159,59 @@ func (e *Engine) ensureWorkers(n int) {
 	}
 }
 
+// ShardPanicError reports a panic recovered inside one client shard: which
+// shard, which clients it covered, the panic value, and the stack at the
+// panic site. It propagates through RunContext instead of crashing the
+// whole run.
+type ShardPanicError struct {
+	Day, Shard int
+	// Lo, Hi is the shard's half-open client range.
+	Lo, Hi int
+	Value  any
+	Stack  []byte
+}
+
+// Error implements error.
+func (e *ShardPanicError) Error() string {
+	return fmt.Sprintf("traffic: day %d shard %d (clients [%d,%d)) panicked: %v\n%s",
+		e.Day, e.Shard, e.Lo, e.Hi, e.Value, e.Stack)
+}
+
+// simulateShard runs one contiguous client range, converting a panic into
+// a *ShardPanicError and polling ctx between clients. It is the shared
+// body of the serial path (one shard spanning everyone) and each parallel
+// worker.
+func (e *Engine) simulateShard(ctx context.Context, shard, d int, weekend bool,
+	daySrc *simrand.Source, sc *clientScratch, out *shardOut, lo, hi int) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &ShardPanicError{Day: d, Shard: shard, Lo: lo, Hi: hi, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	for i := lo; i < hi; i++ {
+		if (i-lo)%64 == 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+		}
+		if e.testHook != nil {
+			e.testHook(i, d)
+		}
+		e.simulateClientDay(&e.Clients[i], d, weekend, daySrc.At(i), sc, out)
+	}
+	return nil
+}
+
 // runDayClientsParallel simulates the day's clients across nw workers and
-// replays the buffered events into the sinks in ascending client order.
-func (e *Engine) runDayClientsParallel(d int, weekend bool, daySrc *simrand.Source, nw int) {
+// replays the buffered events into the sinks in ascending client order. On
+// error (a canceled context or a panicked shard) the buffers are not
+// replayed and the first failing shard's error — in shard order, which is
+// deterministic — is returned.
+func (e *Engine) runDayClientsParallel(ctx context.Context, d int, weekend bool, daySrc *simrand.Source, nw int) error {
 	shards := shardRanges(len(e.Clients), nw)
 	e.ensureWorkers(len(shards))
 
+	errs := make([]error, len(shards))
 	var wg sync.WaitGroup
 	for w, r := range shards {
 		ws := e.workers[w]
@@ -170,16 +220,19 @@ func (e *Engine) runDayClientsParallel(d int, weekend bool, daySrc *simrand.Sour
 			ws.humanReqs[i] = 0
 		}
 		wg.Add(1)
-		go func(ws *workerState, lo, hi int) {
+		go func(w int, ws *workerState, lo, hi int) {
 			defer wg.Done()
 			out := shardOut{buffered: true, buf: &ws.buf, humanReqs: ws.humanReqs}
-			for i := lo; i < hi; i++ {
-				e.simulateClientDay(&e.Clients[i], d, weekend, daySrc.At(i), ws.scratch, &out)
-			}
-		}(ws, r.Lo, r.Hi)
+			errs[w] = e.simulateShard(ctx, w, d, weekend, daySrc, ws.scratch, &out, lo, hi)
+		}(w, ws, r.Lo, r.Hi)
 	}
 	wg.Wait()
 
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
 	for w := range shards {
 		ws := e.workers[w]
 		for i, v := range ws.humanReqs {
@@ -187,4 +240,5 @@ func (e *Engine) runDayClientsParallel(d int, weekend bool, daySrc *simrand.Sour
 		}
 		ws.buf.replay(e.sinks)
 	}
+	return nil
 }

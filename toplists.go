@@ -21,6 +21,7 @@
 package toplists
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -55,6 +56,10 @@ type Config struct {
 	Workers int
 	// CruxMinVisitors is the CrUX per-country privacy threshold.
 	CruxMinVisitors int
+	// FaultRate injects deterministic faults into the virtual probe
+	// network at the given rate (0..1); 0 leaves the network pristine.
+	// The fault plan is derived from Seed, so runs stay reproducible.
+	FaultRate float64
 }
 
 // Result is one regenerated paper artifact.
@@ -95,8 +100,17 @@ type Study struct {
 // CPU) with output bit-identical to the serial path. Expect seconds to
 // minutes depending on Config.
 func Run(cfg Config) (*Study, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run honoring ctx: cancellation mid-simulation returns the
+// context's error promptly, with no goroutines left behind.
+func RunContext(ctx context.Context, cfg Config) (*Study, error) {
 	if cfg.Sites < 0 || cfg.Clients < 0 || cfg.Days < 0 {
 		return nil, fmt.Errorf("toplists: negative config value")
+	}
+	if cfg.FaultRate < 0 || cfg.FaultRate > 1 {
+		return nil, fmt.Errorf("toplists: fault rate %v outside [0, 1]", cfg.FaultRate)
 	}
 	s := core.NewStudy(core.Config{
 		Seed:            cfg.Seed,
@@ -106,8 +120,11 @@ func Run(cfg Config) (*Study, error) {
 		TrackAllCombos:  cfg.AllCombos,
 		CruxMinVisitors: cfg.CruxMinVisitors,
 		Workers:         cfg.Workers,
+		FaultRate:       cfg.FaultRate,
 	})
-	s.Run()
+	if err := s.RunContext(ctx); err != nil {
+		return nil, err
+	}
 	return &Study{inner: s}, nil
 }
 
@@ -132,7 +149,7 @@ func (s *Study) Experiment(id string) (Result, error) {
 	if !ok {
 		return nil, unknownExperiment(id)
 	}
-	res, err := runner.Run(s.inner)
+	res, err := runner.Run(context.Background(), s.inner)
 	if err != nil {
 		return nil, err
 	}
@@ -165,6 +182,13 @@ type ExperimentOutcome struct {
 // rankings, the probed Cloudflare set) is computed at most once across the
 // whole batch. An unknown ID fails the call before anything runs.
 func (s *Study) RunExperiments(ids []string) ([]ExperimentOutcome, error) {
+	return s.RunExperimentsContext(context.Background(), ids)
+}
+
+// RunExperimentsContext is RunExperiments honoring ctx: canceled or
+// never-launched experiments report the context's error in their outcome
+// slot.
+func (s *Study) RunExperimentsContext(ctx context.Context, ids []string) ([]ExperimentOutcome, error) {
 	runners := make([]experiments.Runner, len(ids))
 	for i, id := range ids {
 		r, ok := experiments.Lookup(id)
@@ -173,7 +197,7 @@ func (s *Study) RunExperiments(ids []string) ([]ExperimentOutcome, error) {
 		}
 		runners[i] = r
 	}
-	outcomes := experiments.RunConcurrent(s.inner, runners, s.inner.Cfg.Workers)
+	outcomes := experiments.RunConcurrent(ctx, s.inner, runners, s.inner.Cfg.Workers)
 	out := make([]ExperimentOutcome, len(outcomes))
 	for i, oc := range outcomes {
 		out[i] = ExperimentOutcome{ID: oc.Runner.ID, Result: oc.Result, Err: oc.Err}
@@ -245,7 +269,13 @@ func RunRobustness(cfg Config, seeds []uint64) (Result, error) {
 // regardless of completion order, so the output is byte-identical to a
 // serial run.
 func (s *Study) RenderAll(w io.Writer) error {
-	for _, oc := range experiments.RunConcurrent(s.inner, experiments.All(), s.inner.Cfg.Workers) {
+	return s.RenderAllContext(context.Background(), w)
+}
+
+// RenderAllContext is RenderAll honoring ctx; cancellation fails the
+// first not-yet-rendered experiment with the context's error.
+func (s *Study) RenderAllContext(ctx context.Context, w io.Writer) error {
+	for _, oc := range experiments.RunConcurrent(ctx, s.inner, experiments.All(), s.inner.Cfg.Workers) {
 		if oc.Err != nil {
 			if oc.Runner.ID == "fig8" {
 				fmt.Fprintf(w, "[%s skipped: %v]\n\n", oc.Runner.ID, oc.Err)
