@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz bench check faultcheck
+.PHONY: build test vet race fuzz bench check faultcheck obscheck
 
 build:
 	$(GO) build ./...
@@ -17,13 +17,20 @@ vet:
 # race pass covers every package that touches a parallel path, with
 # -shuffle=on so test-order coupling can't hide behind a fixed schedule.
 race:
-	$(GO) test -race -shuffle=on ./internal/names ./internal/rank ./internal/traffic ./internal/core ./internal/experiments ./internal/httpsim
+	$(GO) test -race -shuffle=on ./internal/names ./internal/rank ./internal/traffic ./internal/core ./internal/experiments ./internal/httpsim ./internal/obs
 
 # faultcheck is the fault-injection determinism oracle: a fixed seed at a
 # nonzero fault rate must render the full evaluation byte-identically
 # across worker counts and across repeated runs.
 faultcheck:
 	$(GO) test -run=TestFaultDeterminism -count=1 .
+
+# obscheck is the telemetry determinism oracle: instrumentation must never
+# perturb study output (renders stay byte-identical), and the run report's
+# deterministic subset (counters + gauges) must be byte-identical across
+# worker counts.
+obscheck:
+	$(GO) test -run=TestObsDeterminism -count=1 .
 
 # Short fuzz smoke of the rank-bucketing, interner, and fault-plan targets
 # (seeds + 10s each).
@@ -32,6 +39,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzBucketer -fuzztime=10s ./internal/rank
 	$(GO) test -run=^$$ -fuzz=FuzzInternLookupRoundTrip -fuzztime=10s ./internal/names
 	$(GO) test -run=^$$ -fuzz=FuzzFaultPlan -fuzztime=10s ./internal/faults
+	$(GO) test -run=^$$ -fuzz=FuzzBucketIndex -fuzztime=10s ./internal/obs
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -49,4 +57,4 @@ benchsmoke:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...
 
 # check is the CI gate: everything must pass before merging.
-check: build vet test race faultcheck
+check: build vet test race faultcheck obscheck

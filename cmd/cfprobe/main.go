@@ -7,6 +7,11 @@
 //
 //	cfprobe [-sites 5000] [-top 200] [-seed 1] [-concurrency 32]
 //	        [-faultrate 0] [-faultseed 1] [-singleshot] [-v]
+//	        [-debugaddr localhost:6060]
+//
+// With -debugaddr set, live probe and fault-injection metrics are served
+// on /metrics (plus /debug/pprof/) while the sweep runs, and a telemetry
+// summary is printed to stderr at the end.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 
 	"toplists/internal/faults"
 	"toplists/internal/httpsim"
+	"toplists/internal/obs"
 	"toplists/internal/world"
 )
 
@@ -31,8 +37,20 @@ func main() {
 		faultSeed   = flag.Uint64("faultseed", 1, "fault plan seed")
 		singleShot  = flag.Bool("singleshot", false, "disable retries/backoff (the fragile baseline prober)")
 		verbose     = flag.Bool("v", false, "print one line per probed host")
+		debugAddr   = flag.String("debugaddr", "", "serve /metrics and /debug/pprof/ on this address")
 	)
 	flag.Parse()
+
+	reg := obs.NewRegistry()
+	if *debugAddr != "" {
+		srv, err := obs.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cfprobe:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s (/metrics, /debug/pprof/)\n", srv.Addr())
+	}
 
 	w := world.Generate(world.Config{Seed: *seed, NumSites: *sites})
 	fmt.Fprintln(os.Stderr, w.Describe())
@@ -42,12 +60,14 @@ func main() {
 	if *faultRate > 0 {
 		net.SetFaultPlan(&faults.Plan{Seed: *faultSeed, Rate: *faultRate})
 	}
+	net.SetObs(reg)
 	net.Start()
 	defer net.Close()
 
 	prober := httpsim.NewProber(net.Client())
 	prober.Concurrency = *concurrency
 	prober.SingleShot = *singleShot
+	prober.Metrics = httpsim.NewProbeMetrics(reg)
 
 	n := *top
 	if n > w.NumSites() {
@@ -91,4 +111,11 @@ func main() {
 		float64(len(results))/elapsed.Seconds())
 	fmt.Printf("cloudflare: %d (%.1f%%), down: %d, unknown: %d\n",
 		cf, 100*float64(cf)/float64(len(results)), down, unknown)
+
+	if *verbose {
+		fmt.Fprintln(os.Stderr)
+		if err := reg.Snapshot().WriteSummary(os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "cfprobe:", err)
+		}
+	}
 }

@@ -7,6 +7,12 @@
 // Usage:
 //
 //	dnsload [-sites 2000] [-queries 5000] [-workers 8] [-seed 1]
+//	        [-faultrate 0] [-faultseed 1] [-debugaddr localhost:6060]
+//
+// With -faultrate set, the resolver is wrapped in the deterministic DNS
+// fault injector (SERVFAIL, spurious NXDOMAIN, truncation, drops). With
+// -debugaddr set, live cache and fault-injection metrics are served on
+// /metrics (plus /debug/pprof/) while the load runs.
 package main
 
 import (
@@ -19,22 +25,46 @@ import (
 	"time"
 
 	"toplists/internal/dnssim"
+	"toplists/internal/faults"
+	"toplists/internal/obs"
 	"toplists/internal/simrand"
 	"toplists/internal/world"
 )
 
 func main() {
 	var (
-		seed    = flag.Uint64("seed", 1, "world seed")
-		sites   = flag.Int("sites", 2000, "universe size")
-		queries = flag.Int("queries", 5000, "total queries to send")
-		workers = flag.Int("workers", 8, "concurrent stub clients")
+		seed      = flag.Uint64("seed", 1, "world seed")
+		sites     = flag.Int("sites", 2000, "universe size")
+		queries   = flag.Int("queries", 5000, "total queries to send")
+		workers   = flag.Int("workers", 8, "concurrent stub clients")
+		faultRate = flag.Float64("faultrate", 0, "inject DNS faults at this rate (0..1)")
+		faultSeed = flag.Uint64("faultseed", 1, "fault plan seed")
+		debugAddr = flag.String("debugaddr", "", "serve /metrics and /debug/pprof/ on this address")
 	)
 	flag.Parse()
 
+	reg := obs.NewRegistry()
+	if *debugAddr != "" {
+		srv, err := obs.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dnsload:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s (/metrics, /debug/pprof/)\n", srv.Addr())
+	}
+
 	w := world.Generate(world.Config{Seed: *seed, NumSites: *sites})
 	resolver := dnssim.NewResolver(dnssim.NewWorldAuthority(w), nil)
-	server := dnssim.NewServer(resolver)
+	var handler dnssim.MessageHandler = resolver
+	if *faultRate > 0 {
+		handler = &dnssim.FaultHandler{
+			Inner:   resolver,
+			Plan:    &faults.Plan{Seed: *faultSeed, Rate: *faultRate},
+			Metrics: faults.NewMetrics(reg),
+		}
+	}
+	server := dnssim.NewServerWithHandler(handler)
 	addr, err := server.Start("127.0.0.1:0")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dnsload:", err)
@@ -48,6 +78,14 @@ func main() {
 	defer cancel()
 
 	var sent, failed atomic.Int64
+	// Live views over the resolver's cache counters and the client-side
+	// tallies: /metrics readers watch these move while the load runs.
+	reg.GaugeFunc("dns.cache.hits", func() int64 { h, _, _ := resolver.Stats(); return h })
+	reg.GaugeFunc("dns.cache.misses", func() int64 { _, m, _ := resolver.Stats(); return m })
+	reg.GaugeFunc("dns.nxdomain", func() int64 { _, _, nx := resolver.Stats(); return nx })
+	reg.GaugeFunc("dns.client.sent", sent.Load)
+	reg.GaugeFunc("dns.client.failed", failed.Load)
+
 	perWorker := *queries / *workers
 	start := time.Now()
 	var wg sync.WaitGroup

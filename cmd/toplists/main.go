@@ -16,6 +16,16 @@
 //	-faultrate  inject deterministic network faults at this rate (0..1);
 //	            output stays reproducible for a fixed seed
 //	-list       print the available experiments and exit
+//	-report     write a machine-readable JSON run report (telemetry
+//	            snapshot) to the given file
+//	-debugaddr  serve /metrics and /debug/pprof/ on this address while
+//	            the run is in flight (e.g. localhost:6060)
+//	-quiet      suppress diagnostics and the end-of-run summary
+//	-v          verbose diagnostics
+//
+// Artifacts go to stdout and nothing else does: every diagnostic, and the
+// end-of-run telemetry summary, goes to stderr, so redirecting stdout
+// always yields exactly the paper artifacts.
 //
 // Interrupting the run (Ctrl-C) cancels the simulation and evaluation
 // promptly via context cancellation.
@@ -32,9 +42,11 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"time"
 
 	"toplists"
+	"toplists/internal/obs"
 )
 
 func main() {
@@ -48,8 +60,21 @@ func main() {
 		faultRate  = flag.Float64("faultrate", 0, "inject deterministic network faults at this rate (0..1)")
 		list       = flag.Bool("list", false, "list available experiments and exit")
 		outdir     = flag.String("outdir", "", "also write each artifact to <outdir>/<id>.txt")
+		reportPath = flag.String("report", "", "write a JSON run report (telemetry snapshot) to this file")
+		debugAddr  = flag.String("debugaddr", "", "serve /metrics and /debug/pprof/ on this address (e.g. localhost:6060)")
+		quiet      = flag.Bool("quiet", false, "suppress diagnostics and the run summary (errors still print)")
+		verbose    = flag.Bool("v", false, "verbose diagnostics")
 	)
 	flag.Parse()
+
+	level := obs.LevelInfo
+	if *verbose {
+		level = obs.LevelDebug
+	}
+	if *quiet {
+		level = obs.LevelError
+	}
+	log := obs.NewLogger(os.Stderr, level)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -64,19 +89,23 @@ func main() {
 		return
 	}
 
+	reg := obs.NewRegistry()
+	if *debugAddr != "" {
+		srv, err := obs.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			log.Errorf("toplists: %v", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		log.Infof("debug server on http://%s (/metrics, /debug/pprof/)", srv.Addr())
+	}
+
 	if *experiment == "attack" {
 		res, err := toplists.RunAttack(toplists.Config{
 			Seed: *seed, Sites: *sites, Clients: *clients, Days: *days,
 			Workers: *workers,
 		}, []int{1, 3, 10})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "toplists:", err)
-			os.Exit(1)
-		}
-		if err := res.Render(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "toplists:", err)
-			os.Exit(1)
-		}
+		renderOrDie(log, res, err)
 		return
 	}
 
@@ -85,14 +114,7 @@ func main() {
 			Sites: *sites, Clients: *clients, Days: *days,
 			Workers: *workers,
 		}, []uint64{*seed, *seed + 1, *seed + 2, *seed + 3, *seed + 4})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "toplists:", err)
-			os.Exit(1)
-		}
-		if err := res.Render(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "toplists:", err)
-			os.Exit(1)
-		}
+		renderOrDie(log, res, err)
 		return
 	}
 
@@ -101,19 +123,12 @@ func main() {
 			Seed: *seed, Sites: *sites, Clients: *clients, Days: *days,
 			Workers: *workers,
 		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "toplists:", err)
-			os.Exit(1)
-		}
-		if err := res.Render(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "toplists:", err)
-			os.Exit(1)
-		}
+		renderOrDie(log, res, err)
 		return
 	}
 
 	start := time.Now()
-	fmt.Fprintf(os.Stderr, "building study: %d sites, %d clients, %d days (seed %d)...\n",
+	log.Infof("building study: %d sites, %d clients, %d days (seed %d)...",
 		*sites, *clients, *days, *seed)
 	study, err := toplists.RunContext(ctx, toplists.Config{
 		Seed:      *seed,
@@ -123,13 +138,14 @@ func main() {
 		Workers:   *workers,
 		AllCombos: true,
 		FaultRate: *faultRate,
+		Obs:       reg,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "toplists:", err)
+		log.Errorf("toplists: %v", err)
 		os.Exit(1)
 	}
 	defer study.Close()
-	fmt.Fprintf(os.Stderr, "%s (built in %v)\n\n", study.Describe(), time.Since(start).Round(time.Millisecond))
+	log.Infof("%s (built in %v)", study.Describe(), time.Since(start).Round(time.Millisecond))
 
 	ids := []string{*experiment}
 	if *experiment == "all" {
@@ -143,24 +159,73 @@ func main() {
 	// so stdout is byte-identical to a serial run.
 	outcomes, err := study.RunExperimentsContext(ctx, ids)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "toplists:", err)
+		log.Errorf("toplists: %v", err)
 		os.Exit(1)
 	}
 	for _, oc := range outcomes {
 		if oc.Err != nil {
 			if oc.ID == "fig8" && *experiment == "all" {
-				fmt.Fprintf(os.Stderr, "[%s skipped: %v]\n", oc.ID, oc.Err)
+				log.Infof("[%s skipped: %v]", oc.ID, oc.Err)
 				continue
 			}
-			fmt.Fprintln(os.Stderr, "toplists:", oc.Err)
+			log.Errorf("toplists: %v", oc.Err)
 			os.Exit(1)
 		}
 		if err := renderTo(oc.Result, *outdir); err != nil {
-			fmt.Fprintln(os.Stderr, "toplists:", err)
+			log.Errorf("toplists: %v", err)
 			os.Exit(1)
 		}
 		fmt.Println()
 	}
+
+	rep := reg.Snapshot()
+	rep.Meta = map[string]string{
+		"seed":       strconv.FormatUint(*seed, 10),
+		"sites":      strconv.Itoa(*sites),
+		"clients":    strconv.Itoa(*clients),
+		"days":       strconv.Itoa(*days),
+		"workers":    strconv.Itoa(*workers),
+		"experiment": *experiment,
+		"faultrate":  strconv.FormatFloat(*faultRate, 'g', -1, 64),
+	}
+	if !*quiet {
+		fmt.Fprintln(os.Stderr)
+		if err := rep.WriteSummary(os.Stderr); err != nil {
+			log.Errorf("toplists: summary: %v", err)
+		}
+	}
+	if *reportPath != "" {
+		if err := writeReport(rep, *reportPath); err != nil {
+			log.Errorf("toplists: %v", err)
+			os.Exit(1)
+		}
+		log.Debugf("run report written to %s", *reportPath)
+	}
+}
+
+// renderOrDie renders a multi-study extension result to stdout, exiting on
+// any failure.
+func renderOrDie(log *obs.Logger, res toplists.Result, err error) {
+	if err == nil {
+		err = res.Render(os.Stdout)
+	}
+	if err != nil {
+		log.Errorf("toplists: %v", err)
+		os.Exit(1)
+	}
+}
+
+// writeReport writes the JSON run report to path.
+func writeReport(rep *obs.Report, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // renderTo writes the artifact to stdout and, when outdir is set, to

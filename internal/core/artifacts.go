@@ -3,10 +3,13 @@ package core
 import (
 	"context"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"toplists/internal/cfmetrics"
 	"toplists/internal/chrome"
 	"toplists/internal/names"
+	"toplists/internal/obs"
 	"toplists/internal/providers"
 	"toplists/internal/rank"
 	"toplists/internal/world"
@@ -39,6 +42,14 @@ type Artifacts struct {
 	mu      sync.Mutex
 	derived map[any]*rankingEntry
 
+	// Cache instrumentation, one family per artifact kind. All nil-safe,
+	// so a registry-less store records nothing.
+	cmNorm      *obs.CacheMetrics
+	cmCombo     *obs.CacheMetrics
+	cmMonthly   *obs.CacheMetrics
+	cmTelemetry *obs.CacheMetrics
+	cfDomainsG  *obs.Gauge
+
 	// cfMu guards the probed Cloudflare set. A plain mutex rather than a
 	// sync.Once: a sweep aborted by context cancellation must not be
 	// memoized as "the" answer, so only a completed sweep sets cfReady.
@@ -50,6 +61,7 @@ type Artifacts struct {
 
 type rankingEntry struct {
 	once sync.Once
+	done atomic.Bool
 	r    *rank.Ranking
 }
 
@@ -72,12 +84,19 @@ type (
 
 func newArtifacts(s *Study) *Artifacts {
 	nz := rank.NewNormalizer(s.World.Interner(), s.PSL)
-	return &Artifacts{
-		s:       s,
-		nz:      nz,
-		norms:   providers.NewInternedNormMemo(nz),
-		derived: make(map[any]*rankingEntry),
+	a := &Artifacts{
+		s:           s,
+		nz:          nz,
+		norms:       providers.NewInternedNormMemo(nz),
+		derived:     make(map[any]*rankingEntry),
+		cmNorm:      obs.NewCacheMetrics(s.obs, "artifacts.norm"),
+		cmCombo:     obs.NewCacheMetrics(s.obs, "artifacts.combo"),
+		cmMonthly:   obs.NewCacheMetrics(s.obs, "artifacts.monthly"),
+		cmTelemetry: obs.NewCacheMetrics(s.obs, "artifacts.telemetry"),
+		cfDomainsG:  s.obs.Gauge("artifacts.cf.domains"),
 	}
+	a.norms.SetMetrics(a.cmNorm)
+	return a
 }
 
 // Normalizer returns the study-wide PSL normalizer; its per-interned-name
@@ -85,8 +104,9 @@ func newArtifacts(s *Study) *Artifacts {
 func (a *Artifacts) Normalizer() *rank.Normalizer { return a.nz }
 
 // memoized returns the ranking for key, building it at most once even
-// under concurrent requesters.
-func (a *Artifacts) memoized(key any, build func() *rank.Ranking) *rank.Ranking {
+// under concurrent requesters. cm (nil-safe) records the request against
+// the key's artifact family.
+func (a *Artifacts) memoized(key any, cm *obs.CacheMetrics, build func() *rank.Ranking) *rank.Ranking {
 	a.mu.Lock()
 	e, ok := a.derived[key]
 	if !ok {
@@ -94,8 +114,19 @@ func (a *Artifacts) memoized(key any, build func() *rank.Ranking) *rank.Ranking 
 		a.derived[key] = e
 	}
 	a.mu.Unlock()
+	if !ok {
+		cm.Miss()
+	} else {
+		cm.Hit()
+		if !e.done.Load() {
+			cm.Wait()
+		}
+	}
 	e.once.Do(func() {
+		start := time.Now()
 		e.r = build()
+		e.done.Store(true)
+		cm.ObserveBuild(time.Since(start))
 	})
 	return e.r
 }
@@ -116,7 +147,7 @@ func (a *Artifacts) NormalizedStats(l providers.List, day int) (*rank.Ranking, r
 // ComboRanking returns the day's ranked domain list for one Cloudflare
 // filter-aggregation combo, memoized per (day, combo).
 func (a *Artifacts) ComboRanking(day int, c cfmetrics.Combo) *rank.Ranking {
-	return a.memoized(comboDayKey{day, c}, func() *rank.Ranking {
+	return a.memoized(comboDayKey{day, c}, a.cmCombo, func() *rank.Ranking {
 		return a.s.Pipeline.DayRanking(day, c)
 	})
 }
@@ -131,7 +162,7 @@ func (a *Artifacts) MetricRanking(day int, m cfmetrics.Metric) *rank.Ranking {
 // ranking by summing reciprocal ranks (the Dowdall rule, the same
 // amalgamation Tranco uses), memoized per metric.
 func (a *Artifacts) MonthlyMetric(m cfmetrics.Metric) *rank.Ranking {
-	return a.memoized(monthlyKey{m.Combo()}, func() *rank.Ranking {
+	return a.memoized(monthlyKey{m.Combo()}, a.cmMonthly, func() *rank.Ranking {
 		tab := a.s.World.Interner()
 		scores := make(map[names.ID]float64)
 		for d := 0; d < a.s.Pipeline.NumDays(); d++ {
@@ -150,7 +181,7 @@ func (a *Artifacts) MonthlyMetric(m cfmetrics.Metric) *rank.Ranking {
 // TelemetryRanking returns the month-aggregated Chrome telemetry ranking
 // for a (country, platform, metric) cell, memoized per cell.
 func (a *Artifacts) TelemetryRanking(c world.Country, p world.Platform, m chrome.TelemetryMetric) *rank.Ranking {
-	return a.memoized(telemetryKey{c, p, m}, func() *rank.Ranking {
+	return a.memoized(telemetryKey{c, p, m}, a.cmTelemetry, func() *rank.Ranking {
 		return a.s.Telemetry.Ranking(c, p, m)
 	})
 }
@@ -214,5 +245,6 @@ func (a *Artifacts) ProbeCF(ctx context.Context) error {
 	a.cfDomains = cf
 	a.cfIDs = names.NewSet(ids)
 	a.cfReady = true
+	a.cfDomainsG.Set(int64(len(cf)))
 	return nil
 }

@@ -25,6 +25,7 @@ func (s *Study) newProber() *httpsim.Prober {
 	p.Concurrency = 64
 	p.AttemptTimeout = 10 * time.Second
 	p.BackoffBase = 200 * time.Microsecond
+	p.Metrics = httpsim.NewProbeMetrics(s.obs)
 	return p
 }
 
@@ -36,6 +37,7 @@ func (s *Study) newProber() *httpsim.Prober {
 // Cloudflare-served — the same conservative fallback the paper's
 // filtering applies to unreachable entries.
 func (s *Study) probeSweep(ctx context.Context, hosts []string) (map[string]struct{}, error) {
+	defer s.obs.Span("phase.probe_sweep").End()
 	prober := s.newProber()
 	cf := make(map[string]struct{})
 	pending := hosts

@@ -15,6 +15,7 @@ import (
 	"toplists/internal/httpsim"
 	"toplists/internal/linkgraph"
 	"toplists/internal/names"
+	"toplists/internal/obs"
 	"toplists/internal/providers"
 	"toplists/internal/psl"
 	"toplists/internal/rank"
@@ -67,6 +68,13 @@ type Config struct {
 	// (0 = derive from Seed), so fault-sensitivity sweeps can vary the
 	// weather while holding the world fixed.
 	FaultSeed uint64
+	// Obs, when set, is the telemetry registry the study instruments
+	// itself against; nil makes NewStudy create a private one (retrieve it
+	// with Study.Metrics). Instrumentation never changes study output:
+	// every count-valued metric is a pure function of (Seed, Config), and
+	// timing-valued metrics are excluded from the report's deterministic
+	// subset. See internal/obs.
+	Obs *obs.Registry
 	// Ablate disables selected mechanisms across the world and the
 	// traffic engine for ablation studies (see experiments.RunAblations).
 	Ablate Ablations
@@ -136,6 +144,9 @@ type Study struct {
 	// experiment; see Artifacts.
 	artifacts *Artifacts
 
+	// obs is the study's telemetry registry (never nil; see Config.Obs).
+	obs *obs.Registry
+
 	ran bool
 }
 
@@ -143,6 +154,11 @@ type Study struct {
 // before reading lists or metrics.
 func NewStudy(cfg Config) *Study {
 	cfg = cfg.withDefaults()
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	buildSpan := reg.Span("phase.build_world")
 	w := world.Generate(world.Config{
 		Seed:     cfg.Seed,
 		NumSites: cfg.NumSites,
@@ -160,7 +176,11 @@ func NewStudy(cfg Config) *Study {
 		PSL:      l,
 		Bucketer: rank.ScaledMagnitudes(cfg.NumSites),
 		Graph:    linkgraph.Build(w, linkgraph.Config{}, simrand.New(cfg.Seed).Derive("linkgraph")),
+		obs:      reg,
 	}
+	reg.GaugeFunc("names.interned", func() int64 {
+		return int64(w.Interner().Len())
+	})
 
 	combos := cfmetrics.MetricCombos()
 	if cfg.TrackAllCombos {
@@ -190,7 +210,9 @@ func NewStudy(cfg Config) *Study {
 	s.Engine.AddSink(s.Alexa)
 	s.Engine.AddSink(s.Umbrella)
 	s.Engine.AddSink(s.Secrank)
+	s.Engine.SetObs(reg)
 	s.artifacts = newArtifacts(s)
+	buildSpan.End()
 	return s
 }
 
@@ -215,6 +237,7 @@ func (s *Study) RunContext(ctx context.Context) error {
 	}
 	// The amalgams draw normalized input snapshots through the artifact
 	// store's memo, so that work is already warm at evaluation time.
+	amalgamSpan := s.obs.Span("phase.amalgam")
 	s.Tranco = providers.NewTranco(s.Alexa, s.Umbrella, s.Majestic, s.PSL, s.artifacts.norms)
 	s.Trexa = providers.NewTrexa(s.Alexa, s.Tranco, s.PSL)
 	for d := 0; d < s.Cfg.Days; d++ {
@@ -225,6 +248,7 @@ func (s *Study) RunContext(ctx context.Context) error {
 		s.Trexa.ComputeDay(d)
 	}
 	s.Crux = providers.NewCrux(s.Telemetry, s.Cfg.CruxMinVisitors, s.Bucketer)
+	amalgamSpan.End()
 	s.ran = true
 	return nil
 }
@@ -255,6 +279,16 @@ func (s *Study) mustRun() {
 // Artifacts returns the study's memoized derived-data layer. It is safe
 // for concurrent use by multiple experiment goroutines.
 func (s *Study) Artifacts() *Artifacts { return s.artifacts }
+
+// Metrics returns the study's telemetry registry — the one passed as
+// Config.Obs, or the private registry NewStudy created. A nil study
+// yields a nil registry, which records nothing and never panics.
+func (s *Study) Metrics() *obs.Registry {
+	if s == nil {
+		return nil
+	}
+	return s.obs
+}
 
 // Names returns the study's name table: every ranking the study produces
 // is backed by IDs interned here.
@@ -302,6 +336,7 @@ func (s *Study) network() *httpsim.Network {
 		n := httpsim.NewNetwork()
 		n.AddWorld(s.World)
 		n.SetFaultPlan(s.FaultPlan())
+		n.SetObs(s.obs)
 		n.Start()
 		s.Network = n
 	}

@@ -18,6 +18,9 @@ type FaultHandler struct {
 	Plan  *faults.Plan
 	// Day keys the plan's decisions (virtual time, never the wall clock).
 	Day int
+	// Metrics, when set, counts injected faults by class. The per-name
+	// attempt sequence is deterministic, so the counts are too.
+	Metrics *faults.Metrics
 
 	mu       sync.Mutex
 	attempts map[string]int
@@ -42,7 +45,9 @@ func (f *FaultHandler) HandleMessage(clientIP uint32, raw []byte) []byte {
 	f.attempts[name] = attempt + 1
 	f.mu.Unlock()
 
-	switch f.Plan.DNS(name, faults.Key{Day: f.Day, Attempt: attempt}) {
+	kind := f.Plan.DNS(name, faults.Key{Day: f.Day, Attempt: attempt})
+	f.Metrics.Injected(kind)
+	switch kind {
 	case faults.DNSDrop:
 		return nil
 	case faults.DNSServFail:

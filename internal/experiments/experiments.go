@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"toplists/internal/core"
 )
@@ -114,10 +115,21 @@ func (e *PanicError) Error() string {
 }
 
 // safeRun executes one runner, converting a panic into a *PanicError.
+// Each experiment gets its own eval.<id> phase, and the shared outcome
+// counters (pre-registered by RunConcurrent) tally how the pool fared.
 func safeRun(ctx context.Context, s *core.Study, r Runner) (res Result, err error) {
+	m := s.Metrics()
+	span := m.Span("eval." + r.ID)
 	defer func() {
 		if v := recover(); v != nil {
 			res, err = nil, &PanicError{ID: r.ID, Value: v, Stack: debug.Stack()}
+			m.Counter("eval.panics").Inc()
+		}
+		span.End()
+		if err != nil {
+			m.Counter("eval.failed").Inc()
+		} else {
+			m.Counter("eval.completed").Inc()
 		}
 	}()
 	if err := ctx.Err(); err != nil {
@@ -138,6 +150,15 @@ func safeRun(ctx context.Context, s *core.Study, r Runner) (res Result, err erro
 // in its outcome slot as a *PanicError.
 func RunConcurrent(ctx context.Context, s *core.Study, runners []Runner, workers int) []Outcome {
 	out := make([]Outcome, len(runners))
+	// Pre-register the pool's outcome counters so the run report's key set
+	// is the same whether or not any experiment fails. The counts
+	// themselves are deterministic; only timings vary with the pool width.
+	m := s.Metrics()
+	m.Counter("eval.completed")
+	m.Counter("eval.failed")
+	m.Counter("eval.panics")
+	queueWait := m.Histogram("eval.queue_wait")
+	defer m.Span("phase.evaluate").End()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -151,21 +172,29 @@ func RunConcurrent(ctx context.Context, s *core.Study, runners []Runner, workers
 		}
 		return out
 	}
-	idx := make(chan int)
+	// submittedAt is when the index hit the (unbuffered) channel, so the
+	// worker's receive delay is exactly how long the runner sat waiting
+	// for a free pool slot.
+	type submission struct {
+		i           int
+		submittedAt time.Time
+	}
+	idx := make(chan submission)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range idx {
-				r := runners[i]
+			for sub := range idx {
+				queueWait.Observe(time.Since(sub.submittedAt))
+				r := runners[sub.i]
 				res, err := safeRun(ctx, s, r)
-				out[i] = Outcome{Runner: r, Result: res, Err: err}
+				out[sub.i] = Outcome{Runner: r, Result: res, Err: err}
 			}
 		}()
 	}
 	for i := range runners {
-		idx <- i
+		idx <- submission{i, time.Now()}
 	}
 	close(idx)
 	wg.Wait()

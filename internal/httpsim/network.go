@@ -24,6 +24,7 @@ import (
 
 	"toplists/internal/domain"
 	"toplists/internal/faults"
+	"toplists/internal/obs"
 	"toplists/internal/world"
 )
 
@@ -130,6 +131,26 @@ type Network struct {
 	// responses; see SetFaultPlan.
 	planMu sync.RWMutex
 	plan   *faults.Plan
+
+	// metrics counts injected faults by class; set via SetObs, read with
+	// atomic-pointer semantics through planMu for the same reason the plan
+	// is. Nil (the default) counts nothing.
+	metrics *faults.Metrics
+}
+
+// SetObs registers the network's fault-injection counters on reg. Call
+// alongside SetFaultPlan; with no registry the network stays
+// uninstrumented.
+func (n *Network) SetObs(reg *obs.Registry) {
+	n.planMu.Lock()
+	n.metrics = faults.NewMetrics(reg)
+	n.planMu.Unlock()
+}
+
+func (n *Network) faultMetrics() *faults.Metrics {
+	n.planMu.RLock()
+	defer n.planMu.RUnlock()
+	return n.metrics
 }
 
 // NewNetwork returns an empty network.
@@ -241,7 +262,9 @@ func (n *Network) DialContext(ctx context.Context, network, addr string) (net.Co
 	}
 	if p := n.faultPlan(); p.Enabled() {
 		if key, ok := faults.FromContext(ctx); ok {
-			switch p.Dial(host, key) {
+			kind := p.Dial(host, key)
+			n.faultMetrics().Injected(kind)
+			switch kind {
 			case faults.DialRefused:
 				return nil, fmt.Errorf("dial %s: %w", host, faults.ErrRefused)
 			case faults.DialStall:
@@ -338,6 +361,7 @@ func (n *Network) injectResponseFault(w http.ResponseWriter, r *http.Request, ho
 		// A transient error from in front of the backend (overloaded load
 		// balancer, upstream hiccup): no cf-ray header, the signature the
 		// naive single-shot prober misreads as "not Cloudflare-served".
+		n.faultMetrics().Injected(faults.Edge5xx)
 		http.Error(w, "502 bad gateway (injected fault)", http.StatusBadGateway)
 		return true
 	}

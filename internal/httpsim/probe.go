@@ -98,6 +98,9 @@ type Prober struct {
 	// exhausted probe is conflated with "down". Context cancellation
 	// still yields Unknown.
 	SingleShot bool
+	// Metrics, when set, receives per-probe telemetry (attempts,
+	// outcomes, breaker activity). Nil disables recording.
+	Metrics *ProbeMetrics
 
 	mu      sync.Mutex
 	strikes map[string]int
@@ -164,11 +167,16 @@ const (
 // out, or its circuit opens.
 func (p *Prober) probeOne(ctx context.Context, host string) ProbeResult {
 	res := ProbeResult{Host: host}
+	if p.Metrics != nil {
+		start := time.Now()
+		defer func() { p.Metrics.observeProbe(&res, time.Since(start)) }()
+	}
 	schemes := []string{"https", "http"}
 	if !p.TryHTTPS {
 		schemes = []string{"http"}
 	}
 	if p.breakerOpen(host) {
+		p.Metrics.breakerSkipped()
 		return res
 	}
 	retries := p.Retries
@@ -176,8 +184,11 @@ func (p *Prober) probeOne(ctx context.Context, host string) ProbeResult {
 		retries = 0
 	}
 	for round := 0; ; round++ {
-		if round > 0 && !p.backoffWait(ctx, host, round) {
-			return res
+		if round > 0 {
+			p.Metrics.retryRound()
+			if !p.backoffWait(ctx, host, round) {
+				return res
+			}
 		}
 		noHost := 0
 		for _, scheme := range schemes {
@@ -301,6 +312,9 @@ func (p *Prober) breakerTrip(host string) bool {
 		p.strikes = make(map[string]int)
 	}
 	p.strikes[host]++
+	if p.strikes[host] == p.BreakerThreshold {
+		p.Metrics.breakerTripped()
+	}
 	return p.strikes[host] >= p.BreakerThreshold
 }
 

@@ -1,0 +1,27 @@
+package obs
+
+import "context"
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying the registry, so layers that receive
+// only a context (experiment runners, probe paths) can open spans without
+// new plumbing.
+func NewContext(ctx context.Context, r *Registry) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, r)
+}
+
+// FromContext extracts the registry carried by ctx, or nil.
+func FromContext(ctx context.Context) *Registry {
+	r, _ := ctx.Value(ctxKey{}).(*Registry)
+	return r
+}
+
+// Span opens a span on the named phase of the context's registry. With no
+// registry in ctx the returned span is inert.
+func Span(ctx context.Context, name string) SpanTimer {
+	return FromContext(ctx).Span(name)
+}

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugServer is a live telemetry endpoint: GET /metrics returns the
+// registry's full JSON report, /debug/vars the process expvars, and
+// /debug/pprof/* the standard profiling handlers. It exists for poking at
+// a long run from another terminal; nothing in the pipeline reads from it.
+type DebugServer struct {
+	srv *http.Server
+	lis net.Listener
+}
+
+// ServeDebug binds addr (e.g. "localhost:6060"; :0 picks a free port) and
+// serves r's telemetry in the background until Close.
+func ServeDebug(addr string, r *Registry) (*DebugServer, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		r.Snapshot().WriteJSON(w) //nolint:errcheck // client went away
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	d := &DebugServer{srv: &http.Server{Handler: mux}, lis: lis}
+	go d.srv.Serve(lis) //nolint:errcheck // returns on Close
+	return d, nil
+}
+
+// Addr returns the bound address.
+func (d *DebugServer) Addr() string { return d.lis.Addr().String() }
+
+// Close stops the server.
+func (d *DebugServer) Close() error { return d.srv.Close() }

@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzBucketIndex pins the histogram bucketer's safety properties over the
+// whole int64 duration range, negatives and extremes included: the index
+// always lands in [0, NumBuckets), non-positive durations collapse to
+// bucket 0, the chosen bucket's bounds actually contain the value, and the
+// mapping is monotone (a longer duration never maps to a smaller bucket).
+func FuzzBucketIndex(f *testing.F) {
+	for _, seed := range []int64{-1 << 62, -1, 0, 1, 2, 3, 999, 1 << 20, 1<<63 - 1} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, ns int64) {
+		d := time.Duration(ns)
+		i := bucketIndex(d)
+		if i < 0 || i >= NumBuckets {
+			t.Fatalf("bucketIndex(%d) = %d, out of [0, %d)", ns, i, NumBuckets)
+		}
+		if ns <= 0 && i != 0 {
+			t.Fatalf("bucketIndex(%d) = %d, want 0 for non-positive", ns, i)
+		}
+		if ns > 0 {
+			if ns > BucketUpperBound(i) {
+				t.Fatalf("bucketIndex(%d) = %d but upper bound is %d", ns, i, BucketUpperBound(i))
+			}
+			if i > 1 && ns <= BucketUpperBound(i-1) {
+				t.Fatalf("bucketIndex(%d) = %d but fits bucket %d (bound %d)", ns, i, i-1, BucketUpperBound(i-1))
+			}
+			if ns < 1<<62 && bucketIndex(time.Duration(2*ns)) < i {
+				t.Fatalf("bucketIndex not monotone at %d", ns)
+			}
+		}
+		// Observing must never panic, whatever the value.
+		var h Histogram
+		h.Observe(d)
+		if h.Count() != 1 {
+			t.Fatalf("observe(%d) lost the observation", ns)
+		}
+	})
+}

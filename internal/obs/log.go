@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Level is a Logger verbosity threshold.
+type Level int8
+
+const (
+	// LevelError keeps only failures (-quiet).
+	LevelError Level = iota
+	// LevelInfo is the default: progress and diagnostics.
+	LevelInfo
+	// LevelDebug adds per-step detail (-v).
+	LevelDebug
+)
+
+// Logger is the diagnostic channel of the binaries: everything that is not
+// a rendered paper artifact goes through a Logger bound to stderr, so
+// stdout stays a byte-exact transcript no matter how runs interleave. Each
+// message is written with a single Write under a mutex, so concurrent
+// loggers never interleave partial lines. A nil *Logger discards
+// everything.
+type Logger struct {
+	mu    sync.Mutex
+	w     io.Writer
+	level Level
+}
+
+// NewLogger returns a logger writing messages at or below level to w.
+func NewLogger(w io.Writer, level Level) *Logger {
+	return &Logger{w: w, level: level}
+}
+
+// Errorf logs at LevelError. Safe on nil.
+func (l *Logger) Errorf(format string, args ...any) { l.logf(LevelError, format, args...) }
+
+// Infof logs at LevelInfo. Safe on nil.
+func (l *Logger) Infof(format string, args ...any) { l.logf(LevelInfo, format, args...) }
+
+// Debugf logs at LevelDebug. Safe on nil.
+func (l *Logger) Debugf(format string, args ...any) { l.logf(LevelDebug, format, args...) }
+
+// Enabled reports whether messages at level would be written. Safe on nil.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && level <= l.level
+}
+
+func (l *Logger) logf(level Level, format string, args ...any) {
+	if !l.Enabled(level) {
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	if len(msg) == 0 || msg[len(msg)-1] != '\n' {
+		msg += "\n"
+	}
+	l.mu.Lock()
+	io.WriteString(l.w, msg) //nolint:errcheck // diagnostics are best-effort
+	l.mu.Unlock()
+}

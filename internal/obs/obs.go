@@ -1,0 +1,241 @@
+// Package obs is the study's self-measurement layer: a dependency-free
+// registry of counters, gauges, and fixed-bucket duration histograms, plus
+// span-style phase timers, a leveled diagnostic logger, and the run-report
+// sinks (human summary, versioned JSON, live /metrics endpoint).
+//
+// The package is built around two invariants the rest of the system relies
+// on:
+//
+//  1. Instrumentation can never perturb outputs. Metrics read the wall
+//     clock, but nothing downstream of a metric ever does: no simulation or
+//     evaluation decision branches on a counter, gauge, or duration, so
+//     goldens stay byte-identical with telemetry enabled.
+//
+//  2. Count-valued metrics are deterministic. Every counter and
+//     non-volatile gauge measures how much work was done, not when or by
+//     whom — event totals, cache hits and misses, fault injections, probe
+//     outcomes — so their values are identical across worker counts and
+//     repeated runs of the same seed. Timing-dependent observations
+//     (durations, queue waits, singleflight waits, pool widths) are
+//     registered Volatile and excluded from the report's deterministic
+//     subset, which the obscheck oracle pins.
+//
+// Hot-path cost is held to zero allocations: Counter.Add, Gauge.Set,
+// Histogram.Observe, and Phase span start/stop allocate nothing (guarded by
+// TestHotPathZeroAllocs), and every primitive is nil-safe so uninstrumented
+// components pay only a predictable nil check.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Option modifies how a metric is registered.
+type Option uint8
+
+const (
+	// Volatile marks a metric whose value legitimately varies across worker
+	// counts or runs of the same seed (durations, pool widths, singleflight
+	// waits). Volatile metrics are excluded from Report.Deterministic.
+	Volatile Option = 1 << iota
+)
+
+func volatile(opts []Option) bool {
+	for _, o := range opts {
+		if o&Volatile != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Counter is a monotonically increasing atomic count. The zero value is
+// usable; a nil *Counter is a no-op, so components can hold unregistered
+// metric fields at a predictable branch's cost.
+type Counter struct {
+	name     string
+	volatile bool
+	v        atomic.Int64
+}
+
+// Add adds n to the counter. Safe on nil.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc adds 1 to the counter. Safe on nil.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Name returns the registered name ("" on nil).
+func (c *Counter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// Gauge is an atomic point-in-time value. A nil *Gauge is a no-op.
+type Gauge struct {
+	name     string
+	volatile bool
+	v        atomic.Int64
+}
+
+// Set stores v. Safe on nil.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Max raises the gauge to v if v is larger. Safe on nil.
+func (g *Gauge) Max(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Registry holds a run's metrics. All methods are safe for concurrent use,
+// and every accessor is get-or-create and idempotent: asking twice for the
+// same name returns the same metric. A nil *Registry is fully inert — every
+// accessor returns nil, which every primitive tolerates — so instrumented
+// code needs no "is telemetry on" branches.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	gaugeFns map[string]gaugeFn
+	hists    map[string]*Histogram
+	phases   map[string]*Phase
+}
+
+type gaugeFn struct {
+	fn       func() int64
+	volatile bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		gaugeFns: make(map[string]gaugeFn),
+		hists:    make(map[string]*Histogram),
+		phases:   make(map[string]*Phase),
+	}
+}
+
+// Counter returns the named counter, registering it on first use. Safe on
+// nil (returns nil).
+func (r *Registry) Counter(name string, opts ...Option) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{name: name, volatile: volatile(opts)}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, registering it on first use. Safe on nil.
+func (r *Registry) Gauge(name string, opts ...Option) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{name: name, volatile: volatile(opts)}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at snapshot
+// time (the interner-size pattern: the source of truth already exists, so
+// mirroring it into an atomic would just risk staleness). Re-registering a
+// name replaces its function. Safe on nil.
+func (r *Registry) GaugeFunc(name string, fn func() int64, opts ...Option) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gaugeFns[name] = gaugeFn{fn: fn, volatile: volatile(opts)}
+	r.mu.Unlock()
+}
+
+// Histogram returns the named duration histogram, registering it on first
+// use. Histograms record wall-clock observations and are always volatile.
+// Safe on nil.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{name: name}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Phase returns the named phase timer, registering it on first use. Safe
+// on nil.
+func (r *Registry) Phase(name string) *Phase {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.phases[name]
+	if !ok {
+		p = &Phase{name: name}
+		r.phases[name] = p
+	}
+	return p
+}
+
+// sortedKeys returns m's keys in lexical order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

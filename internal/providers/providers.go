@@ -8,7 +8,10 @@ package providers
 
 import (
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"toplists/internal/obs"
 	"toplists/internal/psl"
 	"toplists/internal/rank"
 )
@@ -66,6 +69,8 @@ type NormMemo struct {
 	// nz, when set, routes providers implementing internNormalized through
 	// the study-wide apex memo.
 	nz *rank.Normalizer
+	// cm, when set, counts hits/misses/waits and build times. Read under mu.
+	cm *obs.CacheMetrics
 	mu sync.Mutex
 	m  map[normMemoKey]*normMemoEntry
 }
@@ -77,6 +82,7 @@ type normMemoKey struct {
 
 type normMemoEntry struct {
 	once  sync.Once
+	done  atomic.Bool
 	r     *rank.Ranking
 	stats rank.NormalizeStats
 }
@@ -93,18 +99,39 @@ func NewInternedNormMemo(nz *rank.Normalizer) *NormMemo {
 	return &NormMemo{psl: nz.PSL(), nz: nz, m: make(map[normMemoKey]*normMemoEntry)}
 }
 
+// SetMetrics attaches cache instrumentation; nil detaches it.
+func (m *NormMemo) SetMetrics(cm *obs.CacheMetrics) {
+	m.mu.Lock()
+	m.cm = cm
+	m.mu.Unlock()
+}
+
 // Normalized returns the list's normalized day-d snapshot with its
 // deviation statistics, computing it at most once per (list, day).
 func (m *NormMemo) Normalized(l List, day int) (*rank.Ranking, rank.NormalizeStats) {
 	key := normMemoKey{l.Name(), day}
 	m.mu.Lock()
+	cm := m.cm
 	e, ok := m.m[key]
 	if !ok {
 		e = &normMemoEntry{}
 		m.m[key] = e
 	}
 	m.mu.Unlock()
+	if !ok {
+		cm.Miss()
+	} else {
+		cm.Hit()
+		if !e.done.Load() {
+			cm.Wait()
+		}
+	}
 	e.once.Do(func() {
+		start := time.Now()
+		defer func() {
+			e.done.Store(true)
+			cm.ObserveBuild(time.Since(start))
+		}()
 		if in, ok := l.(internNormalized); ok && m.nz != nil {
 			e.r, e.stats = in.NormalizedIn(day, m.nz)
 			return

@@ -3,7 +3,9 @@ package traffic
 import (
 	"context"
 	"slices"
+	"time"
 
+	"toplists/internal/obs"
 	"toplists/internal/simrand"
 	"toplists/internal/world"
 )
@@ -195,6 +197,49 @@ type Engine struct {
 	// testHook, when set, runs before each client-day simulation; tests
 	// use it to inject panics and cancellation races into shards.
 	testHook func(client, day int)
+
+	// metrics holds the engine's telemetry; the zero value (no SetObs) is
+	// fully inert via nil-safe obs primitives.
+	metrics engineMetrics
+}
+
+// engineMetrics is the engine's view of the run registry. Event counters
+// are deterministic — workers accumulate per-shard totals locally and
+// flush once per shard, so the sums are identical at every worker count.
+// Durations, the pool width, and shard skew are wall-clock or
+// scheduling-dependent and registered Volatile.
+type engineMetrics struct {
+	pageLoads   *obs.Counter // engine.events.pageload
+	dnsQueries  *obs.Counter // engine.events.dnsquery
+	botBatches  *obs.Counter // engine.events.botbatch
+	botRequests *obs.Counter // engine.events.botrequests
+	days        *obs.Counter // engine.days
+
+	workers   *obs.Gauge     // engine.workers (volatile)
+	dayTime   *obs.Histogram // engine.day
+	shardTime *obs.Histogram // engine.shard
+	// skewPctMax is the worst per-day shard imbalance seen so far:
+	// 100 * (slowest shard - mean shard) / mean shard. High skew means the
+	// contiguous client sharding is leaving workers idle.
+	skewPctMax *obs.Gauge // engine.shard.skew_pct_max (volatile)
+	simPhase   *obs.Phase // phase.simulate
+}
+
+// SetObs attaches the engine to a run registry. Call before Run; without
+// it the engine is uninstrumented and pays only nil checks.
+func (e *Engine) SetObs(reg *obs.Registry) {
+	e.metrics = engineMetrics{
+		pageLoads:   reg.Counter("engine.events.pageload"),
+		dnsQueries:  reg.Counter("engine.events.dnsquery"),
+		botBatches:  reg.Counter("engine.events.botbatch"),
+		botRequests: reg.Counter("engine.events.botrequests"),
+		days:        reg.Counter("engine.days"),
+		workers:     reg.Gauge("engine.workers", obs.Volatile),
+		dayTime:     reg.Histogram("engine.day"),
+		shardTime:   reg.Histogram("engine.shard"),
+		skewPctMax:  reg.Gauge("engine.shard.skew_pct_max", obs.Volatile),
+		simPhase:    reg.Phase("phase.simulate"),
+	}
 }
 
 // NewEngine builds the client population and samplers. Deterministic in
@@ -409,6 +454,8 @@ func (e *Engine) Run() {
 // crashing the process. On error the sinks are left mid-day; the run
 // cannot be resumed.
 func (e *Engine) RunContext(ctx context.Context) error {
+	sp := e.metrics.simPhase.Start()
+	defer sp.End()
 	for d := 0; d < e.Cfg.Days; d++ {
 		if err := e.runDay(ctx, d); err != nil {
 			return err
@@ -431,6 +478,7 @@ func (e *Engine) runDay(ctx context.Context, d int) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	dayStart := time.Now()
 	weekend := e.IsWeekend(d)
 	for _, s := range e.sinks {
 		s.BeginDay(d, weekend)
@@ -441,14 +489,19 @@ func (e *Engine) runDay(ctx context.Context, d int) error {
 
 	daySrc := e.root.Derive("day").At(d)
 	var err error
-	if nw := e.workerCount(); nw > 1 {
+	nw := e.workerCount()
+	e.metrics.workers.Set(int64(nw))
+	if nw > 1 {
 		err = e.runDayClientsParallel(ctx, d, weekend, daySrc, nw)
 	} else {
 		if e.serialScratch == nil {
 			e.serialScratch = newClientScratch()
 		}
+		shardStart := time.Now()
 		out := shardOut{sinks: e.sinks, humanReqs: e.humanReqs}
 		err = e.simulateShard(ctx, 0, d, weekend, daySrc, e.serialScratch, &out, 0, len(e.Clients))
+		e.metrics.shardTime.Observe(time.Since(shardStart))
+		out.flushCounts(&e.metrics)
 	}
 	if err != nil {
 		return err
@@ -458,6 +511,8 @@ func (e *Engine) runDay(ctx context.Context, d int) error {
 	for _, s := range e.sinks {
 		s.EndDay(d)
 	}
+	e.metrics.days.Inc()
+	e.metrics.dayTime.Observe(time.Since(dayStart))
 	return nil
 }
 
@@ -642,6 +697,7 @@ var botFloor = [world.NumCategories]float64{
 // site's bot share.
 func (e *Engine) simulateBots(d int, src *simrand.Source) {
 	n := e.W.NumSites()
+	var nBatches, nReqs int64
 	var bb BotBatch
 	for i := 0; i < n; i++ {
 		site := e.W.Site(int32(i))
@@ -675,10 +731,14 @@ func (e *Engine) simulateBots(d int, src *simrand.Source) {
 		for k := range bb.IPs {
 			bb.IPs[k] = ipFor("bot", uint64(ss.Intn(65536)))
 		}
+		nBatches++
+		nReqs += int64(reqs)
 		for _, s := range e.sinks {
 			s.OnBotBatch(&bb)
 		}
 	}
+	e.metrics.botBatches.Add(nBatches)
+	e.metrics.botRequests.Add(nReqs)
 }
 
 func headnessOf(i, n int) float64 {

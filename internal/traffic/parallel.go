@@ -6,9 +6,30 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"toplists/internal/simrand"
 )
+
+// observeShardSkew records each shard's wall time and updates the
+// worst-imbalance gauge: the percentage by which the slowest shard of the
+// day exceeded the mean shard. All volatile — scheduling decides these.
+func (e *Engine) observeShardSkew(shardNS []int64) {
+	if len(shardNS) == 0 {
+		return
+	}
+	var sum, slowest int64
+	for _, ns := range shardNS {
+		e.metrics.shardTime.Observe(time.Duration(ns))
+		sum += ns
+		if ns > slowest {
+			slowest = ns
+		}
+	}
+	if mean := sum / int64(len(shardNS)); mean > 0 {
+		e.metrics.skewPctMax.Max(100 * (slowest - mean) / mean)
+	}
+}
 
 // The parallel execution model shards a day's clients into contiguous
 // ranges, one per worker. Each worker simulates its range with private
@@ -72,9 +93,24 @@ type shardOut struct {
 	sinks     []Sink
 	buf       *dayBuffer
 	humanReqs []int32
+
+	// nLoads and nQueries count this shard's events locally (plain fields,
+	// no atomics), flushed to the shared counters once per shard: the per-
+	// event cost of telemetry is two register increments, and the flushed
+	// totals are identical at every worker count.
+	nLoads, nQueries int64
+}
+
+// flushCounts adds the shard's event tallies to the engine counters and
+// zeroes them for reuse.
+func (o *shardOut) flushCounts(m *engineMetrics) {
+	m.pageLoads.Add(o.nLoads)
+	m.dnsQueries.Add(o.nQueries)
+	o.nLoads, o.nQueries = 0, 0
 }
 
 func (o *shardOut) pageLoad(pl *PageLoad) {
+	o.nLoads++
 	if o.buffered {
 		o.buf.kinds = append(o.buf.kinds, evPageLoad)
 		o.buf.loads = append(o.buf.loads, *pl)
@@ -86,6 +122,7 @@ func (o *shardOut) pageLoad(pl *PageLoad) {
 }
 
 func (o *shardOut) dnsQuery(q *DNSQuery) {
+	o.nQueries++
 	if o.buffered {
 		o.buf.kinds = append(o.buf.kinds, evDNSQuery)
 		o.buf.queries = append(o.buf.queries, *q)
@@ -212,6 +249,7 @@ func (e *Engine) runDayClientsParallel(ctx context.Context, d int, weekend bool,
 	e.ensureWorkers(len(shards))
 
 	errs := make([]error, len(shards))
+	shardNS := make([]int64, len(shards))
 	var wg sync.WaitGroup
 	for w, r := range shards {
 		ws := e.workers[w]
@@ -222,11 +260,15 @@ func (e *Engine) runDayClientsParallel(ctx context.Context, d int, weekend bool,
 		wg.Add(1)
 		go func(w int, ws *workerState, lo, hi int) {
 			defer wg.Done()
+			start := time.Now()
 			out := shardOut{buffered: true, buf: &ws.buf, humanReqs: ws.humanReqs}
 			errs[w] = e.simulateShard(ctx, w, d, weekend, daySrc, ws.scratch, &out, lo, hi)
+			out.flushCounts(&e.metrics)
+			shardNS[w] = int64(time.Since(start))
 		}(w, ws, r.Lo, r.Hi)
 	}
 	wg.Wait()
+	e.observeShardSkew(shardNS)
 
 	for _, err := range errs {
 		if err != nil {

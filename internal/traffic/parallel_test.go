@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"testing"
 
+	"toplists/internal/obs"
 	"toplists/internal/world"
 )
 
@@ -204,10 +205,13 @@ func TestRunWithNoSinksAndNoClients(t *testing.T) {
 // across the parallel refactor: once scratch and buffers are warm, a
 // client-day must not allocate per event. The small constant budget covers
 // the two event structs that escape into sink interface calls plus
-// occasional growth of reused buffers.
+// occasional growth of reused buffers. Telemetry is attached so the guard
+// also covers the instrumented path: event counting and the per-shard
+// flush must stay allocation-free.
 func TestSimulateClientDayAllocsFlat(t *testing.T) {
 	w := world.Generate(world.Config{Seed: 31, NumSites: 600})
 	e := NewEngine(w, Config{Seed: 32, NumClients: 40, Days: 1})
+	e.SetObs(obs.NewRegistry())
 	sc := newClientScratch()
 	var buf dayBuffer
 	out := shardOut{buffered: true, buf: &buf, humanReqs: make([]int32, w.NumSites())}
@@ -218,8 +222,12 @@ func TestSimulateClientDayAllocsFlat(t *testing.T) {
 		for i := range e.Clients {
 			e.simulateClientDay(&e.Clients[i], 0, false, daySrc.At(i), sc, &out)
 		}
+		out.flushCounts(&e.metrics)
 	}
 	run() // warm scratch, maps, and buffer capacity
+	if e.metrics.pageLoads.Value() == 0 {
+		t.Fatal("instrumented run recorded no page loads")
+	}
 
 	// 40 client-days per run; daySrc.At allocates one Source per client.
 	// Allow the per-client constants but nothing proportional to events

@@ -28,6 +28,7 @@ import (
 
 	"toplists/internal/core"
 	"toplists/internal/experiments"
+	"toplists/internal/obs"
 )
 
 // Config parameterizes a study run. Zero fields take defaults sized for a
@@ -60,6 +61,12 @@ type Config struct {
 	// network at the given rate (0..1); 0 leaves the network pristine.
 	// The fault plan is derived from Seed, so runs stay reproducible.
 	FaultRate float64
+	// Obs, when set, is the telemetry registry the study records into;
+	// nil gives the study a private one, reachable via Study.Metrics.
+	// Telemetry never changes study output: count-valued metrics are a
+	// pure function of the configuration, and timing-valued metrics are
+	// excluded from the run report's deterministic subset.
+	Obs *obs.Registry
 }
 
 // Result is one regenerated paper artifact.
@@ -121,6 +128,7 @@ func RunContext(ctx context.Context, cfg Config) (*Study, error) {
 		CruxMinVisitors: cfg.CruxMinVisitors,
 		Workers:         cfg.Workers,
 		FaultRate:       cfg.FaultRate,
+		Obs:             cfg.Obs,
 	})
 	if err := s.RunContext(ctx); err != nil {
 		return nil, err
@@ -130,6 +138,11 @@ func RunContext(ctx context.Context, cfg Config) (*Study, error) {
 
 // Close releases resources (the virtual probe network, if it was started).
 func (s *Study) Close() { s.inner.Close() }
+
+// Metrics returns the study's telemetry registry — the one passed as
+// Config.Obs, or the private registry the study created. Snapshot it for
+// a run report, or hand it to obs.ServeDebug for live inspection.
+func (s *Study) Metrics() *obs.Registry { return s.inner.Metrics() }
 
 // Describe summarizes the run.
 func (s *Study) Describe() string { return s.inner.Describe() }
