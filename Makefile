@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz bench check faultcheck obscheck
+.PHONY: build test vet race fuzz bench check faultcheck obscheck sketchcheck
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,7 @@ vet:
 # race pass covers every package that touches a parallel path, with
 # -shuffle=on so test-order coupling can't hide behind a fixed schedule.
 race:
-	$(GO) test -race -shuffle=on ./internal/names ./internal/rank ./internal/traffic ./internal/core ./internal/experiments ./internal/httpsim ./internal/obs
+	$(GO) test -race -shuffle=on ./internal/names ./internal/rank ./internal/sketch ./internal/cfmetrics ./internal/traffic ./internal/core ./internal/experiments ./internal/httpsim ./internal/obs
 
 # faultcheck is the fault-injection determinism oracle: a fixed seed at a
 # nonzero fault rate must render the full evaluation byte-identically
@@ -32,14 +32,23 @@ faultcheck:
 obscheck:
 	$(GO) test -run=TestObsDeterminism -count=1 .
 
-# Short fuzz smoke of the rank-bucketing, interner, and fault-plan targets
-# (seeds + 10s each).
+# sketchcheck is the sketch-vs-exact oracle: sketch-mode rankings must track
+# the exact oracle (Kendall tau >= 0.98, Jaccard@{100,1k} >= 0.99 over three
+# seeds) and stay byte-identical across worker counts.
+sketchcheck:
+	$(GO) test -run='TestSketchOracle|TestSketchDeterminism' -count=1 .
+
+# Short fuzz smoke of the rank-bucketing, interner, fault-plan, and sketch
+# targets (seeds + 10s each).
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzScaledMagnitudes -fuzztime=10s ./internal/rank
 	$(GO) test -run=^$$ -fuzz=FuzzBucketer -fuzztime=10s ./internal/rank
 	$(GO) test -run=^$$ -fuzz=FuzzInternLookupRoundTrip -fuzztime=10s ./internal/names
 	$(GO) test -run=^$$ -fuzz=FuzzFaultPlan -fuzztime=10s ./internal/faults
 	$(GO) test -run=^$$ -fuzz=FuzzBucketIndex -fuzztime=10s ./internal/obs
+	$(GO) test -run=^$$ -fuzz=FuzzCountMin -fuzztime=10s ./internal/sketch
+	$(GO) test -run=^$$ -fuzz=FuzzSpaceSaving -fuzztime=10s ./internal/sketch
+	$(GO) test -run=^$$ -fuzz=FuzzSketchMerge -fuzztime=10s ./internal/sketch
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -57,4 +66,4 @@ benchsmoke:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...
 
 # check is the CI gate: everything must pass before merging.
-check: build vet test race faultcheck obscheck
+check: build vet test race faultcheck obscheck sketchcheck

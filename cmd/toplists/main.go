@@ -58,6 +58,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "simulation and evaluation worker goroutines (0 = one per CPU, 1 = serial)")
 		experiment = flag.String("experiment", "all", "experiment id (fig1..fig8, tab1..tab3, stability, faultsense) or 'all'")
 		faultRate  = flag.Float64("faultrate", 0, "inject deterministic network faults at this rate (0..1)")
+		sketchMode = flag.Bool("sketch", false, "aggregate through bounded mergeable sketches instead of exact state")
 		list       = flag.Bool("list", false, "list available experiments and exit")
 		outdir     = flag.String("outdir", "", "also write each artifact to <outdir>/<id>.txt")
 		reportPath = flag.String("report", "", "write a JSON run report (telemetry snapshot) to this file")
@@ -138,6 +139,7 @@ func main() {
 		Workers:   *workers,
 		AllCombos: true,
 		FaultRate: *faultRate,
+		Sketch:    *sketchMode,
 		Obs:       reg,
 	})
 	if err != nil {

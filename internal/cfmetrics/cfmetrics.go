@@ -212,6 +212,16 @@ type Pipeline struct {
 	counts   [][]float64                 // combo -> site -> score
 	distinct []map[int32]sketch.Distinct // combo -> site -> counter (unique aggs)
 
+	// Sketch-mode state (see sketchmode.go): bounded summaries replacing
+	// the exact arrays. dayState accumulates the barrier's shard merges,
+	// botState the day's bot batches (merged last at EndDay).
+	sk       sketch.Config
+	dayState *pipelineShard
+	botState *pipelineShard
+	shardMem int
+	memPeak  int
+	errBound uint64
+
 	// days[d][comboIdx] is the ranked site-ID list for that day and combo.
 	days [][][]int32
 }
@@ -245,6 +255,9 @@ func NewPipeline(w *world.World, combos []Combo, factory sketch.Factory) *Pipeli
 
 // BeginDay implements traffic.Sink.
 func (p *Pipeline) BeginDay(day int, weekend bool) {
+	if p.sk.Enabled {
+		return // day and bot summaries are reset at EndDay
+	}
 	for i := range p.combos {
 		if p.counts[i] != nil {
 			for j := range p.counts[i] {
@@ -278,8 +291,14 @@ func (p *Pipeline) OnPageLoad(pl *traffic.PageLoad) {
 	}
 }
 
-// OnBotBatch implements traffic.Sink.
+// OnBotBatch implements traffic.Sink. Bot batches arrive on the engine
+// goroutine after the day's barrier; in sketch mode they accumulate in a
+// dedicated summary that EndDay merges after the shard states.
 func (p *Pipeline) OnBotBatch(bb *traffic.BotBatch) {
+	if p.sk.Enabled {
+		p.botState.onBotBatch(bb)
+		return
+	}
 	if !p.isCF[bb.Site] {
 		return
 	}
@@ -329,6 +348,10 @@ func (p *Pipeline) addDistinct(combo int, site int32, key uint64) {
 
 // EndDay implements traffic.Sink: it freezes the day's ranked lists.
 func (p *Pipeline) EndDay(day int) {
+	if p.sk.Enabled {
+		p.endDaySketch(day)
+		return
+	}
 	lists := make([][]int32, len(p.combos))
 	for i, c := range p.combos {
 		var scored []scoredSite
@@ -345,20 +368,25 @@ func (p *Pipeline) EndDay(day int) {
 				}
 			}
 		}
-		sort.Slice(scored, func(a, b int) bool {
-			if scored[a].score != scored[b].score {
-				return scored[a].score > scored[b].score
-			}
-			// Deterministic information-free tiebreak.
-			return mix32(scored[a].site) < mix32(scored[b].site)
-		})
-		ids := make([]int32, len(scored))
-		for j, s := range scored {
-			ids[j] = s.site
-		}
-		lists[i] = ids
+		lists[i] = rankScored(scored)
 	}
 	p.days = append(p.days, lists)
+}
+
+// rankScored orders the day's scored sites — score descending, with the
+// deterministic information-free tiebreak — and returns the site IDs.
+func rankScored(scored []scoredSite) []int32 {
+	sort.Slice(scored, func(a, b int) bool {
+		if scored[a].score != scored[b].score {
+			return scored[a].score > scored[b].score
+		}
+		return mix32(scored[a].site) < mix32(scored[b].site)
+	})
+	ids := make([]int32, len(scored))
+	for j, s := range scored {
+		ids[j] = s.site
+	}
+	return ids
 }
 
 type scoredSite struct {

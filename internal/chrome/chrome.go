@@ -68,6 +68,12 @@ type Telemetry struct {
 	// countryVisitors tracks distinct visitors per (country, site) for the
 	// privacy threshold.
 	countryVisitors map[int64]sketch.Distinct
+
+	// Sketch mode (see sketchmode.go): shard states mirror the accumulators
+	// and visitor counters become coarse HLLs.
+	sk       sketch.Config
+	shardMem int
+	memPeak  int
 }
 
 // NewTelemetry builds a collector for the world.
@@ -103,7 +109,7 @@ func (t *Telemetry) OnPageLoad(pl *traffic.PageLoad) {
 		vk := int64(c.Country)<<32 | int64(pl.Site)
 		d, ok := t.countryVisitors[vk]
 		if !ok {
-			d = sketch.NewExact()
+			d = t.newDistinct()
 			t.countryVisitors[vk] = d
 		}
 		d.Add(uint64(c.ID))

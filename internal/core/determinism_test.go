@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"toplists/internal/cfmetrics"
+	"toplists/internal/sketch"
 )
 
 // studyFingerprint digests everything the study publishes — the seven
@@ -49,6 +50,10 @@ func studyFingerprint(s *Study) uint64 {
 }
 
 func runFingerprint(seed uint64, workers int) uint64 {
+	return runFingerprintMode(seed, workers, false)
+}
+
+func runFingerprintMode(seed uint64, workers int, sketchMode bool) uint64 {
 	s := NewStudy(Config{
 		Seed:           seed,
 		NumSites:       1500,
@@ -56,6 +61,7 @@ func runFingerprint(seed uint64, workers int) uint64 {
 		Days:           4,
 		TrackAllCombos: true,
 		Workers:        workers,
+		Sketch:         sketch.Config{Enabled: sketchMode},
 	})
 	s.Run()
 	return studyFingerprint(s)
@@ -74,6 +80,27 @@ func TestStudyDeterminismAcrossWorkers(t *testing.T) {
 			for _, workers := range workerCounts {
 				if got := runFingerprint(seed, workers); got != want {
 					t.Errorf("workers=%d fingerprint %#x, want %#x (serial)",
+						workers, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestStudySketchDeterminismAcrossWorkers is the same oracle for sketch
+// mode: the sketch path aggregates over fixed logical shards merged in
+// canonical order at the day barrier, so its published output must also be
+// byte-identical at every worker count — approximate relative to the exact
+// path, but never schedule-dependent.
+func TestStudySketchDeterminismAcrossWorkers(t *testing.T) {
+	workerCounts := []int{2, 4, runtime.GOMAXPROCS(0)}
+	for _, seed := range []uint64{2022, 7} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			want := runFingerprintMode(seed, 1, true)
+			for _, workers := range workerCounts {
+				if got := runFingerprintMode(seed, workers, true); got != want {
+					t.Errorf("sketch workers=%d fingerprint %#x, want %#x (serial)",
 						workers, got, want)
 				}
 			}

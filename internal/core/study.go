@@ -20,6 +20,7 @@ import (
 	"toplists/internal/psl"
 	"toplists/internal/rank"
 	"toplists/internal/simrand"
+	"toplists/internal/sketch"
 	"toplists/internal/traffic"
 	"toplists/internal/world"
 )
@@ -68,6 +69,13 @@ type Config struct {
 	// (0 = derive from Seed), so fault-sensitivity sweeps can vary the
 	// weather while holding the world fixed.
 	FaultSeed uint64
+	// Sketch switches the aggregation layer to bounded mergeable summaries
+	// (see internal/sketch): each logical traffic shard accumulates
+	// fixed-size sketches that merge at the day barrier, instead of the
+	// engine replaying per-event buffers into exact per-site state. The
+	// zero value (Enabled false) is the exact oracle, byte-identical to a
+	// study built before the sketch layer existed.
+	Sketch sketch.Config
 	// Obs, when set, is the telemetry registry the study instruments
 	// itself against; nil makes NewStudy create a private one (retrieve it
 	// with Study.Metrics). Instrumentation never changes study output:
@@ -110,6 +118,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SpearmanMagIdx == 0 {
 		c.SpearmanMagIdx = 3
+	}
+	if c.Sketch.Enabled {
+		c.Sketch = c.Sketch.WithDefaults()
 	}
 	return c
 }
@@ -192,12 +203,26 @@ func NewStudy(cfg Config) *Study {
 	s.Umbrella = providers.NewUmbrella(w, l)
 	s.Majestic = providers.NewMajestic(w, s.Graph)
 	s.Secrank = providers.NewSecrank(w, l)
+	if cfg.Sketch.Enabled {
+		s.Pipeline.SetSketch(cfg.Sketch)
+		s.Telemetry.SetSketch(cfg.Sketch)
+		s.Umbrella.SetSketch(cfg.Sketch)
+		s.Secrank.SetSketch(cfg.Sketch)
+		// All sketch gauges are pure functions of (Seed, Config): logical
+		// footprints and error bounds, not process measurements.
+		reg.GaugeFunc("sketch.cf.mem_peak_bytes", func() int64 { return int64(s.Pipeline.SketchMemPeak()) })
+		reg.GaugeFunc("sketch.cf.cm_errbound", func() int64 { return int64(s.Pipeline.SketchErrorBound()) })
+		reg.GaugeFunc("sketch.umbrella.mem_peak_bytes", func() int64 { return int64(s.Umbrella.SketchMemPeak()) })
+		reg.GaugeFunc("sketch.secrank.mem_peak_bytes", func() int64 { return int64(s.Secrank.SketchMemPeak()) })
+		reg.GaugeFunc("sketch.chrome.mem_peak_bytes", func() int64 { return int64(s.Telemetry.SketchMemPeak()) })
+	}
 
 	s.Engine = traffic.NewEngine(w, traffic.Config{
 		Seed:       cfg.Seed + 1,
 		NumClients: cfg.NumClients,
 		Days:       cfg.Days,
 		Workers:    cfg.Workers,
+		Sketch:     cfg.Sketch,
 		Ablate: traffic.Ablations{
 			NoPanelDistortion: cfg.Ablate.NoPanelDistortion,
 			NoWorkSkew:        cfg.Ablate.NoWorkSkew,

@@ -72,10 +72,12 @@ var panelVisibility = func() [world.NumCategories]float64 {
 	return v
 }()
 
-// OnPageLoad implements traffic.Sink.
-func (a *Alexa) OnPageLoad(pl *traffic.PageLoad) {
+// observes reports whether the panel extension records this load: panel
+// membership, private mode, and sensitivity thinning. All three are pure
+// functions of the event, so exact and sketch paths share the filter.
+func (a *Alexa) observes(pl *traffic.PageLoad) bool {
 	if !pl.Client.OnPanel(pl.Day) || pl.Private {
-		return
+		return false
 	}
 	// The sensitivity thinning below is the extension-side face of the
 	// private-browsing mechanism; the NoPrivateBrowsing ablation disables
@@ -88,8 +90,16 @@ func (a *Alexa) OnPageLoad(pl *traffic.PageLoad) {
 		h *= 0xff51afd7ed558ccd
 		h ^= h >> 33
 		if float64(h>>11)/(1<<53) >= vis {
-			return
+			return false
 		}
+	}
+	return true
+}
+
+// OnPageLoad implements traffic.Sink.
+func (a *Alexa) OnPageLoad(pl *traffic.PageLoad) {
+	if !a.observes(pl) {
+		return
 	}
 	a.pageviews[pl.Site]++
 	d, ok := a.visitors[pl.Site]

@@ -6,6 +6,7 @@ import (
 	"toplists/internal/names"
 	"toplists/internal/psl"
 	"toplists/internal/rank"
+	"toplists/internal/sketch"
 	"toplists/internal/traffic"
 	"toplists/internal/world"
 )
@@ -34,6 +35,14 @@ type Secrank struct {
 
 	// perIP accumulates today's per-IP query profile: domain -> count.
 	perIP map[uint32]map[names.ID]int
+
+	// Sketch mode (see sketchmode.go): bounded per-IP profile summaries
+	// replace the perIP maps, merged into dayProfiles at the barrier.
+	sk          sketch.Config
+	dayProfiles map[uint32]*sketch.SpaceSaving
+	profilePool []*sketch.SpaceSaving
+	shardMem    int
+	memPeak     int
 
 	// dayVotes holds each frozen day's aggregated votes.
 	dayVotes []map[names.ID]float64
@@ -71,6 +80,9 @@ func (s *Secrank) Bucketed() bool { return false }
 
 // BeginDay implements traffic.Sink.
 func (s *Secrank) BeginDay(day int, weekend bool) {
+	if s.sk.Enabled {
+		return
+	}
 	s.perIP = make(map[uint32]map[names.ID]int)
 }
 
@@ -99,6 +111,10 @@ func (s *Secrank) OnDNSQuery(q *traffic.DNSQuery) {
 
 // EndDay implements traffic.Sink: run the per-IP voting round.
 func (s *Secrank) EndDay(day int) {
+	if s.sk.Enabled {
+		s.endDaySketch(day)
+		return
+	}
 	votes := make(map[names.ID]float64)
 	for _, prof := range s.perIP {
 		var total int
@@ -114,9 +130,14 @@ func (s *Secrank) EndDay(day int) {
 			votes[id] += weight * float64(c) / float64(total)
 		}
 	}
+	s.publishDay(votes)
+}
+
+// publishDay appends the day's votes and publishes the trailing-window
+// average — shared by the exact and sketch voting rounds.
+func (s *Secrank) publishDay(votes map[names.ID]float64) {
 	s.dayVotes = append(s.dayVotes, votes)
 
-	// Publish the trailing-window average.
 	window := s.Window
 	if window > len(s.dayVotes) {
 		window = len(s.dayVotes)

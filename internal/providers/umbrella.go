@@ -6,6 +6,7 @@ import (
 	"toplists/internal/names"
 	"toplists/internal/psl"
 	"toplists/internal/rank"
+	"toplists/internal/sketch"
 	"toplists/internal/traffic"
 	"toplists/internal/world"
 )
@@ -42,6 +43,14 @@ type Umbrella struct {
 	// map sets: enterprise office IPs are few and heavily shared.
 	ips map[names.ID]map[uint32]struct{}
 
+	// Sketch mode (see sketchmode.go): bounded per-shard summaries replace
+	// the ips sets, merged into dayTKD at the barrier.
+	sk       sketch.Config
+	dayTKD   *sketch.TopKDistinct
+	nameOf   map[uint64]string
+	shardMem int
+	memPeak  int
+
 	lists []*rank.Ranking
 }
 
@@ -68,6 +77,9 @@ func (u *Umbrella) Bucketed() bool { return false }
 
 // BeginDay implements traffic.Sink.
 func (u *Umbrella) BeginDay(day int, weekend bool) {
+	if u.sk.Enabled {
+		return
+	}
 	u.ips = make(map[names.ID]map[uint32]struct{})
 }
 
@@ -154,6 +166,10 @@ func (u *Umbrella) credit(id names.ID, ip uint32) {
 
 // EndDay implements traffic.Sink.
 func (u *Umbrella) EndDay(day int) {
+	if u.sk.Enabled {
+		u.endDaySketch(day)
+		return
+	}
 	scored := make([]rank.ScoredID, 0, len(u.ips))
 	for id, set := range u.ips {
 		scored = append(scored, rank.ScoredID{ID: id, Score: quantize(len(set))})

@@ -1,0 +1,121 @@
+package sketch
+
+// CountMin is a count-min sketch (Cormode & Muthukrishnan): a depth×width
+// grid of counters where each key increments one counter per row, selected
+// by a per-row hash. Estimates take the minimum over the rows, so they can
+// only overestimate — never undercount — with error at most e·N/width at
+// probability 1-(1/e)^depth over the hash choice.
+//
+// Counter placement is a pure function of (key, row), so two sketches with
+// equal dimensions fed equal multisets hold identical grids, and Merge (a
+// cell-wise sum) is exact: merging per-shard sketches equals feeding one
+// sketch the concatenated stream, in any merge order. That property is what
+// lets the traffic engine accumulate per-shard frequency summaries and
+// combine them at the day barrier deterministically.
+type CountMin struct {
+	width int // power of two
+	depth int
+	mask  uint64
+	rows  []uint64 // depth × width, row-major
+	n     uint64   // total weight added
+}
+
+// cmRowSeed returns the fixed per-row hash seed: a splitmix64 step of the
+// row index, the same for every sketch so equal configurations agree.
+func cmRowSeed(row int) uint64 {
+	z := uint64(row+1) * 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewCountMin returns a sketch with the given width (rounded up to a power
+// of two, minimum 16) and depth (clamped to [1, 16]).
+func NewCountMin(width, depth int) *CountMin {
+	if depth < 1 {
+		depth = 1
+	}
+	if depth > 16 {
+		depth = 16
+	}
+	w := 16
+	for w < width {
+		w <<= 1
+	}
+	return &CountMin{
+		width: w,
+		depth: depth,
+		mask:  uint64(w - 1),
+		rows:  make([]uint64, w*depth),
+	}
+}
+
+// Width returns the (rounded) row width.
+func (c *CountMin) Width() int { return c.width }
+
+// Depth returns the number of rows.
+func (c *CountMin) Depth() int { return c.depth }
+
+// Add records weight n for the key.
+func (c *CountMin) Add(key uint64, n uint64) {
+	c.n += n
+	base := 0
+	for r := 0; r < c.depth; r++ {
+		idx := mix(key^cmRowSeed(r)) & c.mask
+		c.rows[base+int(idx)] += n
+		base += c.width
+	}
+}
+
+// Estimate returns the key's estimated total weight: an upper bound on the
+// true weight (the sketch never undercounts).
+func (c *CountMin) Estimate(key uint64) uint64 {
+	base := 0
+	est := ^uint64(0)
+	for r := 0; r < c.depth; r++ {
+		idx := mix(key^cmRowSeed(r)) & c.mask
+		if v := c.rows[base+int(idx)]; v < est {
+			est = v
+		}
+		base += c.width
+	}
+	return est
+}
+
+// N returns the total weight added.
+func (c *CountMin) N() uint64 { return c.n }
+
+// ErrorBound returns the standard additive error guarantee e·N/width
+// (rounded up): with probability 1-(1/e)^depth an estimate exceeds the true
+// weight by less than this.
+func (c *CountMin) ErrorBound() uint64 {
+	// e ≈ 2.71828; compute ceil(e*N/width) in integers to stay exact for
+	// deterministic gauges: e*N ≈ N*2718281829/1e9.
+	const eScaled = 2718281829 // e × 1e9, rounded up
+	hi := c.n / 1_000_000_000
+	lo := c.n % 1_000_000_000
+	num := hi*eScaled + (lo*eScaled+999_999_999)/1_000_000_000
+	return (num + uint64(c.width) - 1) / uint64(c.width)
+}
+
+// Merge folds another sketch of identical dimensions into this one. The
+// result is exactly the sketch of the concatenated streams.
+func (c *CountMin) Merge(o *CountMin) {
+	if o.width != c.width || o.depth != c.depth {
+		panic("sketch: merging incompatible CountMin dimensions")
+	}
+	for i, v := range o.rows {
+		c.rows[i] += v
+	}
+	c.n += o.n
+}
+
+// Reset returns the sketch to empty for reuse.
+func (c *CountMin) Reset() {
+	clear(c.rows)
+	c.n = 0
+}
+
+// MemBytes returns the logical memory footprint of the grid, a pure
+// function of the configuration (safe for deterministic gauges).
+func (c *CountMin) MemBytes() int { return len(c.rows) * 8 }

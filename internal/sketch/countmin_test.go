@@ -1,0 +1,211 @@
+package sketch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"toplists/internal/simrand"
+)
+
+// exactCounts is the oracle: a map-backed multiset.
+func exactCounts(stream []uint64) map[uint64]uint64 {
+	m := make(map[uint64]uint64)
+	for _, k := range stream {
+		m[k]++
+	}
+	return m
+}
+
+// TestCountMinNeverUndercounts is the first sketch law: for any stream,
+// every key's estimate is at least its true count.
+func TestCountMinNeverUndercounts(t *testing.T) {
+	err := quick.Check(func(stream []uint64) bool {
+		cm := NewCountMin(64, 3)
+		for _, k := range stream {
+			cm.Add(k, 1)
+		}
+		for k, want := range exactCounts(stream) {
+			if cm.Estimate(k) < want {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCountMinExactWhenSparse: with far fewer distinct keys than the row
+// width, collisions are rare and most estimates are exact; the heavy key's
+// estimate is always within the error bound.
+func TestCountMinExactWhenSparse(t *testing.T) {
+	cm := NewCountMin(4096, 4)
+	src := simrand.New(5)
+	truth := make(map[uint64]uint64)
+	for i := 0; i < 20000; i++ {
+		k := uint64(src.Intn(300)) // 300 distinct keys in 4096 columns
+		cm.Add(k, 1)
+		truth[k]++
+	}
+	bound := cm.ErrorBound()
+	exact := 0
+	for k, want := range truth {
+		got := cm.Estimate(k)
+		if got < want {
+			t.Fatalf("key %d: estimate %d < true %d", k, got, want)
+		}
+		if got-want > bound {
+			t.Errorf("key %d: overestimate %d exceeds bound %d", k, got-want, bound)
+		}
+		if got == want {
+			exact++
+		}
+	}
+	if exact < len(truth)*9/10 {
+		t.Errorf("only %d/%d estimates exact in the sparse regime", exact, len(truth))
+	}
+}
+
+// TestCountMinMergeEqualsSingleStream: the count-min grid is a linear
+// sketch, so merging per-shard sketches is exactly the sketch of the
+// concatenated stream, regardless of how the stream is split.
+func TestCountMinMergeEqualsSingleStream(t *testing.T) {
+	err := quick.Check(func(xs, ys, zs []uint64) bool {
+		single := NewCountMin(64, 4)
+		for _, s := range [][]uint64{xs, ys, zs} {
+			for _, k := range s {
+				single.Add(k, 1)
+			}
+		}
+		a, b, c := NewCountMin(64, 4), NewCountMin(64, 4), NewCountMin(64, 4)
+		for _, k := range xs {
+			a.Add(k, 1)
+		}
+		for _, k := range ys {
+			b.Add(k, 1)
+		}
+		for _, k := range zs {
+			c.Add(k, 1)
+		}
+		// Right-leaning merge order: a ← (b ← c) must equal the flat
+		// stream too, pinning associativity alongside the sum itself.
+		b.Merge(c)
+		a.Merge(b)
+		if a.N() != single.N() {
+			return false
+		}
+		for i, v := range single.rows {
+			if a.rows[i] != v {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCountMinMergeCommutes: cell-wise sums commute, so shard merge order
+// cannot matter.
+func TestCountMinMergeCommutes(t *testing.T) {
+	err := quick.Check(func(xs, ys []uint64) bool {
+		a1, b1 := NewCountMin(32, 2), NewCountMin(32, 2)
+		a2, b2 := NewCountMin(32, 2), NewCountMin(32, 2)
+		for _, k := range xs {
+			a1.Add(k, 1)
+			a2.Add(k, 1)
+		}
+		for _, k := range ys {
+			b1.Add(k, 1)
+			b2.Add(k, 1)
+		}
+		a1.Merge(b1) // a then b
+		b2.Merge(a2) // b then a
+		if a1.N() != b2.N() {
+			return false
+		}
+		for i, v := range a1.rows {
+			if b2.rows[i] != v {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountMinWeightedAddAndReset(t *testing.T) {
+	cm := NewCountMin(16, 2)
+	cm.Add(7, 10)
+	cm.Add(7, 5)
+	if got := cm.Estimate(7); got < 15 {
+		t.Fatalf("weighted estimate %d < 15", got)
+	}
+	if cm.N() != 15 {
+		t.Fatalf("N = %d, want 15", cm.N())
+	}
+	cm.Reset()
+	if cm.N() != 0 || cm.Estimate(7) != 0 {
+		t.Fatal("Reset did not clear the grid")
+	}
+}
+
+func TestCountMinDimensionClamping(t *testing.T) {
+	cm := NewCountMin(100, 0)
+	if cm.Width() != 128 || cm.Depth() != 1 {
+		t.Fatalf("dims %dx%d, want 128x1", cm.Width(), cm.Depth())
+	}
+	if cm.MemBytes() != 128*8 {
+		t.Fatalf("MemBytes %d", cm.MemBytes())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging incompatible dimensions did not panic")
+		}
+	}()
+	cm.Merge(NewCountMin(16, 1))
+}
+
+// FuzzCountMin feeds arbitrary key streams split at arbitrary points and
+// checks the two laws that the aggregation path depends on: estimates
+// never undercount, and a merge of the two halves is byte-equal to the
+// single-stream sketch.
+func FuzzCountMin(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(4))
+	f.Add([]byte{0, 0, 0, 0, 9, 9}, uint8(2))
+	f.Fuzz(func(t *testing.T, raw []byte, splitAt uint8) {
+		stream := make([]uint64, 0, len(raw))
+		for _, b := range raw {
+			stream = append(stream, uint64(b%32))
+		}
+		split := 0
+		if len(stream) > 0 {
+			split = int(splitAt) % (len(stream) + 1)
+		}
+		single := NewCountMin(32, 3)
+		a, b := NewCountMin(32, 3), NewCountMin(32, 3)
+		for i, k := range stream {
+			single.Add(k, 1)
+			if i < split {
+				a.Add(k, 1)
+			} else {
+				b.Add(k, 1)
+			}
+		}
+		a.Merge(b)
+		for i, v := range single.rows {
+			if a.rows[i] != v {
+				t.Fatalf("merged grid differs from single-stream at cell %d", i)
+			}
+		}
+		for k, want := range exactCounts(stream) {
+			if got := single.Estimate(k); got < want {
+				t.Fatalf("key %d undercounted: %d < %d", k, got, want)
+			}
+		}
+	})
+}

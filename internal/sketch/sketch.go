@@ -1,10 +1,15 @@
-// Package sketch provides distinct-value counting for the log pipeline.
+// Package sketch provides mergeable, memory-bounded stream summaries for
+// the aggregation pipeline: exact and HyperLogLog distinct counters behind
+// the Distinct interface, a count-min frequency sketch (CountMin), and a
+// space-saving top-k summary (SpaceSaving), all sized through one Config.
 //
-// The Cloudflare metrics include per-day unique client IPs and unique
-// (IP, User-Agent) tuples per website (Section 3.1, aggregations 2 and 3).
-// At test scale exact sets are cheapest; at the scale of cmd/toplists runs a
-// HyperLogLog keeps memory bounded per (site, day). Both implementations sit
-// behind the Distinct interface so the pipeline can switch by configuration.
+// Every summary supports Merge and Reset, and merging per-shard summaries
+// is either exactly (CountMin: cell-wise sums; HLL: register maxima) or
+// within proven bounds (SpaceSaving) equal to summarizing the concatenated
+// stream — which is what lets the traffic engine accumulate bounded state
+// per shard and combine fixed-size summaries at the day barrier instead of
+// replaying per-event buffers. With Config.Enabled off the factories fall
+// back to exact structures, the oracle the sketch path is tested against.
 package sketch
 
 import "math"
@@ -52,6 +57,9 @@ func (e *Exact) Merge(other Distinct) {
 
 // Reset implements Distinct.
 func (e *Exact) Reset() { clear(e.seen) }
+
+// MemBytes returns the logical footprint of the seen-set.
+func (e *Exact) MemBytes() int { return len(e.seen) * 16 }
 
 // HLL is a HyperLogLog counter with 2^p registers and the standard
 // small-range (linear counting) correction. p=14 gives a typical relative
@@ -140,6 +148,13 @@ func (h *HLL) Merge(other Distinct) {
 
 // Reset implements Distinct.
 func (h *HLL) Reset() { clear(h.regs) }
+
+// Precision returns the register exponent p.
+func (h *HLL) Precision() uint8 { return h.p }
+
+// MemBytes returns the register array footprint, a pure function of the
+// precision (safe for deterministic gauges).
+func (h *HLL) MemBytes() int { return len(h.regs) }
 
 // Factory builds fresh Distinct counters; the pipeline holds one per metric.
 type Factory func() Distinct

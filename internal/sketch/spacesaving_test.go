@@ -1,0 +1,354 @@
+package sketch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"toplists/internal/simrand"
+)
+
+// ssLawsHold checks the space-saving guarantees of a summary against the
+// exact counts of the stream it (directly or via merges) summarized:
+//
+//  1. every tracked count is an overestimate within its entry error,
+//     and entry errors never exceed N/k;
+//  2. every key with true weight > N/k is tracked.
+func ssLawsHold(t *testing.T, s *SpaceSaving, truth map[uint64]uint64) {
+	t.Helper()
+	var n uint64
+	for _, c := range truth {
+		n += c
+	}
+	if s.N() != n {
+		t.Fatalf("N = %d, want %d", s.N(), n)
+	}
+	bound := s.ErrorBound()
+	for _, e := range s.Entries(nil) {
+		true_ := truth[e.Key]
+		if e.Count < true_ {
+			t.Fatalf("key %d: count %d < true %d (space-saving must overestimate)", e.Key, e.Count, true_)
+		}
+		if e.Count-true_ > e.Err {
+			t.Fatalf("key %d: overestimate %d exceeds entry error %d", e.Key, e.Count-true_, e.Err)
+		}
+		if e.Err > bound {
+			t.Fatalf("key %d: entry error %d exceeds N/k bound %d", e.Key, e.Err, bound)
+		}
+	}
+	for k, c := range truth {
+		if c > bound {
+			if _, _, ok := s.Count(k); !ok {
+				t.Fatalf("heavy key %d (weight %d > N/k %d) was not retained", k, c, bound)
+			}
+		}
+	}
+}
+
+// TestSpaceSavingLawsZipf runs the laws on a zipf-skewed stream, the shape
+// of the traffic the engine actually produces.
+func TestSpaceSavingLawsZipf(t *testing.T) {
+	for _, k := range []int{8, 64, 512} {
+		s := NewSpaceSaving(k)
+		src := simrand.New(uint64(k))
+		truth := make(map[uint64]uint64)
+		for i := 0; i < 50000; i++ {
+			// Approximate zipf via nested Intn: heavy head, long tail.
+			key := uint64(src.Intn(1 + src.Intn(1+src.Intn(4000))))
+			s.Add(key, 1)
+			truth[key]++
+		}
+		ssLawsHold(t, s, truth)
+	}
+}
+
+// TestSpaceSavingExactWhenUnderCapacity: with fewer distinct keys than k,
+// nothing is ever evicted and counts are exact with zero error.
+func TestSpaceSavingExactWhenUnderCapacity(t *testing.T) {
+	s := NewSpaceSaving(128)
+	truth := make(map[uint64]uint64)
+	src := simrand.New(3)
+	for i := 0; i < 10000; i++ {
+		key := uint64(src.Intn(100))
+		s.Add(key, 1)
+		truth[key]++
+	}
+	if s.Len() != len(truth) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(truth))
+	}
+	for k, want := range truth {
+		c, err, ok := s.Count(k)
+		if !ok || c != want || err != 0 {
+			t.Fatalf("key %d: (%d, %d, %v), want (%d, 0, true)", k, c, err, ok, want)
+		}
+	}
+}
+
+// TestSpaceSavingMergeLaws: merging per-shard summaries must satisfy the
+// same two laws for the concatenated stream (the mergeable-summaries
+// property the day barrier depends on).
+func TestSpaceSavingMergeLaws(t *testing.T) {
+	err := quick.Check(func(xs, ys, zs []uint16) bool {
+		const k = 12
+		truth := make(map[uint64]uint64)
+		parts := make([]*SpaceSaving, 3)
+		for i, stream := range [][]uint16{xs, ys, zs} {
+			parts[i] = NewSpaceSaving(k)
+			for _, x := range stream {
+				key := uint64(x % 64)
+				parts[i].Add(key, 1)
+				truth[key]++
+			}
+		}
+		merged := parts[0]
+		merged.Merge(parts[1], nil)
+		merged.Merge(parts[2], nil)
+
+		var n uint64
+		for _, c := range truth {
+			n += c
+		}
+		if merged.N() != n {
+			return false
+		}
+		bound := merged.ErrorBound()
+		for _, e := range merged.Entries(nil) {
+			if e.Count < truth[e.Key] || e.Count-truth[e.Key] > e.Err || e.Err > bound {
+				return false
+			}
+		}
+		for key, c := range truth {
+			if c > bound {
+				if _, _, ok := merged.Count(key); !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpaceSavingMergeCommutes: A←B and B←A hold identical contents. The
+// barrier always merges in ascending shard order, but commutativity means
+// that canonical order is a convention, not a correctness requirement.
+func TestSpaceSavingMergeCommutes(t *testing.T) {
+	err := quick.Check(func(xs, ys []uint16) bool {
+		const k = 8
+		build := func(stream []uint16) *SpaceSaving {
+			s := NewSpaceSaving(k)
+			for _, x := range stream {
+				s.Add(uint64(x%32), 1)
+			}
+			return s
+		}
+		ab, ba := build(xs), build(ys)
+		ab.Merge(build(ys), nil)
+		ba.Merge(build(xs), nil)
+		ea, eb := ab.Entries(nil), ba.Entries(nil)
+		if len(ea) != len(eb) || ab.N() != ba.N() {
+			return false
+		}
+		for i := range ea {
+			if ea[i] != eb[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpaceSavingMergeExactUnderCapacity: merging summaries that never
+// evicted is the exact union — the property that makes the small-N sketch
+// path agree with the exact oracle.
+func TestSpaceSavingMergeExactUnderCapacity(t *testing.T) {
+	a, b := NewSpaceSaving(64), NewSpaceSaving(64)
+	for i := 0; i < 30; i++ {
+		a.Add(uint64(i), uint64(i+1))
+	}
+	for i := 20; i < 50; i++ {
+		b.Add(uint64(i), 2)
+	}
+	a.Merge(b, nil)
+	for i := 0; i < 50; i++ {
+		var want uint64
+		if i < 30 {
+			want += uint64(i + 1)
+		}
+		if i >= 20 {
+			want += 2
+		}
+		c, err, ok := a.Count(uint64(i))
+		if !ok || c != want || err != 0 {
+			t.Fatalf("key %d: (%d, %d, %v), want (%d, 0, true)", i, c, err, ok, want)
+		}
+	}
+}
+
+// TestSpaceSavingEvictionDeterministic: equal streams produce equal
+// summaries — including which keys survive eviction ties — so shard
+// summaries are a pure function of shard contents.
+func TestSpaceSavingEvictionDeterministic(t *testing.T) {
+	build := func() []Entry {
+		s := NewSpaceSaving(4)
+		src := simrand.New(99)
+		for i := 0; i < 5000; i++ {
+			s.Add(uint64(src.Intn(40)), 1)
+		}
+		return s.Entries(nil)
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatal("summary sizes differ between identical runs")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("entry %d differs between identical runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSpaceSavingEvictionCallback: Add reports the evicted key exactly when
+// a full summary replaces its minimum, and the newcomer reuses the victim's
+// slot — the hooks payload owners (per-key HLLs) rely on.
+func TestSpaceSavingEvictionCallback(t *testing.T) {
+	s := NewSpaceSaving(2)
+	if _, _, evicted := s.Add(1, 5); evicted {
+		t.Fatal("insert into non-full summary reported an eviction")
+	}
+	victimSlot, _, _ := s.Add(2, 3)
+	if _, _, evicted := s.Add(1, 1); evicted {
+		t.Fatal("update of a tracked key reported an eviction")
+	}
+	slot, key, evicted := s.Add(3, 1)
+	if !evicted || key != 2 {
+		t.Fatalf("Add(3) evicted (%d, %v), want (2, true)", key, evicted)
+	}
+	if slot != victimSlot {
+		t.Fatalf("newcomer slot %d, want the victim's slot %d", slot, victimSlot)
+	}
+	if s.Slot(3) != slot || s.Slot(2) != -1 {
+		t.Fatalf("Slot lookup after eviction: Slot(3)=%d Slot(2)=%d", s.Slot(3), s.Slot(2))
+	}
+	// The newcomer inherits the evicted minimum as its error bound.
+	c, err, ok := s.Count(3)
+	if !ok || c != 4 || err != 3 {
+		t.Fatalf("newcomer tracked as (%d, %d, %v), want (4, 3, true)", c, err, ok)
+	}
+}
+
+// TestSpaceSavingMergeDropCallback: re-truncation during merge reports
+// every dropped key.
+func TestSpaceSavingMergeDropCallback(t *testing.T) {
+	a, b := NewSpaceSaving(2), NewSpaceSaving(2)
+	a.Add(1, 10)
+	a.Add(2, 1)
+	b.Add(3, 10)
+	b.Add(4, 1)
+	dropped := map[uint64]bool{}
+	a.Merge(b, func(key uint64) { dropped[key] = true })
+	if len(dropped) != 2 || !dropped[2] || !dropped[4] {
+		t.Fatalf("dropped %v, want {2, 4}", dropped)
+	}
+	if _, _, ok := a.Count(1); !ok {
+		t.Fatal("heavy key 1 lost in merge")
+	}
+	if _, _, ok := a.Count(3); !ok {
+		t.Fatal("heavy key 3 lost in merge")
+	}
+}
+
+// FuzzSpaceSaving: arbitrary streams keep the two space-saving laws.
+func FuzzSpaceSaving(f *testing.F) {
+	f.Add([]byte{1, 1, 2, 3, 1, 4, 5, 1}, uint8(3))
+	f.Add([]byte{0}, uint8(1))
+	f.Fuzz(func(t *testing.T, raw []byte, kRaw uint8) {
+		k := int(kRaw)%16 + 1
+		s := NewSpaceSaving(k)
+		truth := make(map[uint64]uint64)
+		for _, b := range raw {
+			key := uint64(b % 48)
+			s.Add(key, 1)
+			truth[key]++
+		}
+		ssLawsHold(t, s, truth)
+	})
+}
+
+// FuzzSketchMerge: random interleavings split across a random number of
+// shards, merged in shard order, agree with sequential insertion — exactly
+// for count-min and HLL, within the N/k bound for space-saving. This is
+// the law the day barrier's canonical merge relies on.
+func FuzzSketchMerge(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, uint8(3))
+	f.Add([]byte{200, 200, 1}, uint8(7))
+	f.Fuzz(func(t *testing.T, raw []byte, nShardsRaw uint8) {
+		nShards := int(nShardsRaw)%6 + 1
+		const k = 8
+		single := NewSpaceSaving(k)
+		singleCM := NewCountMin(32, 3)
+		singleHLL := NewHLL(6)
+		shards := make([]*SpaceSaving, nShards)
+		shardCMs := make([]*CountMin, nShards)
+		shardHLLs := make([]*HLL, nShards)
+		for i := range shards {
+			shards[i] = NewSpaceSaving(k)
+			shardCMs[i] = NewCountMin(32, 3)
+			shardHLLs[i] = NewHLL(6)
+		}
+		truth := make(map[uint64]uint64)
+		for i, b := range raw {
+			key := uint64(b % 40)
+			single.Add(key, 1)
+			singleCM.Add(key, 1)
+			singleHLL.Add(key)
+			sh := i % nShards
+			shards[sh].Add(key, 1)
+			shardCMs[sh].Add(key, 1)
+			shardHLLs[sh].Add(key)
+			truth[key]++
+		}
+		merged := shards[0]
+		mergedCM := shardCMs[0]
+		mergedHLL := shardHLLs[0]
+		for i := 1; i < nShards; i++ {
+			merged.Merge(shards[i], nil)
+			mergedCM.Merge(shardCMs[i])
+			mergedHLL.Merge(shardHLLs[i])
+		}
+
+		// Space-saving: merged summary satisfies the laws for the full
+		// stream, and merged counts differ from sequential counts by at
+		// most the combined error bounds.
+		ssLawsHold(t, merged, truth)
+		seqBound, mergedBound := single.ErrorBound(), merged.ErrorBound()
+		for _, e := range merged.Entries(nil) {
+			if sc, _, ok := single.Count(e.Key); ok {
+				diff := sc - e.Count
+				if e.Count > sc {
+					diff = e.Count - sc
+				}
+				if diff > seqBound+mergedBound {
+					t.Fatalf("key %d: merged %d vs sequential %d differ beyond %d",
+						e.Key, e.Count, sc, seqBound+mergedBound)
+				}
+			}
+		}
+
+		// Count-min and HLL merges are exact: identical grids/registers.
+		for i, v := range singleCM.rows {
+			if mergedCM.rows[i] != v {
+				t.Fatalf("count-min cell %d: merged %d != sequential %d", i, mergedCM.rows[i], v)
+			}
+		}
+		for i, r := range singleHLL.regs {
+			if mergedHLL.regs[i] != r {
+				t.Fatalf("HLL register %d: merged %d != sequential %d", i, mergedHLL.regs[i], r)
+			}
+		}
+	})
+}

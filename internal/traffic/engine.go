@@ -7,6 +7,7 @@ import (
 
 	"toplists/internal/obs"
 	"toplists/internal/simrand"
+	"toplists/internal/sketch"
 	"toplists/internal/world"
 )
 
@@ -62,6 +63,13 @@ type Config struct {
 	// setting produces the identical event stream: workers emit into
 	// per-shard buffers that are replayed into sinks in client order.
 	Workers int
+	// Sketch enables bounded per-shard aggregation: the day's clients are
+	// split into Sketch.Shards fixed logical shards (independent of
+	// Workers), sinks implementing ShardedSink accumulate one summary per
+	// logical shard, and the day barrier merges the summaries in ascending
+	// shard order instead of replaying per-event buffers. Off (the zero
+	// value) leaves the engine byte-identical to the exact path.
+	Sketch sketch.Config
 	// Ablate disables selected engine mechanisms for ablation studies.
 	Ablate Ablations
 	// Sybils adds attacker-controlled clients to the population.
@@ -145,6 +153,9 @@ func (c Config) withDefaults() Config {
 	if c.Ablate.NoRevisits {
 		c.RevisitProb = -1
 	}
+	if c.Sketch.Enabled {
+		c.Sketch = c.Sketch.WithDefaults()
+	}
 	return c
 }
 
@@ -193,6 +204,13 @@ type Engine struct {
 	// the serial and parallel paths respectively.
 	serialScratch *clientScratch
 	workers       []*workerState
+
+	// Sketch-mode state: the fixed logical shards and the one-time split of
+	// sinks into sharded and plain (see sharded.go).
+	logical      []*logicalShard
+	shardedSinks []ShardedSink
+	plainSinks   []Sink
+	sinksSplit   bool
 
 	// testHook, when set, runs before each client-day simulation; tests
 	// use it to inject panics and cancellation races into shards.
@@ -491,7 +509,9 @@ func (e *Engine) runDay(ctx context.Context, d int) error {
 	var err error
 	nw := e.workerCount()
 	e.metrics.workers.Set(int64(nw))
-	if nw > 1 {
+	if e.Cfg.Sketch.Enabled {
+		err = e.runDayClientsSharded(ctx, d, weekend, daySrc, nw)
+	} else if nw > 1 {
 		err = e.runDayClientsParallel(ctx, d, weekend, daySrc, nw)
 	} else {
 		if e.serialScratch == nil {

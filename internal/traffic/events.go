@@ -125,6 +125,39 @@ type Sink interface {
 	EndDay(day int)
 }
 
+// ShardState is the bounded per-shard accumulation state of a ShardedSink:
+// a fixed-size summary (sketches, small maps) that one logical traffic
+// shard's events fold into. The engine owns the lifecycle — states are
+// created once per (sink, logical shard), updated from exactly one worker
+// goroutine at a time, merged at the day barrier, and Reset for reuse the
+// next day. Implementations must not touch shared sink state from
+// OnPageLoad/OnDNSQuery.
+type ShardState interface {
+	OnPageLoad(pl *PageLoad)
+	OnDNSQuery(q *DNSQuery)
+	// Reset returns the state to empty for the next day, keeping capacity.
+	Reset()
+}
+
+// ShardedSink is a Sink that can aggregate through bounded per-shard
+// summaries instead of a replayed event stream. In sketch mode (see
+// Config.Sketch) the engine feeds each logical shard's page loads and DNS
+// queries into a ShardState and, at the day barrier, hands the states back
+// via MergeShard in ascending logical-shard order — a canonical merge
+// order, so sink contents are byte-identical at every worker count. Bot
+// batches and Begin/EndDay still arrive through the plain Sink interface,
+// on the engine goroutine.
+type ShardedSink interface {
+	Sink
+	// NewShardState returns a fresh, empty per-shard accumulator.
+	NewShardState() ShardState
+	// MergeShard folds a shard's summary into the sink's day state. Called
+	// serially, in ascending logical-shard order, between the day's barrier
+	// and EndDay. The state remains owned by the engine (it is Reset and
+	// reused); implementations must copy or merge, not retain.
+	MergeShard(st ShardState)
+}
+
 // BaseSink is a no-op Sink for embedding; observers override only the
 // events their vantage point can see.
 type BaseSink struct{}

@@ -87,12 +87,15 @@ func (b *dayBuffer) replay(sinks []Sink) {
 // shardOut is where simulateClientDay emits events and per-site human
 // request counts. The serial path forwards events straight to the sinks and
 // accumulates into the engine's humanReqs; a worker appends to its private
-// buffer and counts instead.
+// buffer and counts instead. In sketch mode, states carries the logical
+// shard's bounded accumulators: every event folds into them immediately,
+// and only plain (non-sharded) sinks still go through sinks/buf.
 type shardOut struct {
 	buffered  bool
 	sinks     []Sink
 	buf       *dayBuffer
 	humanReqs []int32
+	states    []ShardState
 
 	// nLoads and nQueries count this shard's events locally (plain fields,
 	// no atomics), flushed to the shared counters once per shard: the per-
@@ -111,6 +114,9 @@ func (o *shardOut) flushCounts(m *engineMetrics) {
 
 func (o *shardOut) pageLoad(pl *PageLoad) {
 	o.nLoads++
+	for _, st := range o.states {
+		st.OnPageLoad(pl)
+	}
 	if o.buffered {
 		o.buf.kinds = append(o.buf.kinds, evPageLoad)
 		o.buf.loads = append(o.buf.loads, *pl)
@@ -123,6 +129,9 @@ func (o *shardOut) pageLoad(pl *PageLoad) {
 
 func (o *shardOut) dnsQuery(q *DNSQuery) {
 	o.nQueries++
+	for _, st := range o.states {
+		st.OnDNSQuery(q)
+	}
 	if o.buffered {
 		o.buf.kinds = append(o.buf.kinds, evDNSQuery)
 		o.buf.queries = append(o.buf.queries, *q)

@@ -1,0 +1,138 @@
+package traffic
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"toplists/internal/simrand"
+)
+
+// Sketch-mode execution model. The day's clients are split into
+// Cfg.Sketch.Shards fixed LOGICAL shards — a pure function of the
+// population size, independent of the worker count. Workers pull logical
+// shards from a shared counter; each shard's events fold into bounded
+// per-shard accumulators (one ShardState per ShardedSink) instead of an
+// event buffer. After the barrier the engine merges the states into the
+// sinks in ascending logical-shard order — a canonical order, so sink
+// contents are byte-identical whether one worker processed all shards or
+// eight workers raced through them. Sinks that do not implement ShardedSink
+// still get the exact replayed event stream via a per-shard buffer.
+
+// logicalShard is the reusable per-day state of one logical shard.
+type logicalShard struct {
+	scratch   *clientScratch
+	states    []ShardState // parallel to Engine.shardedSinks
+	buf       dayBuffer    // events for plain (non-sharded) sinks
+	humanReqs []int32
+}
+
+// splitSinks partitions the registered sinks once: sharded sinks aggregate
+// through ShardStates, the rest through buffered replay.
+func (e *Engine) splitSinks() {
+	if e.sinksSplit {
+		return
+	}
+	e.sinksSplit = true
+	for _, s := range e.sinks {
+		if ss, ok := s.(ShardedSink); ok {
+			e.shardedSinks = append(e.shardedSinks, ss)
+		} else {
+			e.plainSinks = append(e.plainSinks, s)
+		}
+	}
+}
+
+// ensureLogical lazily builds (and retains across days) n logical shards.
+func (e *Engine) ensureLogical(n int) {
+	for len(e.logical) < n {
+		ls := &logicalShard{
+			scratch:   newClientScratch(),
+			humanReqs: make([]int32, e.W.NumSites()),
+		}
+		for _, ss := range e.shardedSinks {
+			ls.states = append(ls.states, ss.NewShardState())
+		}
+		e.logical = append(e.logical, ls)
+	}
+}
+
+// runDayClientsSharded simulates the day's clients over the fixed logical
+// shards and merges the resulting summaries at the barrier. nw bounds the
+// number of concurrent workers; every value of nw produces byte-identical
+// sink contents.
+func (e *Engine) runDayClientsSharded(ctx context.Context, d int, weekend bool, daySrc *simrand.Source, nw int) error {
+	e.splitSinks()
+	shards := shardRanges(len(e.Clients), e.Cfg.Sketch.Shards)
+	e.ensureLogical(len(shards))
+	if nw > len(shards) {
+		nw = len(shards)
+	}
+
+	errs := make([]error, len(shards))
+	shardNS := make([]int64, len(shards))
+	buffered := len(e.plainSinks) > 0
+	runShard := func(si int) {
+		ls := e.logical[si]
+		ls.buf.reset()
+		for i := range ls.humanReqs {
+			ls.humanReqs[i] = 0
+		}
+		start := time.Now()
+		out := shardOut{
+			buffered:  buffered,
+			buf:       &ls.buf,
+			humanReqs: ls.humanReqs,
+			states:    ls.states,
+		}
+		errs[si] = e.simulateShard(ctx, si, d, weekend, daySrc, ls.scratch, &out, shards[si].Lo, shards[si].Hi)
+		out.flushCounts(&e.metrics)
+		shardNS[si] = int64(time.Since(start))
+	}
+	if nw <= 1 {
+		for si := range shards {
+			runShard(si)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					si := int(next.Add(1)) - 1
+					if si >= len(shards) {
+						return
+					}
+					runShard(si)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	e.observeShardSkew(shardNS)
+
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	// The barrier merge: ascending logical-shard order, fixed-size
+	// summaries into sharded sinks, buffered replay for the rest.
+	for si := range shards {
+		ls := e.logical[si]
+		for i, v := range ls.humanReqs {
+			e.humanReqs[i] += v
+		}
+		for j, ss := range e.shardedSinks {
+			ss.MergeShard(ls.states[j])
+			ls.states[j].Reset()
+		}
+		if buffered {
+			ls.buf.replay(e.plainSinks)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,200 @@
+package toplists
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"toplists/internal/cfmetrics"
+	"toplists/internal/providers"
+	"toplists/internal/stats"
+)
+
+// sketchcheck is the sketch-vs-exact oracle behind `make sketchcheck`: the
+// sketch aggregation layer must (1) track the exact oracle tightly at a
+// scale where its error bounds are known to be slack — Kendall tau >= 0.98
+// over the top 1000 and Jaccard >= 0.99 at depths 100 and 1000, across
+// three seeds — and (2) stay byte-identical across worker counts, because
+// sketch state lives on fixed logical shards merged in canonical order, not
+// on workers.
+
+const (
+	sketchTauMin     = 0.98
+	sketchJaccardMin = 0.99
+)
+
+// sketchOracleCfg is the small-N configuration both studies run at: small
+// enough that six full studies stay cheap, large enough that every sketch
+// actually accumulates (hundreds of candidates, shared office IPs, bots).
+var sketchOracleCfg = Config{Sites: 900, Clients: 250, Days: 3}
+
+// rankPositions maps every element of ids to its 1-based rank.
+func rankPositions[K comparable](ids []K) map[K]int {
+	m := make(map[K]int, len(ids))
+	for i, id := range ids {
+		m[id] = i + 1
+	}
+	return m
+}
+
+// kendallTop computes Kendall's tau between two rankings over the elements
+// of a's top k that b ranks anywhere at all.
+func kendallTop[K comparable](t *testing.T, a, b []K, k int) float64 {
+	t.Helper()
+	rb := rankPositions(b)
+	if k > len(a) {
+		k = len(a)
+	}
+	var xs, ys []float64
+	for i := 0; i < k; i++ {
+		if pos, ok := rb[a[i]]; ok {
+			xs = append(xs, float64(i+1))
+			ys = append(ys, float64(pos))
+		}
+	}
+	if len(xs) < 2 {
+		t.Fatalf("kendallTop: only %d common elements", len(xs))
+	}
+	tau, err := stats.KendallTau(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tau
+}
+
+// checkAgreement asserts the rank-agreement thresholds between an exact and
+// a sketch ranking given as ordered element slices.
+func checkAgreement[K comparable](t *testing.T, label string, exact, sk []K) {
+	t.Helper()
+	for _, k := range []int{100, 1000} {
+		ka, kb := k, k
+		if ka > len(exact) {
+			ka = len(exact)
+		}
+		if kb > len(sk) {
+			kb = len(sk)
+		}
+		if j := stats.JaccardSlices(exact[:ka], sk[:kb]); j < sketchJaccardMin {
+			t.Errorf("%s: Jaccard@%d = %.4f < %.2f", label, k, j, sketchJaccardMin)
+		}
+	}
+	if tau := kendallTop(t, exact, sk, 1000); tau < sketchTauMin {
+		t.Errorf("%s: Kendall tau = %.4f < %.2f", label, tau, sketchTauMin)
+	}
+}
+
+// listNames returns a provider's published day list as ordered names.
+// Interned IDs are not comparable across two separate studies, so the
+// oracle compares by name.
+func listNames(l providers.List, day int) []string {
+	r := l.Raw(day)
+	out := make([]string, 0, r.Len())
+	for i := 1; i <= r.Len(); i++ {
+		out = append(out, r.At(i))
+	}
+	return out
+}
+
+// TestSketchOracle runs each seed's study twice — exact and sketch — and
+// holds every traffic-fed ranking to the agreement thresholds: the three
+// per-event providers, the Tranco amalgam built from them, and the seven
+// canonical Cloudflare metrics.
+func TestSketchOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds six full studies")
+	}
+	for _, seed := range []uint64{3, 17, 2022} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			run := func(sketchMode bool) *Study {
+				cfg := sketchOracleCfg
+				cfg.Seed = seed
+				cfg.Sketch = sketchMode
+				s, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(s.Close)
+				return s
+			}
+			exact, sk := run(false), run(true)
+			day := sketchOracleCfg.Days - 1
+
+			pairs := [][2]providers.List{
+				{exact.inner.Alexa, sk.inner.Alexa},
+				{exact.inner.Umbrella, sk.inner.Umbrella},
+				{exact.inner.Secrank, sk.inner.Secrank},
+				{exact.inner.Tranco, sk.inner.Tranco},
+			}
+			for _, pr := range pairs {
+				checkAgreement(t, pr[0].Name(),
+					listNames(pr[0], day), listNames(pr[1], day))
+			}
+
+			// Cloudflare metrics rank world-site IDs, which are stable
+			// across studies sharing a world seed — compare them directly.
+			for _, m := range cfmetrics.AllMetrics() {
+				checkAgreement(t, m.String(),
+					exact.inner.Pipeline.DayList(day, m.Combo()),
+					sk.inner.Pipeline.DayList(day, m.Combo()))
+			}
+		})
+	}
+}
+
+// TestSketchDeterminism mirrors the obscheck oracle in sketch mode: the
+// full rendered evaluation and the deterministic report subset (which now
+// carries the sketch memory and error-bound gauges) must be byte-identical
+// across worker counts 4, 1, and auto.
+func TestSketchDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds three full studies")
+	}
+	cfg := sketchOracleCfg
+	cfg.Seed = 11
+	cfg.Sketch = true
+	type runOut struct {
+		render string
+		det    string
+	}
+	run := func(workers int) runOut {
+		c := cfg
+		c.Workers = workers
+		s, err := Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		var b strings.Builder
+		if err := s.RenderAll(&b); err != nil {
+			t.Fatal(err)
+		}
+		det, err := s.Metrics().Snapshot().Deterministic()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return runOut{render: b.String(), det: string(det)}
+	}
+
+	base := run(4)
+	for _, key := range []string{
+		"sketch.cf.mem_peak_bytes", "sketch.cf.cm_errbound",
+		"sketch.umbrella.mem_peak_bytes", "sketch.secrank.mem_peak_bytes",
+		"sketch.chrome.mem_peak_bytes",
+	} {
+		if !strings.Contains(base.det, key) {
+			t.Errorf("deterministic report subset is missing %q", key)
+		}
+	}
+	for _, workers := range []int{1, 0} {
+		got := run(workers)
+		if got.render != base.render {
+			t.Errorf("sketch render differs between workers=4 and workers=%d (lens %d vs %d)",
+				workers, len(base.render), len(got.render))
+		}
+		if got.det != base.det {
+			t.Errorf("sketch deterministic report differs between workers=4 and workers=%d:\n%s",
+				workers, firstDiffLine(base.det, got.det))
+		}
+	}
+}

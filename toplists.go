@@ -29,6 +29,7 @@ import (
 	"toplists/internal/core"
 	"toplists/internal/experiments"
 	"toplists/internal/obs"
+	"toplists/internal/sketch"
 )
 
 // Config parameterizes a study run. Zero fields take defaults sized for a
@@ -61,6 +62,14 @@ type Config struct {
 	// network at the given rate (0..1); 0 leaves the network pristine.
 	// The fault plan is derived from Seed, so runs stay reproducible.
 	FaultRate float64
+	// Sketch switches the aggregation layer to bounded mergeable summaries
+	// (count-min, space-saving, HyperLogLog): each traffic shard keeps
+	// fixed-size state merged at the day barrier, so peak memory stops
+	// scaling with the event volume. Rankings are then approximations with
+	// proven error bounds rather than exact; leave it false (the default)
+	// for the exact oracle. Output remains deterministic and identical at
+	// every Workers setting in both modes.
+	Sketch bool
 	// Obs, when set, is the telemetry registry the study records into;
 	// nil gives the study a private one, reachable via Study.Metrics.
 	// Telemetry never changes study output: count-valued metrics are a
@@ -128,6 +137,7 @@ func RunContext(ctx context.Context, cfg Config) (*Study, error) {
 		CruxMinVisitors: cfg.CruxMinVisitors,
 		Workers:         cfg.Workers,
 		FaultRate:       cfg.FaultRate,
+		Sketch:          sketch.Config{Enabled: cfg.Sketch},
 		Obs:             cfg.Obs,
 	})
 	if err := s.RunContext(ctx); err != nil {
