@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz bench check faultcheck obscheck sketchcheck
+.PHONY: build test vet race fuzz bench check faultcheck obscheck sketchcheck snapcheck
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,7 @@ vet:
 # race pass covers every package that touches a parallel path, with
 # -shuffle=on so test-order coupling can't hide behind a fixed schedule.
 race:
-	$(GO) test -race -shuffle=on ./internal/names ./internal/rank ./internal/sketch ./internal/cfmetrics ./internal/traffic ./internal/core ./internal/experiments ./internal/httpsim ./internal/obs
+	$(GO) test -race -shuffle=on ./internal/names ./internal/rank ./internal/sketch ./internal/cfmetrics ./internal/traffic ./internal/core ./internal/experiments ./internal/httpsim ./internal/obs ./internal/snapshot ./cmd/toplistsd
 
 # faultcheck is the fault-injection determinism oracle: a fixed seed at a
 # nonzero fault rate must render the full evaluation byte-identically
@@ -37,6 +37,16 @@ obscheck:
 # seeds) and stay byte-identical across worker counts.
 sketchcheck:
 	$(GO) test -run='TestSketchOracle|TestSketchDeterminism' -count=1 .
+
+# snapcheck is the checkpoint/restore oracle: a study checkpointed at day
+# k in {1,7,27} and resumed at a different worker count must advance to
+# day 28 and publish every list and the resume-stable report subset
+# byte-identically to a straight 28-day run — exact and sketch mode, with
+# deterministic fault injection on. The HTTP service-mode smoke (start,
+# advance, checkpoint, restore, compare) rides in the toplistsd tests.
+snapcheck:
+	$(GO) test -run=TestSnapCheck -count=1 .
+	$(GO) test -count=1 ./cmd/toplistsd ./internal/snapshot
 
 # Short fuzz smoke of the rank-bucketing, interner, fault-plan, and sketch
 # targets (seeds + 10s each).
@@ -66,4 +76,4 @@ benchsmoke:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...
 
 # check is the CI gate: everything must pass before merging.
-check: build vet test race faultcheck obscheck sketchcheck
+check: build vet test race faultcheck obscheck sketchcheck snapcheck

@@ -1,0 +1,182 @@
+// Command toplistsd runs the study as a resident service: the simulated
+// month advances one day at a time — on demand or on a virtual-clock
+// ticker — while HTTP readers consult the day's published lists, and the
+// whole study can checkpoint to disk and resume byte-identically in a
+// later process.
+//
+// Usage:
+//
+//	toplistsd [flags]
+//
+//	-addr       HTTP listen address for the v1 API (default localhost:8650)
+//	-seed       study seed (default 2022)
+//	-sites      universe size (default 50000)
+//	-clients    browsing population (default 6000)
+//	-days       measurement window in days (default 28)
+//	-workers    per-day simulation worker goroutines (0 = one per CPU)
+//	-allcombos  track all 21 Cloudflare filter-aggregation combinations
+//	-sketch     aggregate through bounded mergeable sketches
+//	-faultrate  inject deterministic network faults at this rate (0..1)
+//	-tick       advance one simulated day per interval (0 = only on
+//	            POST /v1/advance)
+//	-checkpoint snapshot file written by POST /v1/checkpoint and on
+//	            SIGTERM/SIGINT
+//	-restore    resume from this snapshot instead of starting at day 0
+//	-debugaddr  serve /metrics and /debug/pprof/ on this address
+//	-quiet      suppress diagnostics (errors still print)
+//	-v          verbose diagnostics
+//
+// API:
+//
+//	GET  /v1/status              day cursor, completion, abort state
+//	POST /v1/advance?days=N      simulate N more days (409 when done)
+//	GET  /v1/rankings/{list}     top k of a list for an advanced day
+//	GET  /v1/diff                top-k churn of a list between two days
+//	GET  /v1/report[?stable=1]   telemetry report (stable = the subset
+//	                             pinned across checkpoint/restore)
+//	POST /v1/checkpoint          snapshot to the -checkpoint path
+//
+// Readers never see a torn day: advancement write-holds the study's
+// lifecycle lock, so every request observes a complete day boundary.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"toplists/internal/core"
+	"toplists/internal/obs"
+	"toplists/internal/sketch"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "localhost:8650", "HTTP listen address for the v1 API")
+		seed       = flag.Uint64("seed", 2022, "study seed")
+		sites      = flag.Int("sites", 50000, "number of websites in the universe")
+		clients    = flag.Int("clients", 6000, "number of simulated clients")
+		days       = flag.Int("days", 28, "measurement window in days")
+		workers    = flag.Int("workers", 0, "simulation worker goroutines (0 = one per CPU, 1 = serial)")
+		allCombos  = flag.Bool("allcombos", false, "track all 21 Cloudflare filter-aggregation combinations")
+		sketchMode = flag.Bool("sketch", false, "aggregate through bounded mergeable sketches instead of exact state")
+		faultRate  = flag.Float64("faultrate", 0, "inject deterministic network faults at this rate (0..1)")
+		tick       = flag.Duration("tick", 0, "advance one simulated day per interval (0 = manual advance only)")
+		ckptPath   = flag.String("checkpoint", "", "snapshot file for POST /v1/checkpoint and shutdown")
+		restore    = flag.String("restore", "", "resume from this snapshot file")
+		debugAddr  = flag.String("debugaddr", "", "serve /metrics and /debug/pprof/ on this address")
+		quiet      = flag.Bool("quiet", false, "suppress diagnostics (errors still print)")
+		verbose    = flag.Bool("v", false, "verbose diagnostics")
+	)
+	flag.Parse()
+
+	level := obs.LevelInfo
+	if *verbose {
+		level = obs.LevelDebug
+	}
+	if *quiet {
+		level = obs.LevelError
+	}
+	log := obs.NewLogger(os.Stderr, level)
+
+	reg := obs.NewRegistry()
+	if *debugAddr != "" {
+		srv, err := obs.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			log.Errorf("toplistsd: %v", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		log.Infof("debug server on http://%s (/metrics, /debug/pprof/)", srv.Addr())
+	}
+
+	var study *core.Study
+	if *restore != "" {
+		f, err := os.Open(*restore)
+		if err != nil {
+			log.Errorf("toplistsd: %v", err)
+			os.Exit(1)
+		}
+		study, err = core.Resume(f, core.ResumeOptions{Workers: *workers, Obs: reg})
+		f.Close()
+		if err != nil {
+			log.Errorf("toplistsd: restore %s: %v", *restore, err)
+			os.Exit(1)
+		}
+		log.Infof("restored %s at day %d/%d", *restore, study.Day(), study.Cfg.Days)
+	} else {
+		start := time.Now()
+		study = core.NewStudy(core.Config{
+			Seed:           *seed,
+			NumSites:       *sites,
+			NumClients:     *clients,
+			Days:           *days,
+			TrackAllCombos: *allCombos,
+			Workers:        *workers,
+			FaultRate:      *faultRate,
+			Sketch:         sketch.Config{Enabled: *sketchMode},
+			Obs:            reg,
+		})
+		log.Infof("%s (built in %v)", study.Describe(), time.Since(start).Round(time.Millisecond))
+	}
+	defer study.Close()
+
+	srv := newServer(study, *ckptPath, log)
+
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Errorf("toplistsd: %v", err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{Handler: srv.routes()}
+	go func() {
+		if err := httpSrv.Serve(lis); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Errorf("toplistsd: serve: %v", err)
+		}
+	}()
+	log.Infof("v1 API on http://%s (day %d/%d)", lis.Addr(), study.Day(), study.Cfg.Days)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *tick > 0 {
+		ticks := make(chan struct{})
+		go func() {
+			t := time.NewTicker(*tick)
+			defer t.Stop()
+			defer close(ticks)
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					ticks <- struct{}{}
+				}
+			}
+		}()
+		go srv.advanceLoop(ctx, ticks)
+	}
+
+	<-ctx.Done()
+	stop()
+	log.Infof("shutting down")
+
+	// Snapshot on the way out so the next process resumes where this one
+	// stopped. An aborted study refuses (its sinks are torn) — that is
+	// reported, not fatal, and never overwrites the previous checkpoint.
+	if *ckptPath != "" {
+		if _, err := srv.writeCheckpoint(); err != nil {
+			log.Errorf("toplistsd: shutdown checkpoint: %v", err)
+		}
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	httpSrv.Shutdown(shutdownCtx) //nolint:errcheck // exiting anyway
+}

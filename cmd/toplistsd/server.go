@@ -1,0 +1,365 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+
+	"toplists/internal/core"
+	"toplists/internal/obs"
+	"toplists/internal/rank"
+	"toplists/internal/traffic"
+)
+
+// server wraps one resident study with the HTTP+JSON control surface.
+// All day-lifecycle synchronization lives in core.Study (its lifecycle
+// lock); the server only adds checkpoint-file serialization, so any
+// number of readers can be in flight while a day advances or a
+// checkpoint streams out.
+type server struct {
+	study *core.Study
+	log   *obs.Logger
+
+	// ckptMu serializes checkpoint writes: two concurrent POSTs must not
+	// interleave tmp-file renames onto the same path.
+	ckptMu   sync.Mutex
+	ckptPath string
+}
+
+func newServer(study *core.Study, ckptPath string, log *obs.Logger) *server {
+	if log == nil {
+		log = obs.NewLogger(os.Stderr, obs.LevelError)
+	}
+	return &server{study: study, ckptPath: ckptPath, log: log}
+}
+
+// routes builds the API surface. Every handler answers JSON; errors are
+// {"error": "..."} with a meaningful status code.
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.HandleFunc("POST /v1/advance", s.handleAdvance)
+	mux.HandleFunc("GET /v1/rankings/{list}", s.handleRankings)
+	mux.HandleFunc("GET /v1/diff", s.handleDiff)
+	mux.HandleFunc("GET /v1/report", s.handleReport)
+	mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// queryInt reads an integer query parameter, falling back to def when
+// absent. A malformed value reports ok=false after answering 400.
+func queryInt(w http.ResponseWriter, r *http.Request, name string, def int) (int, bool) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, true
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "parameter %q: %v", name, err)
+		return 0, false
+	}
+	return v, true
+}
+
+type statusResponse struct {
+	Day     int      `json:"day"`
+	Days    int      `json:"days"`
+	Done    bool     `json:"done"`
+	Aborted string   `json:"aborted,omitempty"`
+	Seed    uint64   `json:"seed"`
+	Sites   int      `json:"sites"`
+	Clients int      `json:"clients"`
+	Sketch  bool     `json:"sketch"`
+	Lists   []string `json:"lists"`
+}
+
+func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st := s.study
+	resp := statusResponse{
+		Day:     st.Day(),
+		Days:    st.Cfg.Days,
+		Seed:    st.Cfg.Seed,
+		Sites:   st.Cfg.NumSites,
+		Clients: st.Cfg.NumClients,
+		Sketch:  st.Cfg.Sketch.Enabled,
+		Lists:   st.ListNames(),
+	}
+	resp.Done = resp.Day == resp.Days
+	if err := st.Aborted(); err != nil {
+		resp.Aborted = err.Error()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleAdvance advances the study by ?days=N (default 1) simulated days.
+// Advancing a finished study answers 409 Conflict, as does an aborted
+// one; a canceled request (client went away mid-day) latches the study
+// and is reported like any other abort on the next call.
+func (s *server) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	n, ok := queryInt(w, r, "days", 1)
+	if !ok {
+		return
+	}
+	if n < 1 {
+		writeErr(w, http.StatusBadRequest, "days must be >= 1, got %d", n)
+		return
+	}
+	for i := 0; i < n; i++ {
+		err := s.study.AdvanceDay(r.Context())
+		switch {
+		case err == nil:
+			continue
+		case errors.Is(err, traffic.ErrRunComplete), errors.Is(err, core.ErrStudyAborted):
+			writeErr(w, http.StatusConflict, "%v", err)
+			return
+		default:
+			writeErr(w, http.StatusInternalServerError, "advance: %v", err)
+			return
+		}
+	}
+	day := s.study.Day()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"day":  day,
+		"done": day == s.study.Cfg.Days,
+	})
+}
+
+type rankingsResponse struct {
+	List  string   `json:"list"`
+	Day   int      `json:"day"`
+	K     int      `json:"k"`
+	Total int      `json:"total"`
+	Names []string `json:"names"`
+}
+
+// handleRankings serves the top k of one list for one advanced day
+// (default: the most recent). k=0 serves the full list.
+func (s *server) handleRankings(w http.ResponseWriter, r *http.Request) {
+	list := r.PathValue("list")
+	day, ok := queryInt(w, r, "day", s.study.Day()-1)
+	if !ok {
+		return
+	}
+	k, ok := queryInt(w, r, "k", 100)
+	if !ok {
+		return
+	}
+	ranking, err := s.study.RankingFor(list, day)
+	if err != nil {
+		// A day the study can never serve is the caller's mistake (400); a
+		// valid day not yet advanced, or an unknown list, is 404.
+		code := http.StatusNotFound
+		if r.URL.Query().Get("day") != "" && (day >= s.study.Cfg.Days || day < 0) {
+			code = http.StatusBadRequest
+		}
+		writeErr(w, code, "%v", err)
+		return
+	}
+	names := ranking.Names()
+	if k > 0 && k < len(names) {
+		names = names[:k]
+	}
+	writeJSON(w, http.StatusOK, rankingsResponse{
+		List:  list,
+		Day:   day,
+		K:     len(names),
+		Total: ranking.Len(),
+		Names: names,
+	})
+}
+
+type diffResponse struct {
+	List    string   `json:"list"`
+	From    int      `json:"from"`
+	To      int      `json:"to"`
+	K       int      `json:"k"`
+	Entered []string `json:"entered"`
+	Left    []string `json:"left"`
+	Jaccard float64  `json:"jaccard"`
+}
+
+// handleDiff compares the top k of one list between two advanced days:
+// which names entered, which left, and the Jaccard similarity of the two
+// cuts — the day-over-day churn the paper studies in Section 4.
+func (s *server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	list := r.URL.Query().Get("list")
+	if list == "" {
+		writeErr(w, http.StatusBadRequest, "parameter \"list\" is required")
+		return
+	}
+	to, ok := queryInt(w, r, "to", s.study.Day()-1)
+	if !ok {
+		return
+	}
+	from, ok := queryInt(w, r, "from", to-1)
+	if !ok {
+		return
+	}
+	k, ok := queryInt(w, r, "k", 100)
+	if !ok {
+		return
+	}
+	if k < 1 {
+		writeErr(w, http.StatusBadRequest, "k must be >= 1, got %d", k)
+		return
+	}
+	fromR, err := s.study.RankingFor(list, from)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	toR, err := s.study.RankingFor(list, to)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	resp := diffResponse{List: list, From: from, To: to, K: k}
+	resp.Entered, resp.Left, resp.Jaccard = topKDiff(fromR, toR, k)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// topKDiff reports the names that entered and left the top k between two
+// rankings (in rank order) and the Jaccard similarity of the cuts.
+func topKDiff(from, to *rank.Ranking, k int) (entered, left []string, jaccard float64) {
+	fromSet := from.TopSet(k)
+	toSet := to.TopSet(k)
+	entered, left = []string{}, []string{}
+	inter := 0
+	for i := 1; i <= to.Len() && i <= k; i++ {
+		name := to.At(i)
+		if _, ok := fromSet[name]; ok {
+			inter++
+		} else {
+			entered = append(entered, name)
+		}
+	}
+	for i := 1; i <= from.Len() && i <= k; i++ {
+		name := from.At(i)
+		if _, ok := toSet[name]; !ok {
+			left = append(left, name)
+		}
+	}
+	union := len(fromSet) + len(toSet) - inter
+	if union > 0 {
+		jaccard = float64(inter) / float64(union)
+	}
+	return entered, left, jaccard
+}
+
+// handleReport serves the telemetry run report: the full snapshot by
+// default, or with ?stable=1 only the resume-stable deterministic subset
+// — the bytes `make snapcheck` pins across checkpoint/restore.
+func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
+	rep := s.study.Metrics().Snapshot()
+	if r.URL.Query().Get("stable") != "" {
+		b, err := rep.ResumeStable()
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b) //nolint:errcheck // client went away
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	rep.WriteJSON(w) //nolint:errcheck // client went away
+}
+
+// handleCheckpoint snapshots the study to the configured checkpoint path.
+func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.ckptPath == "" {
+		writeErr(w, http.StatusBadRequest, "no -checkpoint path configured")
+		return
+	}
+	n, err := s.writeCheckpoint()
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, core.ErrStudyAborted) {
+			code = http.StatusConflict
+		}
+		writeErr(w, code, "checkpoint: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"path":  s.ckptPath,
+		"bytes": n,
+		"day":   s.study.Day(),
+	})
+}
+
+// writeCheckpoint atomically replaces the checkpoint file: the snapshot
+// streams to a temp file in the same directory, then renames over the
+// target, so a crash mid-write never leaves a torn checkpoint behind.
+func (s *server) writeCheckpoint() (int64, error) {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	dir := filepath.Dir(s.ckptPath)
+	tmp, err := os.CreateTemp(dir, filepath.Base(s.ckptPath)+".tmp*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(tmp.Name()) //nolint:errcheck // no-op after rename
+	if err := s.study.Snapshot(tmp); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	n, err := tmp.Seek(0, 2)
+	if err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp.Name(), s.ckptPath); err != nil {
+		return 0, err
+	}
+	s.log.Infof("checkpoint: day %d, %d bytes -> %s", s.study.Day(), n, s.ckptPath)
+	return n, nil
+}
+
+// advanceLoop drives the virtual clock: one simulated day per tick until
+// the study completes, the context cancels, or an advancement fails.
+func (s *server) advanceLoop(ctx context.Context, tick <-chan struct{}) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case _, open := <-tick:
+			if !open {
+				return
+			}
+		}
+		err := s.study.AdvanceDay(ctx)
+		switch {
+		case err == nil:
+			s.log.Infof("advanced to day %d/%d", s.study.Day(), s.study.Cfg.Days)
+		case errors.Is(err, traffic.ErrRunComplete):
+			s.log.Infof("all %d days simulated; ticker idle", s.study.Cfg.Days)
+			return
+		case ctx.Err() != nil:
+			return
+		default:
+			s.log.Errorf("advance: %v", err)
+			return
+		}
+	}
+}

@@ -1,0 +1,254 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"toplists/internal/core"
+)
+
+func testStudy(t *testing.T, days int) *core.Study {
+	t.Helper()
+	s := core.NewStudy(core.Config{
+		Seed:       31,
+		NumSites:   300,
+		NumClients: 60,
+		Days:       days,
+		Workers:    2,
+	})
+	t.Cleanup(s.Close)
+	return s
+}
+
+func testServer(t *testing.T, s *core.Study, ckpt string) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(newServer(s, ckpt, nil).routes())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func do(t *testing.T, method, url string, wantCode int) []byte {
+	t.Helper()
+	req, err := http.NewRequest(method, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantCode {
+		t.Fatalf("%s %s: status %d, want %d\n%s", method, url, resp.StatusCode, wantCode, body)
+	}
+	return body
+}
+
+// TestServerSmoke is the service-mode acceptance walk: start a study,
+// advance three days over HTTP, read rankings and diffs, checkpoint to
+// disk, restore into a second server, and require the restored service
+// to report the identical resume-stable telemetry and rankings.
+func TestServerSmoke(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "day3.snap")
+	s := testStudy(t, 4)
+	ts := testServer(t, s, ckpt)
+
+	var status statusResponse
+	if err := json.Unmarshal(do(t, "GET", ts.URL+"/v1/status", 200), &status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Day != 0 || status.Done || len(status.Lists) != 7 {
+		t.Fatalf("fresh status: %+v", status)
+	}
+
+	// No day advanced yet: rankings must not serve, advance must.
+	do(t, "GET", ts.URL+"/v1/rankings/Alexa", 404)
+	do(t, "POST", ts.URL+"/v1/advance?days=3", 200)
+
+	var rk rankingsResponse
+	if err := json.Unmarshal(do(t, "GET", ts.URL+"/v1/rankings/Tranco?day=2&k=10", 200), &rk); err != nil {
+		t.Fatal(err)
+	}
+	if rk.Day != 2 || rk.K != 10 || len(rk.Names) != 10 || rk.Total < 10 {
+		t.Fatalf("rankings: %+v", rk)
+	}
+
+	var df diffResponse
+	if err := json.Unmarshal(do(t, "GET", ts.URL+"/v1/diff?list=Alexa&from=1&to=2&k=50", 200), &df); err != nil {
+		t.Fatal(err)
+	}
+	if df.Jaccard < 0 || df.Jaccard > 1 || len(df.Entered) != len(df.Left) {
+		t.Fatalf("diff: %+v", df)
+	}
+
+	// Bad requests answer 4xx, not 500.
+	do(t, "GET", ts.URL+"/v1/rankings/NoSuchList", 404)
+	do(t, "GET", ts.URL+"/v1/rankings/Alexa?day=99", 400)
+	do(t, "GET", ts.URL+"/v1/diff?list=Alexa&k=0", 400)
+	do(t, "GET", ts.URL+"/v1/diff", 400)
+	do(t, "POST", ts.URL+"/v1/advance?days=bogus", 400)
+
+	do(t, "POST", ts.URL+"/v1/checkpoint", 200)
+	stable := do(t, "GET", ts.URL+"/v1/report?stable=1", 200)
+
+	f, err := os.Open(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := core.Resume(f, core.ResumeOptions{Workers: 1})
+	f.Close()
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	defer restored.Close()
+	ts2 := testServer(t, restored, "")
+
+	if err := json.Unmarshal(do(t, "GET", ts2.URL+"/v1/status", 200), &status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Day != 3 || status.Done {
+		t.Fatalf("restored status: %+v", status)
+	}
+	if got := do(t, "GET", ts2.URL+"/v1/report?stable=1", 200); !bytes.Equal(got, stable) {
+		t.Fatalf("resume-stable report differs after restore:\n--- before ---\n%s\n--- after ---\n%s", stable, got)
+	}
+	want := do(t, "GET", ts.URL+"/v1/rankings/Umbrella?day=2&k=0", 200)
+	if got := do(t, "GET", ts2.URL+"/v1/rankings/Umbrella?day=2&k=0", 200); !bytes.Equal(got, want) {
+		t.Fatal("restored server serves a different Umbrella day 2")
+	}
+
+	// Finish both studies: the last day must finalize and further
+	// advancement must answer 409.
+	do(t, "POST", ts.URL+"/v1/advance", 200)
+	do(t, "POST", ts.URL+"/v1/advance", 409)
+	if err := json.Unmarshal(do(t, "GET", ts.URL+"/v1/status", 200), &status); err != nil {
+		t.Fatal(err)
+	}
+	if !status.Done {
+		t.Fatalf("status after final day: %+v", status)
+	}
+	do(t, "GET", ts.URL+"/v1/rankings/CrUX?day=3", 200)
+}
+
+// TestServerCheckpointUnconfigured: without -checkpoint the endpoint is a
+// clean 400.
+func TestServerCheckpointUnconfigured(t *testing.T) {
+	ts := testServer(t, testStudy(t, 2), "")
+	do(t, "POST", ts.URL+"/v1/checkpoint", 400)
+}
+
+// TestServerConcurrentReaders is the reader-consistency acceptance test,
+// meaningful under -race: rankings, status, diff, and report readers
+// hammer the API while days advance and checkpoints stream out. Every
+// reader must observe a complete prior day — a served day is fully
+// published, never mid-advancement.
+func TestServerConcurrentReaders(t *testing.T) {
+	const days = 4
+	ckpt := filepath.Join(t.TempDir(), "c.snap")
+	s := testStudy(t, days)
+	ts := testServer(t, s, ckpt)
+	do(t, "POST", ts.URL+"/v1/advance", 200)
+
+	stopc := make(chan struct{})
+	var wg sync.WaitGroup
+	reader := func(fn func() error) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stopc:
+					return
+				default:
+				}
+				if err := fn(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+
+	get := func(path string) (int, []byte, error) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		return resp.StatusCode, b, err
+	}
+
+	reader(func() error {
+		code, b, err := get("/v1/rankings/Tranco?k=5")
+		if err != nil || code != 200 {
+			return fmt.Errorf("rankings: code %d err %v\n%s", code, err, b)
+		}
+		var rk rankingsResponse
+		if err := json.Unmarshal(b, &rk); err != nil {
+			return err
+		}
+		if rk.Day < 0 || rk.Day >= days || len(rk.Names) == 0 {
+			return fmt.Errorf("rankings served a torn day: %+v", rk)
+		}
+		return nil
+	})
+	reader(func() error {
+		code, b, err := get("/v1/status")
+		if err != nil || code != 200 {
+			return fmt.Errorf("status: code %d err %v\n%s", code, err, b)
+		}
+		return nil
+	})
+	reader(func() error {
+		code, _, err := get("/v1/report?stable=1")
+		if err != nil || code != 200 {
+			return fmt.Errorf("report: code %d err %v", code, err)
+		}
+		return nil
+	})
+	reader(func() error {
+		// Checkpoints race advancement: both must stay coherent.
+		resp, err := http.Post(ts.URL+"/v1/checkpoint", "", nil)
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			return fmt.Errorf("checkpoint: code %d", resp.StatusCode)
+		}
+		return nil
+	})
+
+	for d := 1; d < days; d++ {
+		do(t, "POST", ts.URL+"/v1/advance", 200)
+	}
+	close(stopc)
+	wg.Wait()
+
+	// The last concurrent checkpoint to win the rename is a coherent day
+	// boundary: it must restore cleanly.
+	f, err := os.Open(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	restored, err := core.Resume(f, core.ResumeOptions{})
+	if err != nil {
+		t.Fatalf("checkpoint written under load failed to restore: %v", err)
+	}
+	restored.Close()
+}

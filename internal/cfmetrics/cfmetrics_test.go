@@ -198,6 +198,12 @@ func BenchmarkPipelineDay(b *testing.B) {
 	e.AddSink(p)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e.RunDay(i % 28)
+		if e.Day() == e.Cfg.Days {
+			b.StopTimer()
+			e = traffic.NewEngine(w, traffic.Config{Seed: 2, NumClients: 800, Days: 28})
+			e.AddSink(p)
+			b.StartTimer()
+		}
+		e.RunDay(e.Day())
 	}
 }

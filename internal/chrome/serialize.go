@@ -1,0 +1,148 @@
+package chrome
+
+import (
+	"fmt"
+	"io"
+	"slices"
+
+	"toplists/internal/sketch"
+	"toplists/internal/snapshot"
+)
+
+const telemetrySnapVersion = 1
+
+// Snapshot writes the collector's month-spanning state: the metric cells
+// (sparsely — most sites never accumulate a value in most cells), the
+// per-origin completed-load tallies, and the per-(country, site) distinct
+// visitor counters in whichever representation (exact set or HLL) the run
+// uses. Maps are emitted in sorted key order for canonical bytes.
+func (t *Telemetry) Snapshot(w io.Writer) error {
+	var e snapshot.Encoder
+	e.Uvarint(telemetrySnapVersion)
+	e.Uvarint(uint64(len(t.cells)))
+	for _, vals := range t.cells {
+		nz := 0
+		for _, v := range vals {
+			if v != 0 {
+				nz++
+			}
+		}
+		e.Uvarint(uint64(len(vals)))
+		e.Uvarint(uint64(nz))
+		for site, v := range vals {
+			if v != 0 {
+				e.Uvarint(uint64(site))
+				e.F64(v)
+			}
+		}
+	}
+
+	origins := make([]originKey, 0, len(t.originCompleted))
+	for k := range t.originCompleted {
+		origins = append(origins, k)
+	}
+	slices.SortFunc(origins, func(a, b originKey) int {
+		if a.site != b.site {
+			return int(a.site) - int(b.site)
+		}
+		return int(a.sub) - int(b.sub)
+	})
+	e.Uvarint(uint64(len(origins)))
+	for _, k := range origins {
+		e.Varint(int64(k.site))
+		e.Uvarint(uint64(k.sub))
+		e.F64(t.originCompleted[k])
+	}
+
+	vkeys := make([]int64, 0, len(t.countryVisitors))
+	for k := range t.countryVisitors {
+		vkeys = append(vkeys, k)
+	}
+	slices.Sort(vkeys)
+	e.Uvarint(uint64(len(vkeys)))
+	for _, k := range vkeys {
+		e.Varint(k)
+		sketch.EncodeDistinct(&e, t.countryVisitors[k])
+	}
+
+	e.Int(t.memPeak)
+	_, err := e.WriteTo(w)
+	return err
+}
+
+// Restore replaces the collector's month-spanning state from a Snapshot
+// payload.
+func (t *Telemetry) Restore(r io.Reader) error {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	d := snapshot.NewDecoder(b)
+	ver := d.Uvarint()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if ver != telemetrySnapVersion {
+		return fmt.Errorf("%w: Telemetry payload v%d, this build reads v%d", snapshot.ErrVersion, ver, telemetrySnapVersion)
+	}
+	// nCells and each cell's size cross-check the collector's geometry;
+	// they are not payload item counts (cells are stored sparsely), so no
+	// Len plausibility guard applies.
+	nCells := int(d.Uvarint())
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if nCells != len(t.cells) {
+		return fmt.Errorf("%w: Telemetry has %d cells, snapshot %d", snapshot.ErrCorrupt, len(t.cells), nCells)
+	}
+	cells := make([][]float64, nCells)
+	for i := 0; i < nCells; i++ {
+		size := int(d.Uvarint())
+		if d.Err() == nil && size != len(t.cells[i]) {
+			return fmt.Errorf("%w: Telemetry cell %d sized %d, snapshot %d", snapshot.ErrCorrupt, i, len(t.cells[i]), size)
+		}
+		vals := make([]float64, size)
+		nz := d.Len(9)
+		for j := 0; j < nz; j++ {
+			site := d.Uvarint()
+			v := d.F64()
+			if d.Err() != nil {
+				return d.Err()
+			}
+			if site >= uint64(size) {
+				return fmt.Errorf("%w: Telemetry cell %d site %d out of range %d", snapshot.ErrCorrupt, i, site, size)
+			}
+			vals[site] = v
+		}
+		cells[i] = vals
+	}
+
+	nOrigins := d.Len(3)
+	originCompleted := make(map[originKey]float64, nOrigins)
+	for i := 0; i < nOrigins; i++ {
+		site := int32(d.Varint())
+		sub := uint8(d.Uvarint())
+		originCompleted[originKey{site, sub}] = d.F64()
+	}
+
+	nVisitors := d.Len(3)
+	countryVisitors := make(map[int64]sketch.Distinct, nVisitors)
+	for i := 0; i < nVisitors; i++ {
+		k := d.Varint()
+		dist, err := sketch.DecodeDistinct(d)
+		if err != nil {
+			return err
+		}
+		countryVisitors[k] = dist
+	}
+
+	memPeak := d.Int()
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	t.cells = cells
+	t.originCompleted = originCompleted
+	t.countryVisitors = countryVisitors
+	t.memPeak = memPeak
+	return nil
+}

@@ -131,6 +131,24 @@ func (a *Artifacts) memoized(key any, cm *obs.CacheMetrics, build func() *rank.R
 	return e.r
 }
 
+// invalidateMonthly drops the month-scoped derived artifacts — monthly
+// Dowdall metric rankings and telemetry cell rankings — whose inputs grew
+// when a day advanced. Day-scoped artifacts (per-day combo rankings,
+// normalized day snapshots) are immutable once their day is published and
+// survive. Called with the study lifecycle write-locked, so no reader is
+// mid-flight; in batch runs the map is empty until evaluation begins and
+// the sweep is a no-op.
+func (a *Artifacts) invalidateMonthly() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for k := range a.derived {
+		switch k.(type) {
+		case monthlyKey, telemetryKey:
+			delete(a.derived, k)
+		}
+	}
+}
+
 // Normalized returns the list's PSL-normalized day-d snapshot (Section
 // 4.2), computed at most once per (list, day) across the whole study.
 func (a *Artifacts) Normalized(l providers.List, day int) *rank.Ranking {
@@ -210,8 +228,9 @@ func (a *Artifacts) CFDomainIDs() *names.Set {
 
 func mustProbe(err error) {
 	if err != nil {
-		// Only a canceled context can fail the sweep, and these callers
-		// probe under Background.
+		// Only a canceled context or a closed study can fail the sweep;
+		// these callers probe under Background, and probing after Close is
+		// a caller bug worth crashing on.
 		panic(err)
 	}
 }

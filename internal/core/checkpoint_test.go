@@ -1,0 +1,201 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"toplists/internal/sketch"
+	"toplists/internal/snapshot"
+)
+
+// checkpointCfg is deliberately tiny: the round-trip property test
+// snapshots and resumes at every day boundary, rebuilding a world each
+// time.
+func checkpointCfg(seed uint64, days int, sketchOn bool) Config {
+	return Config{
+		Seed:           seed,
+		NumSites:       400,
+		NumClients:     80,
+		Days:           days,
+		TrackAllCombos: true,
+		Workers:        2,
+		Sketch:         sketch.Config{Enabled: sketchOn},
+	}
+}
+
+func snap(t *testing.T, s *Study) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestSnapshotRoundTripByteIdentical is the property test of the snapshot
+// layer: at every day boundary k, Snapshot -> Resume -> Snapshot must
+// reproduce the checkpoint byte for byte, in exact and sketch mode. The
+// canonical encoding (sorted maps, fixed-width floats) is what makes this
+// hold; any nondeterministic iteration order in a component would fail
+// here immediately.
+func TestSnapshotRoundTripByteIdentical(t *testing.T) {
+	for _, mode := range []bool{false, true} {
+		t.Run(fmt.Sprintf("sketch=%v", mode), func(t *testing.T) {
+			const days = 3
+			s := NewStudy(checkpointCfg(23, days, mode))
+			defer s.Close()
+			for k := 0; ; k++ {
+				a := snap(t, s)
+				r, err := Resume(bytes.NewReader(a), ResumeOptions{Workers: 1})
+				if err != nil {
+					t.Fatalf("day %d: Resume: %v", k, err)
+				}
+				if got := r.Day(); got != k {
+					t.Fatalf("day %d: resumed study at day %d", k, got)
+				}
+				b := snap(t, r)
+				r.Close()
+				if !bytes.Equal(a, b) {
+					t.Fatalf("day %d: re-snapshot differs (%d vs %d bytes)", k, len(a), len(b))
+				}
+				if k == days {
+					break
+				}
+				if err := s.AdvanceDay(context.Background()); err != nil {
+					t.Fatalf("day %d: AdvanceDay: %v", k, err)
+				}
+			}
+		})
+	}
+}
+
+// TestResumeOracle pins the headline acceptance property at unit scale: a
+// study checkpointed at day k, resumed (with a different worker count),
+// and advanced to the end publishes byte-identical lists, Cloudflare
+// combo lists, and CrUX output to a straight run — and its resume-stable
+// report subset matches too. The full-size oracle is `make snapcheck`.
+func TestResumeOracle(t *testing.T) {
+	const days = 6
+	for _, mode := range []bool{false, true} {
+		t.Run(fmt.Sprintf("sketch=%v", mode), func(t *testing.T) {
+			straight := NewStudy(checkpointCfg(91, days, mode))
+			defer straight.Close()
+			straight.Run()
+			wantFP := studyFingerprint(straight)
+			wantRep, err := straight.Metrics().Snapshot().ResumeStable()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for _, k := range []int{1, 3, days} {
+				src := NewStudy(checkpointCfg(91, days, mode))
+				for i := 0; i < k; i++ {
+					if err := src.AdvanceDay(context.Background()); err != nil {
+						t.Fatalf("k=%d: AdvanceDay(%d): %v", k, i, err)
+					}
+				}
+				b := snap(t, src)
+				src.Close()
+
+				r, err := Resume(bytes.NewReader(b), ResumeOptions{Workers: 3})
+				if err != nil {
+					t.Fatalf("k=%d: Resume: %v", k, err)
+				}
+				r.Run()
+				if got := studyFingerprint(r); got != wantFP {
+					t.Errorf("k=%d: fingerprint %x after resume, straight run %x", k, got, wantFP)
+				}
+				gotRep, err := r.Metrics().Snapshot().ResumeStable()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(gotRep, wantRep) {
+					t.Errorf("k=%d: resume-stable report differs:\n--- straight ---\n%s\n--- resumed ---\n%s",
+						k, wantRep, gotRep)
+				}
+				r.Close()
+			}
+		})
+	}
+}
+
+// TestResumeRejectsDamage: corrupted, truncated, and version-skewed
+// checkpoints are rejected with precise sentinel errors and never yield a
+// study — no partial restore is observable.
+func TestResumeRejectsDamage(t *testing.T) {
+	s := NewStudy(checkpointCfg(5, 2, false))
+	if err := s.AdvanceDay(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	good := snap(t, s)
+	s.Close()
+
+	mustFail := func(t *testing.T, b []byte, want error, what string) {
+		t.Helper()
+		r, err := Resume(bytes.NewReader(b), ResumeOptions{})
+		if err == nil {
+			t.Fatalf("%s: Resume accepted damaged checkpoint", what)
+		}
+		if r != nil {
+			t.Fatalf("%s: Resume returned a study alongside error %v", what, err)
+		}
+		if want != nil && !errors.Is(err, want) {
+			t.Errorf("%s: error %v, want %v", what, err, want)
+		}
+	}
+
+	t.Run("magic", func(t *testing.T) {
+		b := bytes.Clone(good)
+		b[0] ^= 0xff
+		mustFail(t, b, snapshot.ErrBadMagic, "flipped magic")
+		mustFail(t, nil, snapshot.ErrBadMagic, "empty file")
+	})
+
+	t.Run("version", func(t *testing.T) {
+		b := bytes.Clone(good)
+		b[9] = 0x7f // container version little byte (big-endian u16 at [8:10])
+		mustFail(t, b, snapshot.ErrVersion, "container version skew")
+	})
+
+	t.Run("truncation", func(t *testing.T) {
+		for cut := 0; cut < len(good); cut += 97 {
+			mustFail(t, good[:cut], nil, fmt.Sprintf("cut at %d", cut))
+		}
+		mustFail(t, good[:len(good)-1], nil, "cut last byte")
+	})
+
+	t.Run("bitflip", func(t *testing.T) {
+		for off := 10; off < len(good); off += 53 {
+			b := bytes.Clone(good)
+			b[off] ^= 0x04
+			r, err := Resume(bytes.NewReader(b), ResumeOptions{})
+			if err == nil {
+				t.Fatalf("flip at %d: Resume accepted corrupted checkpoint", off)
+			}
+			if r != nil {
+				t.Fatalf("flip at %d: Resume returned a study alongside error %v", off, err)
+			}
+		}
+	})
+
+	t.Run("trailing", func(t *testing.T) {
+		mustFail(t, append(bytes.Clone(good), 0xee), nil, "trailing garbage")
+	})
+}
+
+// TestSnapshotRefusesAbortedStudy: a study latched by a mid-day failure
+// holds torn sink state; Snapshot must refuse to serialize it.
+func TestSnapshotRefusesAbortedStudy(t *testing.T) {
+	s := abortedStudy(t)
+	defer s.Close()
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); !errors.Is(err, ErrStudyAborted) {
+		t.Fatalf("Snapshot on aborted study: %v, want ErrStudyAborted", err)
+	}
+	if buf.Len() > 0 {
+		t.Fatalf("Snapshot wrote %d bytes before refusing", buf.Len())
+	}
+}

@@ -20,13 +20,17 @@ const probeSweepDays = 3
 // hit this timeout. That matters for determinism — a spurious timeout on a
 // loaded machine would consume an attempt number and shift every later
 // fault decision.
-func (s *Study) newProber() *httpsim.Prober {
-	p := httpsim.NewProber(s.network().Client())
+func (s *Study) newProber() (*httpsim.Prober, error) {
+	n, err := s.network()
+	if err != nil {
+		return nil, err
+	}
+	p := httpsim.NewProber(n.Client())
 	p.Concurrency = 64
 	p.AttemptTimeout = 10 * time.Second
 	p.BackoffBase = 200 * time.Microsecond
 	p.Metrics = httpsim.NewProbeMetrics(s.obs)
-	return p
+	return p, nil
 }
 
 // probeSweep probes hosts with day-by-day retries and returns the set of
@@ -38,7 +42,10 @@ func (s *Study) newProber() *httpsim.Prober {
 // filtering applies to unreachable entries.
 func (s *Study) probeSweep(ctx context.Context, hosts []string) (map[string]struct{}, error) {
 	defer s.obs.Span("phase.probe_sweep").End()
-	prober := s.newProber()
+	prober, err := s.newProber()
+	if err != nil {
+		return nil, err
+	}
 	cf := make(map[string]struct{})
 	pending := hosts
 	for day := 0; day < probeSweepDays && len(pending) > 0; day++ {

@@ -6,6 +6,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -150,6 +151,7 @@ type Study struct {
 	// It is started lazily under netMu; use network() to read it.
 	Network *httpsim.Network
 	netMu   sync.Mutex
+	closed  bool
 
 	// artifacts is the memoized derived-data layer shared by every
 	// experiment; see Artifacts.
@@ -158,8 +160,34 @@ type Study struct {
 	// obs is the study's telemetry registry (never nil; see Config.Obs).
 	obs *obs.Registry
 
+	// lifeMu is the lifecycle lock: AdvanceDay (and batch RunContext)
+	// write-hold it across a whole day — simulation, amalgam updates,
+	// artifact invalidation — while concurrent readers (the resident
+	// server's ranking/report/snapshot handlers) read-hold it. Readers
+	// therefore always observe a complete day boundary, never a torn day.
+	lifeMu sync.RWMutex
+
+	// aborted latches the first failed advancement (see ErrStudyAborted).
+	aborted error
+
+	// cruxMu guards the lazily derived CrUX list; cruxDay is the engine
+	// day count the current s.Crux was derived at (-1 = none yet).
+	cruxMu  sync.Mutex
+	cruxDay int
+
 	ran bool
 }
+
+// ErrStudyAborted is the sticky error of a study whose advancement failed
+// mid-day (shard panic, mid-simulation cancellation): the sinks hold a
+// partial day, so every later AdvanceDay/RunContext call refuses to touch
+// them rather than silently re-running the engine over half-advanced
+// state.
+var ErrStudyAborted = errors.New("core: study aborted by failed day advancement")
+
+// ErrStudyClosed is returned when the virtual network is needed after
+// Close: a closed study must not silently restart it.
+var ErrStudyClosed = errors.New("core: study closed")
 
 // NewStudy builds the world and wires every observer. Run must be called
 // before reading lists or metrics.
@@ -237,6 +265,13 @@ func NewStudy(cfg Config) *Study {
 	s.Engine.AddSink(s.Secrank)
 	s.Engine.SetObs(reg)
 	s.artifacts = newArtifacts(s)
+	// The amalgams are incremental consumers: each AdvanceDay feeds them
+	// the day just simulated, drawing normalized input snapshots through
+	// the artifact store's memo so that work is already warm at evaluation
+	// time.
+	s.Tranco = providers.NewTranco(s.Alexa, s.Umbrella, s.Majestic, s.PSL, s.artifacts.norms)
+	s.Trexa = providers.NewTrexa(s.Alexa, s.Tranco, s.PSL)
+	s.cruxDay = -1
 	buildSpan.End()
 	return s
 }
@@ -249,33 +284,119 @@ func (s *Study) Run() {
 	}
 }
 
-// RunContext simulates the month and finalizes the amalgam and monthly
-// lists, honoring ctx: cancellation mid-simulation returns the context's
-// error promptly (the study is then unusable), and a panicking client
-// shard surfaces as a *traffic.ShardPanicError instead of crashing.
+// RunContext simulates every remaining day and finalizes the amalgam and
+// monthly lists, honoring ctx: a pre-start cancellation returns the
+// context's error with the study still consistent at its current day
+// boundary, while a mid-day cancellation (or a panicking client shard,
+// surfaced as a *traffic.ShardPanicError) leaves the sinks torn and
+// latches the study — subsequent calls return an error wrapping
+// ErrStudyAborted instead of silently re-running the engine over
+// half-advanced sink state.
 func (s *Study) RunContext(ctx context.Context) error {
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
 	if s.ran {
 		return nil
 	}
-	if err := s.Engine.RunContext(ctx); err != nil {
-		return err
+	if s.aborted != nil {
+		return s.aborted
 	}
-	// The amalgams draw normalized input snapshots through the artifact
-	// store's memo, so that work is already warm at evaluation time.
-	amalgamSpan := s.obs.Span("phase.amalgam")
-	s.Tranco = providers.NewTranco(s.Alexa, s.Umbrella, s.Majestic, s.PSL, s.artifacts.norms)
-	s.Trexa = providers.NewTrexa(s.Alexa, s.Tranco, s.PSL)
-	for d := 0; d < s.Cfg.Days; d++ {
-		if err := ctx.Err(); err != nil {
+	for s.Engine.Day() < s.Cfg.Days {
+		if err := s.advanceDayLocked(ctx); err != nil {
 			return err
 		}
-		s.Tranco.ComputeDay(d)
-		s.Trexa.ComputeDay(d)
 	}
-	s.Crux = providers.NewCrux(s.Telemetry, s.Cfg.CruxMinVisitors, s.Bucketer)
-	amalgamSpan.End()
-	s.ran = true
+	s.finalizeLocked()
 	return nil
+}
+
+// AdvanceDay simulates exactly one day and feeds it through the
+// incremental amalgams (Tranco/Trexa ComputeDay), invalidating the
+// month-scoped derived artifacts it staled. Days advance strictly in
+// order, exactly once (the engine's Day cursor is the guard); once every
+// configured day has run it returns traffic.ErrRunComplete. The lifecycle
+// lock is write-held for the whole advancement, so concurrent readers
+// always see the previous complete day.
+func (s *Study) AdvanceDay(ctx context.Context) error {
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	if s.aborted != nil {
+		return s.aborted
+	}
+	if err := s.advanceDayLocked(ctx); err != nil {
+		return err
+	}
+	if s.Engine.Day() == s.Cfg.Days {
+		s.finalizeLocked()
+	}
+	return nil
+}
+
+// advanceDayLocked runs one engine day plus the per-day amalgam updates.
+// Callers hold lifeMu. A day-level failure latches s.aborted; the first
+// caller still receives the original error (tests match on
+// context.Canceled and *traffic.ShardPanicError), later callers get the
+// sticky wrapper.
+func (s *Study) advanceDayLocked(ctx context.Context) error {
+	if err := s.Engine.AdvanceDay(ctx); err != nil {
+		if s.Engine.Failed() != nil && s.aborted == nil {
+			s.aborted = fmt.Errorf("%w: %v", ErrStudyAborted, err)
+		}
+		return err
+	}
+	day := s.Engine.Day() - 1
+	amalgamSpan := s.obs.Span("phase.amalgam")
+	s.Tranco.ComputeDay(day)
+	s.Trexa.ComputeDay(day)
+	amalgamSpan.End()
+	// Month-scoped artifacts (monthly Dowdall rankings, telemetry cell
+	// rankings) now cover one more day; drop the stale entries. Per-day
+	// artifacts are immutable once their day is published and stay cached.
+	s.artifacts.invalidateMonthly()
+	return nil
+}
+
+// finalizeLocked marks the study fully run and derives the published
+// CrUX list. Idempotent; callers hold lifeMu with the engine at Days.
+func (s *Study) finalizeLocked() {
+	if s.ran {
+		return
+	}
+	s.cruxLocked()
+	s.ran = true
+}
+
+// cruxLocked returns the CrUX list derived from telemetry as of the
+// current day, rebuilding it only when a day advanced since the last
+// derivation. Rebuilding replaces s.Crux, so the normalization memo's
+// CrUX entries (keyed per day against the old instance) are dropped.
+func (s *Study) cruxLocked() *providers.Crux {
+	s.cruxMu.Lock()
+	defer s.cruxMu.Unlock()
+	day := s.Engine.Day()
+	if s.Crux == nil || s.cruxDay != day {
+		if s.Crux != nil {
+			s.artifacts.norms.InvalidateList(s.Crux.Name())
+		}
+		s.Crux = providers.NewCrux(s.Telemetry, s.Cfg.CruxMinVisitors, s.Bucketer)
+		s.cruxDay = day
+	}
+	return s.Crux
+}
+
+// Day returns the number of fully advanced (simulated, amalgamated) days.
+func (s *Study) Day() int {
+	s.lifeMu.RLock()
+	defer s.lifeMu.RUnlock()
+	return s.Engine.Day()
+}
+
+// Aborted returns the sticky abort error of a study whose advancement
+// failed mid-day, or nil.
+func (s *Study) Aborted() error {
+	s.lifeMu.RLock()
+	defer s.lifeMu.RUnlock()
+	return s.aborted
 }
 
 // Lists returns the seven providers in canonical table order.
@@ -353,10 +474,14 @@ func (s *Study) FaultPlan() *faults.Plan {
 
 // network returns the virtual HTTP layer, starting it on first use. A
 // configured FaultRate installs the study's fault plan before any probe
-// can observe the network.
-func (s *Study) network() *httpsim.Network {
+// can observe the network. After Close it returns ErrStudyClosed instead
+// of silently restarting the network.
+func (s *Study) network() (*httpsim.Network, error) {
 	s.netMu.Lock()
 	defer s.netMu.Unlock()
+	if s.closed {
+		return nil, ErrStudyClosed
+	}
 	if s.Network == nil {
 		n := httpsim.NewNetwork()
 		n.AddWorld(s.World)
@@ -365,16 +490,56 @@ func (s *Study) network() *httpsim.Network {
 		n.Start()
 		s.Network = n
 	}
-	return s.Network
+	return s.Network, nil
 }
 
-// Close releases the virtual network, if started.
+// Close releases the virtual network, if started, and marks the study
+// closed: any later attempt to probe (which would lazily restart the
+// network) fails with ErrStudyClosed. Idempotent.
 func (s *Study) Close() {
 	s.netMu.Lock()
 	defer s.netMu.Unlock()
+	s.closed = true
 	if s.Network != nil {
 		s.Network.Close()
 		s.Network = nil
+	}
+}
+
+// ListNames returns the provider names servable by RankingFor, in the
+// paper's canonical table order.
+func (s *Study) ListNames() []string { return providers.CanonicalOrder() }
+
+// RankingFor returns the published ranking of the named list for a
+// 0-based day that has already been advanced. Day-indexed providers serve
+// their archived snapshot; CrUX (which publishes one month-to-date list)
+// serves the list derived from telemetry as of the current day. Safe for
+// concurrent use with AdvanceDay: readers hold the lifecycle read lock,
+// so they always see a complete day.
+func (s *Study) RankingFor(list string, day int) (*rank.Ranking, error) {
+	s.lifeMu.RLock()
+	defer s.lifeMu.RUnlock()
+	cur := s.Engine.Day()
+	if day < 0 || day >= cur {
+		return nil, fmt.Errorf("core: day %d not available (advanced through day %d)", day, cur-1)
+	}
+	switch list {
+	case "Alexa":
+		return s.Alexa.Raw(day), nil
+	case "Majestic":
+		return s.Majestic.Raw(day), nil
+	case "Secrank":
+		return s.Secrank.Raw(day), nil
+	case "Tranco":
+		return s.Tranco.Raw(day), nil
+	case "Trexa":
+		return s.Trexa.Raw(day), nil
+	case "Umbrella":
+		return s.Umbrella.Raw(day), nil
+	case "CrUX":
+		return s.cruxLocked().Raw(day), nil
+	default:
+		return nil, fmt.Errorf("core: unknown list %q", list)
 	}
 }
 

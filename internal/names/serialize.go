@@ -1,0 +1,63 @@
+package names
+
+import (
+	"fmt"
+	"io"
+
+	"toplists/internal/snapshot"
+)
+
+const tableSnapVersion = 1
+
+// Snapshot writes every interned string in ID order. IDs are dense and
+// sequential, so the ordered string sequence is the whole table.
+func (t *Table) Snapshot(w io.Writer) error {
+	var e snapshot.Encoder
+	e.Uvarint(tableSnapVersion)
+	n := t.Len()
+	e.Uvarint(uint64(n))
+	for i := 0; i < n; i++ {
+		e.String(t.Lookup(ID(i)))
+	}
+	_, err := e.WriteTo(w)
+	return err
+}
+
+// Restore re-interns a Snapshot payload's strings in order, verifying
+// that each lands on its original ID. The receiving table may already
+// hold a prefix of the sequence (a freshly generated world interns its
+// site domains first, in the same deterministic order), but any
+// divergence — different strings, different order, duplicates — is a
+// corrupt or mismatched snapshot and fails without leaving the table in
+// a state the caller can confuse for restored.
+func (t *Table) Restore(r io.Reader) error {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	d := snapshot.NewDecoder(b)
+	ver := d.Uvarint()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if ver != tableSnapVersion {
+		return fmt.Errorf("%w: names payload v%d, this build reads v%d", snapshot.ErrVersion, ver, tableSnapVersion)
+	}
+	n := d.Len(1)
+	if t.Len() > n {
+		if err := d.Err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("%w: table already holds %d names, snapshot has %d", snapshot.ErrCorrupt, t.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		s := d.String()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if got := t.Intern(s); got != ID(i) {
+			return fmt.Errorf("%w: name %q interned as ID %d, snapshot position %d (world/snapshot mismatch)", snapshot.ErrCorrupt, s, got, i)
+		}
+	}
+	return d.Finish()
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 	"time"
 )
 
@@ -156,6 +157,35 @@ func (rep *Report) Deterministic() ([]byte, error) {
 		Counters map[string]int64 `json:"counters"`
 		Gauges   map[string]int64 `json:"gauges"`
 	}{rep.Schema, rep.Counters, rep.Gauges}
+	return json.MarshalIndent(sub, "", "  ")
+}
+
+// ResumeStable marshals the subset of the deterministic report that is
+// additionally invariant under checkpoint/restore: a study resumed at day
+// k and advanced to the end must produce these bytes identically to a
+// straight run. Two deterministic families are excluded by name prefix:
+// "artifacts." (cache hit/miss tallies depend on which computations the
+// lifecycle path already performed — a resumed run re-normalizes window
+// inputs a straight run had warm) and "sketch." (memory peaks depend on
+// pool and shard capacity history that checkpoints deliberately do not
+// carry). Both remain pure functions of (seed, config, lifecycle path)
+// and stay in Deterministic.
+func (rep *Report) ResumeStable() ([]byte, error) {
+	stable := func(m map[string]int64) map[string]int64 {
+		out := make(map[string]int64, len(m))
+		for k, v := range m {
+			if strings.HasPrefix(k, "artifacts.") || strings.HasPrefix(k, "sketch.") {
+				continue
+			}
+			out[k] = v
+		}
+		return out
+	}
+	sub := struct {
+		Schema   string           `json:"schema"`
+		Counters map[string]int64 `json:"counters"`
+		Gauges   map[string]int64 `json:"gauges"`
+	}{rep.Schema, stable(rep.Counters), stable(rep.Gauges)}
 	return json.MarshalIndent(sub, "", "  ")
 }
 

@@ -145,6 +145,9 @@ func (a *Alexa) computeList() *rank.Ranking {
 	return rank.FromScoredIDs(a.w.Interner(), scored, rank.TieHashed)
 }
 
+// NumDays returns how many days have been published.
+func (a *Alexa) NumDays() int { return len(a.lists) }
+
 // Raw implements List.
 func (a *Alexa) Raw(day int) *rank.Ranking { return a.lists[day] }
 

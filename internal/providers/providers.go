@@ -141,6 +141,21 @@ func (m *NormMemo) Normalized(l List, day int) (*rank.Ranking, rank.NormalizeSta
 	return e.r, e.stats
 }
 
+// InvalidateList drops every memoized day snapshot of the named list.
+// The resident lifecycle uses it when a provider's published view is
+// replaced wholesale (the month-to-date CrUX list is re-derived after a
+// day advances); entries already handed to readers remain valid
+// immutable rankings.
+func (m *NormMemo) InvalidateList(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for k := range m.m {
+		if k.list == name {
+			delete(m.m, k)
+		}
+	}
+}
+
 // monthNorm caches one normalization result for providers that publish a
 // single snapshot for the whole month (Majestic, CrUX): every day's
 // Normalized call returns the same list, so the grouping work runs once

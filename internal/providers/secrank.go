@@ -155,6 +155,9 @@ func (s *Secrank) publishDay(votes map[names.ID]float64) {
 	s.lists = append(s.lists, rank.FromScoredIDs(s.tab, scored, rank.TieHashed))
 }
 
+// NumDays returns how many days have been published.
+func (s *Secrank) NumDays() int { return len(s.lists) }
+
 // Raw implements List.
 func (s *Secrank) Raw(day int) *rank.Ranking { return s.lists[day] }
 

@@ -1,0 +1,304 @@
+package providers
+
+import (
+	"fmt"
+	"io"
+	"slices"
+
+	"toplists/internal/names"
+	"toplists/internal/rank"
+	"toplists/internal/snapshot"
+)
+
+// Provider checkpointing: each provider persists exactly its cross-day
+// state — frozen day aggregates, published rankings, trailing-window
+// tallies — and nothing per-day, since checkpoints are only taken at day
+// boundaries where per-day accumulators are empty by construction. Every
+// payload starts with a per-provider version uvarint so provider
+// encodings evolve independently of the container schema, and every map
+// is emitted in sorted key order so identical state always produces
+// identical bytes (the Snapshot→Restore→Snapshot byte-identity the
+// checkpoint tests pin).
+
+const (
+	alexaSnapVersion    = 1
+	umbrellaSnapVersion = 1
+	secrankSnapVersion  = 1
+	trancoSnapVersion   = 1
+	trexaSnapVersion    = 1
+)
+
+func checkSnapVersion(d *snapshot.Decoder, want uint64, provider string) error {
+	got := d.Uvarint()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if got != want {
+		return fmt.Errorf("%w: %s payload v%d, this build reads v%d", snapshot.ErrVersion, provider, got, want)
+	}
+	return nil
+}
+
+// encodeSiteMap emits a map keyed by site ID in sorted key order.
+func encodeSiteMap(e *snapshot.Encoder, m map[int32]float64) {
+	keys := make([]int32, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	e.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		e.Varint(int64(k))
+		e.F64(m[k])
+	}
+}
+
+func decodeSiteMap(d *snapshot.Decoder) map[int32]float64 {
+	n := d.Len(2)
+	m := make(map[int32]float64, n)
+	for i := 0; i < n; i++ {
+		k := int32(d.Varint())
+		m[k] = d.F64()
+	}
+	return m
+}
+
+// encodeIDMap emits a map keyed by interned ID in sorted key order.
+func encodeIDMap(e *snapshot.Encoder, m map[names.ID]float64) {
+	keys := make([]names.ID, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	e.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		e.Uvarint(uint64(k))
+		e.F64(m[k])
+	}
+}
+
+func decodeIDMap(d *snapshot.Decoder) map[names.ID]float64 {
+	n := d.Len(2)
+	m := make(map[names.ID]float64, n)
+	for i := 0; i < n; i++ {
+		k := names.ID(d.Uvarint())
+		m[k] = d.F64()
+	}
+	return m
+}
+
+func encodeLists(e *snapshot.Encoder, lists []*rank.Ranking) {
+	e.Uvarint(uint64(len(lists)))
+	for _, r := range lists {
+		rank.EncodeRanking(e, r)
+	}
+}
+
+func decodeLists(d *snapshot.Decoder, tab *names.Table) ([]*rank.Ranking, error) {
+	n := d.Len(1)
+	lists := make([]*rank.Ranking, 0, n)
+	for i := 0; i < n; i++ {
+		r, err := rank.DecodeRanking(d, tab)
+		if err != nil {
+			return nil, err
+		}
+		if r == nil {
+			return nil, fmt.Errorf("%w: nil ranking in published list sequence", snapshot.ErrCorrupt)
+		}
+		lists = append(lists, r)
+	}
+	return lists, nil
+}
+
+// Snapshot writes Alexa's cross-day state: the frozen per-day aggregates
+// and the published rankings.
+func (a *Alexa) Snapshot(w io.Writer) error {
+	var e snapshot.Encoder
+	e.Uvarint(alexaSnapVersion)
+	e.Uvarint(uint64(len(a.days)))
+	for _, day := range a.days {
+		encodeSiteMap(&e, day.pageviews)
+		encodeSiteMap(&e, day.visitors)
+	}
+	encodeLists(&e, a.lists)
+	_, err := e.WriteTo(w)
+	return err
+}
+
+// Restore replaces Alexa's cross-day state from a Snapshot payload.
+func (a *Alexa) Restore(r io.Reader) error {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	d := snapshot.NewDecoder(b)
+	if err := checkSnapVersion(d, alexaSnapVersion, "Alexa"); err != nil {
+		return err
+	}
+	n := d.Len(1)
+	days := make([]alexaDay, 0, n)
+	for i := 0; i < n; i++ {
+		days = append(days, alexaDay{
+			pageviews: decodeSiteMap(d),
+			visitors:  decodeSiteMap(d),
+		})
+	}
+	lists, err := decodeLists(d, a.w.Interner())
+	if err != nil {
+		return err
+	}
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	if len(lists) != len(days) {
+		return fmt.Errorf("%w: Alexa has %d lists for %d days", snapshot.ErrCorrupt, len(lists), len(days))
+	}
+	a.days = days
+	a.lists = lists
+	return nil
+}
+
+// Snapshot writes Umbrella's cross-day state: the published rankings and
+// the sketch memory peak. The FQDN/suffix interning memos are pure caches
+// rebuilt on demand, and all sketch accumulators are day-scoped.
+func (u *Umbrella) Snapshot(w io.Writer) error {
+	var e snapshot.Encoder
+	e.Uvarint(umbrellaSnapVersion)
+	encodeLists(&e, u.lists)
+	e.Int(u.memPeak)
+	_, err := e.WriteTo(w)
+	return err
+}
+
+// Restore replaces Umbrella's cross-day state from a Snapshot payload.
+func (u *Umbrella) Restore(r io.Reader) error {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	d := snapshot.NewDecoder(b)
+	if err := checkSnapVersion(d, umbrellaSnapVersion, "Umbrella"); err != nil {
+		return err
+	}
+	lists, err := decodeLists(d, u.tab)
+	if err != nil {
+		return err
+	}
+	memPeak := d.Int()
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	u.lists = lists
+	u.memPeak = memPeak
+	return nil
+}
+
+// Snapshot writes Secrank's cross-day state: the trailing-window vote
+// tallies, the published rankings, and the sketch memory peak.
+func (s *Secrank) Snapshot(w io.Writer) error {
+	var e snapshot.Encoder
+	e.Uvarint(secrankSnapVersion)
+	e.Uvarint(uint64(len(s.dayVotes)))
+	for _, votes := range s.dayVotes {
+		encodeIDMap(&e, votes)
+	}
+	encodeLists(&e, s.lists)
+	e.Int(s.memPeak)
+	_, err := e.WriteTo(w)
+	return err
+}
+
+// Restore replaces Secrank's cross-day state from a Snapshot payload.
+func (s *Secrank) Restore(r io.Reader) error {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	d := snapshot.NewDecoder(b)
+	if err := checkSnapVersion(d, secrankSnapVersion, "Secrank"); err != nil {
+		return err
+	}
+	n := d.Len(1)
+	dayVotes := make([]map[names.ID]float64, 0, n)
+	for i := 0; i < n; i++ {
+		dayVotes = append(dayVotes, decodeIDMap(d))
+	}
+	lists, err := decodeLists(d, s.tab)
+	if err != nil {
+		return err
+	}
+	memPeak := d.Int()
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	if len(lists) != len(dayVotes) {
+		return fmt.Errorf("%w: Secrank has %d lists for %d days", snapshot.ErrCorrupt, len(lists), len(dayVotes))
+	}
+	s.dayVotes = dayVotes
+	s.lists = lists
+	s.memPeak = memPeak
+	return nil
+}
+
+// Snapshot writes Tranco's cross-day state: the published rankings. The
+// Dowdall window re-reads input snapshots through the normalization memo,
+// so no score state crosses days.
+func (t *Tranco) Snapshot(w io.Writer) error {
+	var e snapshot.Encoder
+	e.Uvarint(trancoSnapVersion)
+	encodeLists(&e, t.lists)
+	_, err := e.WriteTo(w)
+	return err
+}
+
+// Restore replaces Tranco's published rankings from a Snapshot payload.
+// tab is the study interner the restored ID sequences index into.
+func (t *Tranco) Restore(r io.Reader, tab *names.Table) error {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	d := snapshot.NewDecoder(b)
+	if err := checkSnapVersion(d, trancoSnapVersion, "Tranco"); err != nil {
+		return err
+	}
+	lists, err := decodeLists(d, tab)
+	if err != nil {
+		return err
+	}
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	t.lists = lists
+	return nil
+}
+
+// Snapshot writes Trexa's cross-day state: the published rankings.
+func (t *Trexa) Snapshot(w io.Writer) error {
+	var e snapshot.Encoder
+	e.Uvarint(trexaSnapVersion)
+	encodeLists(&e, t.lists)
+	_, err := e.WriteTo(w)
+	return err
+}
+
+// Restore replaces Trexa's published rankings from a Snapshot payload.
+func (t *Trexa) Restore(r io.Reader, tab *names.Table) error {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	d := snapshot.NewDecoder(b)
+	if err := checkSnapVersion(d, trexaSnapVersion, "Trexa"); err != nil {
+		return err
+	}
+	lists, err := decodeLists(d, tab)
+	if err != nil {
+		return err
+	}
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	t.lists = lists
+	return nil
+}

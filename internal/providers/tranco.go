@@ -84,6 +84,9 @@ func (t *Tranco) ComputeDay(day int) {
 	t.lists = append(t.lists, rank.FromScoredIDs(tab, scored, rank.TieHashed))
 }
 
+// NumDays returns how many days have been computed.
+func (t *Tranco) NumDays() int { return len(t.lists) }
+
 // Raw implements List. Tranco publishes registrable domains already.
 func (t *Tranco) Raw(day int) *rank.Ranking { return t.lists[day] }
 
@@ -154,6 +157,9 @@ func (t *Trexa) ComputeDay(day int) {
 	}
 	t.lists = append(t.lists, rank.MustFromIDs(a.Table(), out))
 }
+
+// NumDays returns how many days have been computed.
+func (t *Trexa) NumDays() int { return len(t.lists) }
 
 // Raw implements List.
 func (t *Trexa) Raw(day int) *rank.Ranking { return t.lists[day] }

@@ -186,6 +186,9 @@ func quantize(count int) float64 {
 	return math.Floor(math.Log2(float64(count)))
 }
 
+// NumDays returns how many days have been published.
+func (u *Umbrella) NumDays() int { return len(u.lists) }
+
 // Raw implements List.
 func (u *Umbrella) Raw(day int) *rank.Ranking { return u.lists[day] }
 

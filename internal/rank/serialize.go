@@ -1,0 +1,59 @@
+package rank
+
+import (
+	"fmt"
+
+	"toplists/internal/names"
+	"toplists/internal/snapshot"
+)
+
+// Ranking serialization: a ranking is persisted as its ID sequence in
+// rank order. Interner IDs are stable across a checkpoint/restore cycle
+// because the interner table itself is restored first, in ID order, so
+// the sequence alone reconstructs the ranking exactly.
+
+// EncodeRanking appends r's ID sequence to e. A nil ranking encodes as a
+// distinguished marker so optional slots round-trip.
+func EncodeRanking(e *snapshot.Encoder, r *Ranking) {
+	if r == nil {
+		e.Bool(false)
+		return
+	}
+	e.Bool(true)
+	e.Uvarint(uint64(len(r.ids)))
+	for _, id := range r.ids {
+		e.Uvarint(uint64(id))
+	}
+}
+
+// DecodeRanking reads one ranking encoded by EncodeRanking, validating
+// every ID against the (already restored) interner table and rejecting
+// duplicates, so a corrupted payload cannot produce an inconsistent
+// ranking.
+func DecodeRanking(d *snapshot.Decoder, tab *names.Table) (*Ranking, error) {
+	present := d.Bool()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if !present {
+		return nil, nil
+	}
+	n := d.Len(1)
+	ids := make([]names.ID, n)
+	limit := uint64(tab.Len())
+	for i := 0; i < n; i++ {
+		v := d.Uvarint()
+		if v >= limit && d.Err() == nil {
+			return nil, fmt.Errorf("%w: ranking ID %d out of interner range %d", snapshot.ErrCorrupt, v, limit)
+		}
+		ids[i] = names.ID(v)
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	r, err := FromIDs(tab, ids)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", snapshot.ErrCorrupt, err)
+	}
+	return r, nil
+}

@@ -1,0 +1,82 @@
+package sketch
+
+import (
+	"fmt"
+	"slices"
+
+	"toplists/internal/snapshot"
+)
+
+// Distinct serialization: checkpoints need to persist month-spanning
+// distinct counters (e.g. Chrome's per-country visitor sets) in whichever
+// representation the run uses. The encoding is a tagged union — Exact
+// carries its sorted key set, HLL its precision and register file — and
+// is canonical: the same logical state always encodes to the same bytes.
+
+const (
+	distinctExact = 0
+	distinctHLL   = 1
+)
+
+// EncodeDistinct appends d's canonical encoding to e.
+func EncodeDistinct(e *snapshot.Encoder, d Distinct) {
+	switch v := d.(type) {
+	case *Exact:
+		e.Uvarint(distinctExact)
+		keys := make([]uint64, 0, len(v.seen))
+		for k := range v.seen {
+			keys = append(keys, k)
+		}
+		slices.Sort(keys)
+		e.Uvarint(uint64(len(keys)))
+		// Delta-encode the sorted keys; random 64-bit hashes still cost
+		// ~9 bytes each, but clustered key spaces compress well.
+		var prev uint64
+		for _, k := range keys {
+			e.Uvarint(k - prev)
+			prev = k
+		}
+	case *HLL:
+		e.Uvarint(distinctHLL)
+		e.Uvarint(uint64(v.p))
+		e.Bytes(v.regs)
+	default:
+		panic(fmt.Sprintf("sketch: cannot encode Distinct of type %T", d))
+	}
+}
+
+// DecodeDistinct reads one Distinct encoded by EncodeDistinct.
+func DecodeDistinct(d *snapshot.Decoder) (Distinct, error) {
+	switch tag := d.Uvarint(); tag {
+	case distinctExact:
+		n := d.Len(1)
+		ex := &Exact{seen: make(map[uint64]struct{}, n)}
+		var prev uint64
+		for i := 0; i < n; i++ {
+			prev += d.Uvarint()
+			ex.seen[prev] = struct{}{}
+		}
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		if len(ex.seen) != n {
+			return nil, fmt.Errorf("%w: duplicate keys in Exact distinct set", snapshot.ErrCorrupt)
+		}
+		return ex, nil
+	case distinctHLL:
+		p := d.Uvarint()
+		regs := d.Bytes()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		if p < 4 || p > 18 || len(regs) != 1<<p {
+			return nil, fmt.Errorf("%w: HLL precision %d with %d registers", snapshot.ErrCorrupt, p, len(regs))
+		}
+		return &HLL{p: uint8(p), regs: regs}, nil
+	default:
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: unknown Distinct tag %d", snapshot.ErrCorrupt, tag)
+	}
+}

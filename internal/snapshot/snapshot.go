@@ -1,0 +1,233 @@
+// Package snapshot implements the on-disk checkpoint format for resident
+// studies: a schema header followed by named, length-prefixed, checksummed
+// component frames. The format is deliberately dumb — every component is a
+// self-versioned opaque payload produced by one subsystem's Snapshot
+// method — so subsystems evolve their encodings independently while the
+// container guarantees integrity (magic, version, per-frame CRC, explicit
+// end marker) and precise failure modes: a corrupted, truncated, or
+// version-skewed file is rejected with a sentinel error before any state
+// is mutated.
+//
+// Components are written and read in a fixed order. The reader API is
+// strict — the caller names the component it expects next — so a
+// reordered or missing frame surfaces as an immediate, descriptive error
+// instead of silently restoring the wrong subsystem.
+package snapshot
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// magic identifies a toplists snapshot file.
+const magic = "TOPLSNAP"
+
+// Version is the container schema version. Bump when the framing itself
+// (not a component payload) changes incompatibly.
+const Version uint16 = 1
+
+// maxFrameLen bounds name and payload lengths so a corrupted length
+// prefix fails fast instead of attempting a huge allocation.
+const maxFrameLen = 1 << 31
+
+var (
+	// ErrBadMagic means the file does not start with the snapshot magic.
+	ErrBadMagic = errors.New("snapshot: bad magic (not a toplists snapshot)")
+	// ErrVersion means the container schema version is not supported.
+	ErrVersion = errors.New("snapshot: unsupported schema version")
+	// ErrChecksum means a component frame failed its CRC check.
+	ErrChecksum = errors.New("snapshot: component checksum mismatch")
+	// ErrTruncated means the file ended mid-frame.
+	ErrTruncated = errors.New("snapshot: truncated")
+	// ErrCorrupt means a structurally invalid frame (bad length, wrong
+	// component name, trailing garbage, or an undecodable payload).
+	ErrCorrupt = errors.New("snapshot: corrupt")
+)
+
+// Writer emits a snapshot container. Components must be written in the
+// same fixed order the reader will request them.
+type Writer struct {
+	w   *bufio.Writer
+	buf bytes.Buffer
+	err error
+}
+
+// NewWriter writes the schema header and returns a component writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return nil, err
+	}
+	var v [2]byte
+	binary.BigEndian.PutUint16(v[:], Version)
+	if _, err := bw.Write(v[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Component frames one named payload: fn writes the payload bytes, the
+// writer prefixes name and length and appends a CRC-32 (IEEE) over
+// name+payload. Errors are sticky.
+func (sw *Writer) Component(name string, fn func(w io.Writer) error) error {
+	if sw.err != nil {
+		return sw.err
+	}
+	if name == "" {
+		sw.err = errors.New("snapshot: empty component name")
+		return sw.err
+	}
+	sw.buf.Reset()
+	if err := fn(&sw.buf); err != nil {
+		sw.err = fmt.Errorf("snapshot: component %q: %w", name, err)
+		return sw.err
+	}
+	sw.err = sw.writeFrame(name, sw.buf.Bytes())
+	return sw.err
+}
+
+func (sw *Writer) writeFrame(name string, payload []byte) error {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(name)))
+	if _, err := sw.w.Write(tmp[:n]); err != nil {
+		return err
+	}
+	if _, err := sw.w.WriteString(name); err != nil {
+		return err
+	}
+	n = binary.PutUvarint(tmp[:], uint64(len(payload)))
+	if _, err := sw.w.Write(tmp[:n]); err != nil {
+		return err
+	}
+	if _, err := sw.w.Write(payload); err != nil {
+		return err
+	}
+	crc := crc32.ChecksumIEEE([]byte(name))
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	var c [4]byte
+	binary.BigEndian.PutUint32(c[:], crc)
+	_, err := sw.w.Write(c[:])
+	return err
+}
+
+// Close writes the end marker (a zero-length name) and flushes. The
+// snapshot is not valid until Close returns nil.
+func (sw *Writer) Close() error {
+	if sw.err != nil {
+		return sw.err
+	}
+	var tmp [1]byte // uvarint(0)
+	if _, err := sw.w.Write(tmp[:]); err != nil {
+		sw.err = err
+		return err
+	}
+	sw.err = sw.w.Flush()
+	return sw.err
+}
+
+// Reader consumes a snapshot container, validating the header up front
+// and each frame's checksum as it is read.
+type Reader struct {
+	r *bufio.Reader
+}
+
+// NewReader validates the schema header. It fails with ErrBadMagic or
+// ErrVersion (wrapped with the found version) before any component is
+// touched.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic)+2)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
+	}
+	if string(head[:len(magic)]) != magic {
+		return nil, ErrBadMagic
+	}
+	if v := binary.BigEndian.Uint16(head[len(magic):]); v != Version {
+		return nil, fmt.Errorf("%w: file has v%d, this build reads v%d", ErrVersion, v, Version)
+	}
+	return &Reader{r: br}, nil
+}
+
+// Component reads the next frame, which must carry the given name, and
+// returns its checksum-verified payload.
+func (sr *Reader) Component(name string) ([]byte, error) {
+	got, payload, err := sr.next()
+	if err != nil {
+		return nil, err
+	}
+	if got == "" {
+		return nil, fmt.Errorf("%w: expected component %q, found end of snapshot", ErrCorrupt, name)
+	}
+	if got != name {
+		return nil, fmt.Errorf("%w: expected component %q, found %q", ErrCorrupt, name, got)
+	}
+	return payload, nil
+}
+
+// next reads one frame. The end marker returns ("", nil, nil).
+func (sr *Reader) next() (string, []byte, error) {
+	nameLen, err := binary.ReadUvarint(sr.r)
+	if err != nil {
+		return "", nil, truncated(err)
+	}
+	if nameLen == 0 {
+		return "", nil, nil
+	}
+	if nameLen > maxFrameLen {
+		return "", nil, fmt.Errorf("%w: component name length %d", ErrCorrupt, nameLen)
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(sr.r, nameBuf); err != nil {
+		return "", nil, truncated(err)
+	}
+	payloadLen, err := binary.ReadUvarint(sr.r)
+	if err != nil {
+		return "", nil, truncated(err)
+	}
+	if payloadLen > maxFrameLen {
+		return "", nil, fmt.Errorf("%w: component %q payload length %d", ErrCorrupt, nameBuf, payloadLen)
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(sr.r, payload); err != nil {
+		return "", nil, truncated(err)
+	}
+	var c [4]byte
+	if _, err := io.ReadFull(sr.r, c[:]); err != nil {
+		return "", nil, truncated(err)
+	}
+	crc := crc32.ChecksumIEEE(nameBuf)
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	if got := binary.BigEndian.Uint32(c[:]); got != crc {
+		return "", nil, fmt.Errorf("%w: component %q", ErrChecksum, nameBuf)
+	}
+	return string(nameBuf), payload, nil
+}
+
+// End verifies the end marker has been reached: every component was
+// consumed and nothing trails it.
+func (sr *Reader) End() error {
+	got, _, err := sr.next()
+	if err != nil {
+		return err
+	}
+	if got != "" {
+		return fmt.Errorf("%w: unexpected trailing component %q", ErrCorrupt, got)
+	}
+	if _, err := sr.r.ReadByte(); err != io.EOF {
+		return fmt.Errorf("%w: trailing bytes after end marker", ErrCorrupt)
+	}
+	return nil
+}
+
+func truncated(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return ErrTruncated
+	}
+	return err
+}

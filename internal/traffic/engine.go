@@ -2,6 +2,8 @@ package traffic
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"slices"
 	"time"
 
@@ -211,6 +213,16 @@ type Engine struct {
 	shardedSinks []ShardedSink
 	plainSinks   []Sink
 	sinksSplit   bool
+
+	// day is the lifecycle cursor: the index of the next day AdvanceDay
+	// will simulate. It is the engine's only cross-day state — each day
+	// derives its randomness statelessly from the root source — which is
+	// what makes a run checkpointable at any day boundary.
+	day int
+	// failed latches the first day-level error. Sinks are left mid-day
+	// when a day fails, so every later AdvanceDay refuses to run rather
+	// than feed them a second, inconsistent copy of the day.
+	failed error
 
 	// testHook, when set, runs before each client-day simulation; tests
 	// use it to inject panics and cancellation races into shards.
@@ -466,28 +478,93 @@ func (e *Engine) Run() {
 	}
 }
 
-// RunContext simulates all configured days, stopping early with ctx's
+// ErrRunComplete is returned by AdvanceDay once every configured day has
+// been simulated.
+var ErrRunComplete = errors.New("traffic: all configured days already simulated")
+
+// ErrEngineAborted is returned by AdvanceDay after an earlier day failed:
+// the sinks were left mid-day, so no further advancement is allowed.
+var ErrEngineAborted = errors.New("traffic: engine aborted by earlier day failure")
+
+// Day returns the lifecycle cursor: the number of fully simulated days,
+// equivalently the index of the next day AdvanceDay will run.
+func (e *Engine) Day() int { return e.day }
+
+// Failed reports the first day-level error, or nil. A pre-start context
+// cancellation (no day work performed) does not count as a failure.
+func (e *Engine) Failed() error { return e.failed }
+
+// RestoreDay repositions the lifecycle cursor after the sinks have been
+// restored from a checkpoint taken at day d. It is only valid on a fresh
+// engine that has not simulated anything yet.
+func (e *Engine) RestoreDay(d int) error {
+	if e.failed != nil {
+		return e.failed
+	}
+	if e.day != 0 {
+		return fmt.Errorf("traffic: RestoreDay(%d): engine already at day %d", d, e.day)
+	}
+	if d < 0 || d > e.Cfg.Days {
+		return fmt.Errorf("traffic: RestoreDay(%d): out of range [0, %d]", d, e.Cfg.Days)
+	}
+	e.day = d
+	return nil
+}
+
+// AdvanceDay simulates exactly one day — the one at the Day cursor — and
+// advances the cursor. Days advance strictly in order, exactly once: the
+// cursor is the guard against out-of-order or double advancement, for both
+// the buffered-replay and sketch-sharded paths. Once all configured days
+// have run it returns ErrRunComplete. A failed day (shard panic, mid-day
+// cancellation) latches: the sinks are mid-day and every subsequent call
+// returns an error wrapping ErrEngineAborted. A cancellation observed
+// before any day work starts is returned as ctx's error without latching,
+// since the sinks are still consistent at the previous day boundary.
+func (e *Engine) AdvanceDay(ctx context.Context) error {
+	if e.failed != nil {
+		return fmt.Errorf("%w: %v", ErrEngineAborted, e.failed)
+	}
+	if e.day >= e.Cfg.Days {
+		return ErrRunComplete
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := e.runDay(ctx, e.day); err != nil {
+		e.failed = err
+		return err
+	}
+	e.day++
+	return nil
+}
+
+// RunContext simulates all remaining days, stopping early with ctx's
 // error when it is canceled. A panic inside a client shard is recovered
 // and returned as a *ShardPanicError identifying the shard, instead of
-// crashing the process. On error the sinks are left mid-day; the run
-// cannot be resumed.
+// crashing the process. On error the sinks are left mid-day and the
+// engine refuses to advance further (see AdvanceDay).
 func (e *Engine) RunContext(ctx context.Context) error {
 	sp := e.metrics.simPhase.Start()
 	defer sp.End()
-	for d := 0; d < e.Cfg.Days; d++ {
-		if err := e.runDay(ctx, d); err != nil {
+	for e.day < e.Cfg.Days {
+		if err := e.AdvanceDay(ctx); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// RunDay simulates a single day. With more than one worker configured the
-// day's clients are simulated concurrently in contiguous shards; the event
+// RunDay simulates a single day, which must be the day at the Day cursor:
+// sinks accumulate state day over day, so the lifecycle forbids skipping
+// or repeating days. With more than one worker configured the day's
+// clients are simulated concurrently in contiguous shards; the event
 // stream the sinks observe is identical for every worker count (see
 // parallel.go). Like Run, a shard panic propagates.
 func (e *Engine) RunDay(d int) {
-	if err := e.runDay(context.Background(), d); err != nil {
+	if d != e.day {
+		panic(fmt.Sprintf("traffic: RunDay(%d): cursor is at day %d; days advance in order, exactly once", d, e.day))
+	}
+	if err := e.AdvanceDay(context.Background()); err != nil {
 		panic(err)
 	}
 }

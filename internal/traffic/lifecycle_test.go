@@ -1,0 +1,124 @@
+package traffic
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"toplists/internal/world"
+)
+
+func lifecycleEngine(t *testing.T, days int) *Engine {
+	t.Helper()
+	w := world.Generate(world.Config{Seed: 71, NumSites: 200})
+	return NewEngine(w, Config{Seed: 71, NumClients: 100, Days: days, Workers: 2})
+}
+
+// TestAdvanceDayCursor: AdvanceDay simulates days strictly in order,
+// exactly once, and reports ErrRunComplete once the configured window is
+// exhausted.
+func TestAdvanceDayCursor(t *testing.T) {
+	e := lifecycleEngine(t, 3)
+	var began int
+	e.AddSink(countingSink{days: &began})
+	for d := 0; d < 3; d++ {
+		if got := e.Day(); got != d {
+			t.Fatalf("Day() = %d before advancing day %d", got, d)
+		}
+		if err := e.AdvanceDay(context.Background()); err != nil {
+			t.Fatalf("AdvanceDay(%d): %v", d, err)
+		}
+	}
+	if began != 3 {
+		t.Fatalf("sinks saw %d days, want 3", began)
+	}
+	if err := e.AdvanceDay(context.Background()); !errors.Is(err, ErrRunComplete) {
+		t.Fatalf("AdvanceDay past end: %v, want ErrRunComplete", err)
+	}
+	if began != 3 {
+		t.Fatalf("completed engine re-ran a day (%d began)", began)
+	}
+}
+
+// TestAdvanceDayLatchesFailure: a mid-day failure latches the engine;
+// every later advancement reports ErrEngineAborted instead of re-running
+// the day over half-fed sinks.
+func TestAdvanceDayLatchesFailure(t *testing.T) {
+	e := lifecycleEngine(t, 3)
+	e.testHook = func(client, day int) {
+		if day == 1 && client == 17 {
+			panic("injected")
+		}
+	}
+	if err := e.AdvanceDay(context.Background()); err != nil {
+		t.Fatalf("day 0: %v", err)
+	}
+	err := e.AdvanceDay(context.Background())
+	var spe *ShardPanicError
+	if !errors.As(err, &spe) {
+		t.Fatalf("day 1: %v, want *ShardPanicError", err)
+	}
+	if got := e.Failed(); got == nil {
+		t.Fatal("failure did not latch")
+	}
+	if err := e.AdvanceDay(context.Background()); !errors.Is(err, ErrEngineAborted) {
+		t.Fatalf("advancement after failure: %v, want ErrEngineAborted", err)
+	}
+	if got := e.Day(); got != 1 {
+		t.Fatalf("failed engine advanced to day %d, want stuck at 1", got)
+	}
+}
+
+// TestAdvanceDayPreCancelUnlatched: a cancellation observed before the
+// day starts returns the context error without latching — the engine is
+// still at a clean boundary and can continue once the pressure clears.
+func TestAdvanceDayPreCancelUnlatched(t *testing.T) {
+	e := lifecycleEngine(t, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := e.AdvanceDay(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled AdvanceDay: %v, want context.Canceled", err)
+	}
+	if e.Failed() != nil {
+		t.Fatalf("pre-start cancel latched the engine: %v", e.Failed())
+	}
+	if err := e.RunContext(context.Background()); err != nil {
+		t.Fatalf("run after cleared cancellation: %v", err)
+	}
+	if got := e.Day(); got != 2 {
+		t.Fatalf("engine at day %d after full run, want 2", got)
+	}
+}
+
+// TestRestoreDay: the cursor restore used by checkpoint resume accepts
+// exactly the fresh-engine, in-range case.
+func TestRestoreDay(t *testing.T) {
+	e := lifecycleEngine(t, 5)
+	if err := e.RestoreDay(3); err != nil {
+		t.Fatalf("RestoreDay(3) on fresh engine: %v", err)
+	}
+	if got := e.Day(); got != 3 {
+		t.Fatalf("Day() = %d after RestoreDay(3)", got)
+	}
+	if err := e.RestoreDay(2); err == nil {
+		t.Fatal("RestoreDay on advanced engine succeeded")
+	}
+	for _, bad := range []int{-1, 6} {
+		if err := lifecycleEngine(t, 5).RestoreDay(bad); err == nil {
+			t.Fatalf("RestoreDay(%d) out of range succeeded", bad)
+		}
+	}
+}
+
+// TestRunDayOutOfOrderPanics: the legacy RunDay keeps its contract by
+// panicking when called with anything but the cursor day.
+func TestRunDayOutOfOrderPanics(t *testing.T) {
+	e := lifecycleEngine(t, 3)
+	e.RunDay(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunDay(2) with cursor at 1 did not panic")
+		}
+	}()
+	e.RunDay(2)
+}

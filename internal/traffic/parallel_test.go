@@ -252,7 +252,15 @@ func BenchmarkEngineParallel(b *testing.B) {
 			e.AddSink(&BaseSink{})
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				e.RunDay(i % 28)
+				if e.Day() == e.Cfg.Days {
+					b.StopTimer()
+					e = NewEngine(w, Config{
+						Seed: 2, NumClients: 1000, Days: 28, Workers: workers,
+					})
+					e.AddSink(&BaseSink{})
+					b.StartTimer()
+				}
+				e.RunDay(e.Day())
 			}
 		})
 	}

@@ -1,0 +1,122 @@
+package toplists
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"testing"
+
+	"toplists/internal/core"
+	"toplists/internal/sketch"
+)
+
+// snapcheckCfg is the study shape behind `make snapcheck`: a full 28-day
+// month (so the resume points 1, 7, 27 sit at the start, inside, and past
+// the Secrank window, and day 27 exercises resume-then-finalize) at a
+// deliberately small scale, with fault injection on so the fault plan's
+// day-keyed derivation is covered too.
+func snapcheckCfg(sketchOn bool) core.Config {
+	return core.Config{
+		Seed:       2022,
+		NumSites:   600,
+		NumClients: 150,
+		Days:       28,
+		FaultRate:  0.05,
+		Workers:    4,
+		Sketch:     sketch.Config{Enabled: sketchOn},
+	}
+}
+
+// snapDigest hashes everything the resumed service must reproduce: every
+// published list for every day, the CrUX dataset, and the resume-stable
+// deterministic report subset.
+func snapDigest(t *testing.T, s *core.Study) uint64 {
+	t.Helper()
+	h := fnv.New64a()
+	write := func(parts ...string) {
+		for _, p := range parts {
+			io.WriteString(h, p) //nolint:errcheck // hash writes cannot fail
+			h.Write([]byte{0})
+		}
+	}
+	for _, name := range s.ListNames() {
+		for d := 0; d < s.Cfg.Days; d++ {
+			r, err := s.RankingFor(name, d)
+			if err != nil {
+				t.Fatalf("RankingFor(%s, %d): %v", name, d, err)
+			}
+			write("list", name, fmt.Sprint(d))
+			for _, n := range r.Names() {
+				write(n)
+			}
+		}
+	}
+	rep, err := s.Metrics().Snapshot().ResumeStable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	write("report", string(rep))
+	return h.Sum64()
+}
+
+// TestSnapCheck is the checkpoint/restore oracle behind `make snapcheck`:
+// a study checkpointed at day k and resumed in a fresh process — at a
+// different worker count — must advance to day 28 and publish every list
+// and the resume-stable report subset byte-identically to a straight
+// 28-day run, in exact and sketch mode, with fault injection on. One
+// incremental source study feeds all three checkpoints, so the oracle
+// also proves the snapshots were taken at clean day boundaries of a
+// live, partially-advanced study.
+func TestSnapCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs eight partial-to-full studies")
+	}
+	ctx := context.Background()
+	for _, mode := range []bool{false, true} {
+		t.Run(fmt.Sprintf("sketch=%v", mode), func(t *testing.T) {
+			straight := core.NewStudy(snapcheckCfg(mode))
+			defer straight.Close()
+			straight.Run()
+			want := snapDigest(t, straight)
+
+			// One source study, checkpointed as it passes each resume point.
+			src := core.NewStudy(snapcheckCfg(mode))
+			defer src.Close()
+			checkpoints := map[int][]byte{}
+			for day := 0; day < 27; {
+				if err := src.AdvanceDay(ctx); err != nil {
+					t.Fatalf("source AdvanceDay(%d): %v", day, err)
+				}
+				day = src.Day()
+				if day == 1 || day == 7 || day == 27 {
+					var buf bytes.Buffer
+					if err := src.Snapshot(&buf); err != nil {
+						t.Fatalf("Snapshot at day %d: %v", day, err)
+					}
+					checkpoints[day] = buf.Bytes()
+				}
+			}
+
+			// Resume each checkpoint at a different worker count and run out
+			// the month: every digest must match the straight run's.
+			workersFor := map[int]int{1: 1, 7: 4, 27: 0}
+			for _, k := range []int{1, 7, 27} {
+				r, err := core.Resume(bytes.NewReader(checkpoints[k]), core.ResumeOptions{Workers: workersFor[k]})
+				if err != nil {
+					t.Fatalf("Resume at day %d: %v", k, err)
+				}
+				if got := r.Day(); got != k {
+					t.Fatalf("resumed study at day %d, want %d", got, k)
+				}
+				r.Run()
+				if got := snapDigest(t, r); got != want {
+					t.Errorf("k=%d workers=%d: digest %x after resume, straight run %x",
+						k, workersFor[k], got, want)
+				}
+				r.Close()
+			}
+		})
+	}
+}

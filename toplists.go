@@ -18,6 +18,12 @@
 //	defer study.Close()
 //	res, err := study.Experiment("fig2")
 //	res.Render(os.Stdout)
+//
+// Run is a thin client of the incremental day lifecycle in internal/core:
+// it advances the study one simulated day at a time until the window is
+// exhausted, then finalizes. The same lifecycle powers cmd/toplistsd,
+// which advances days on demand over HTTP and checkpoints/resumes the
+// study byte-identically (see DESIGN.md, "Resident service & snapshots").
 package toplists
 
 import (
@@ -77,6 +83,14 @@ type Config struct {
 	// excluded from the run report's deterministic subset.
 	Obs *obs.Registry
 }
+
+// ErrStudyAborted marks a study whose day advancement failed mid-day (a
+// canceled context observed inside a day, or a panicking client shard):
+// the observers hold a half-fed day, so the study latches and every later
+// run attempt returns an error wrapping this sentinel instead of silently
+// re-simulating over torn state. Aliased from internal/core so callers of
+// this package can errors.Is against it.
+var ErrStudyAborted = core.ErrStudyAborted
 
 // Result is one regenerated paper artifact.
 type Result interface {
