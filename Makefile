@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz bench check faultcheck obscheck sketchcheck snapcheck
+.PHONY: build test vet race fuzz bench check faultcheck obscheck sketchcheck snapcheck vantagecheck
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,7 @@ vet:
 # race pass covers every package that touches a parallel path, with
 # -shuffle=on so test-order coupling can't hide behind a fixed schedule.
 race:
-	$(GO) test -race -shuffle=on ./internal/names ./internal/rank ./internal/sketch ./internal/cfmetrics ./internal/traffic ./internal/core ./internal/experiments ./internal/httpsim ./internal/obs ./internal/snapshot ./cmd/toplistsd
+	$(GO) test -race -shuffle=on ./internal/names ./internal/rank ./internal/sketch ./internal/cfmetrics ./internal/traffic ./internal/core ./internal/experiments ./internal/httpsim ./internal/obs ./internal/snapshot ./internal/world ./internal/dnssim ./cmd/toplistsd
 
 # faultcheck is the fault-injection determinism oracle: a fixed seed at a
 # nonzero fault rate must render the full evaluation byte-identically
@@ -48,6 +48,14 @@ snapcheck:
 	$(GO) test -run=TestSnapCheck -count=1 .
 	$(GO) test -count=1 ./cmd/toplistsd ./internal/snapshot
 
+# vantagecheck is the multi-vantage oracle: an explicit single-edge config
+# (Vantages=1, Backends=1) must render byte-identically to the zero-value
+# config and to the pre-refactor golden, and the full 3x3 vantage/backend
+# grid must render byte-identically across worker counts {1,4,auto} in
+# both exact and sketch modes.
+vantagecheck:
+	$(GO) test -run=TestVantageCheck -count=1 .
+
 # Short fuzz smoke of the rank-bucketing, interner, fault-plan, and sketch
 # targets (seeds + 10s each).
 fuzz:
@@ -76,4 +84,4 @@ benchsmoke:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...
 
 # check is the CI gate: everything must pass before merging.
-check: build vet test race faultcheck obscheck sketchcheck snapcheck
+check: build vet test race faultcheck obscheck sketchcheck snapcheck vantagecheck

@@ -12,6 +12,10 @@
 //	-workers    worker goroutines for the per-day simulation and for the
 //	            concurrent experiment evaluation (default 0 = one per CPU;
 //	            1 = serial; results are identical either way)
+//	-vantages   measurement vantage points (default 1 = the transparent
+//	            global vantage; up to 12)
+//	-backends   deployed CDN edge backends (default 1 = Cloudflare-style
+//	            only; up to 3)
 //	-experiment artifact to regenerate: fig1..fig8, tab1..tab3, or "all"
 //	-faultrate  inject deterministic network faults at this rate (0..1);
 //	            output stays reproducible for a fixed seed
@@ -43,6 +47,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"time"
 
 	"toplists"
@@ -56,7 +61,9 @@ func main() {
 		clients    = flag.Int("clients", 6000, "number of simulated clients")
 		days       = flag.Int("days", 28, "measurement window in days")
 		workers    = flag.Int("workers", 0, "simulation and evaluation worker goroutines (0 = one per CPU, 1 = serial)")
-		experiment = flag.String("experiment", "all", "experiment id (fig1..fig8, tab1..tab3, stability, faultsense) or 'all'")
+		vantages   = flag.Int("vantages", 1, "measurement vantage points (1 = transparent global only)")
+		backends   = flag.Int("backends", 1, "deployed CDN edge backends (1 = Cloudflare-style only)")
+		experiment = flag.String("experiment", "all", "experiment id (fig1..fig8, tab1..tab3, stability, faultsense, vantages) or 'all'")
 		faultRate  = flag.Float64("faultrate", 0, "inject deterministic network faults at this rate (0..1)")
 		sketchMode = flag.Bool("sketch", false, "aggregate through bounded mergeable sketches instead of exact state")
 		list       = flag.Bool("list", false, "list available experiments and exit")
@@ -94,7 +101,7 @@ func main() {
 	if *debugAddr != "" {
 		srv, err := obs.ServeDebug(*debugAddr, reg)
 		if err != nil {
-			log.Errorf("toplists: %v", err)
+			log.Errorf("toplists: %s", errText(err))
 			os.Exit(1)
 		}
 		defer srv.Close()
@@ -137,13 +144,15 @@ func main() {
 		Clients:   *clients,
 		Days:      *days,
 		Workers:   *workers,
+		Vantages:  *vantages,
+		Backends:  *backends,
 		AllCombos: true,
 		FaultRate: *faultRate,
 		Sketch:    *sketchMode,
 		Obs:       reg,
 	})
 	if err != nil {
-		log.Errorf("toplists: %v", err)
+		log.Errorf("toplists: %s", errText(err))
 		os.Exit(1)
 	}
 	defer study.Close()
@@ -161,7 +170,7 @@ func main() {
 	// so stdout is byte-identical to a serial run.
 	outcomes, err := study.RunExperimentsContext(ctx, ids)
 	if err != nil {
-		log.Errorf("toplists: %v", err)
+		log.Errorf("toplists: %s", errText(err))
 		os.Exit(1)
 	}
 	for _, oc := range outcomes {
@@ -170,11 +179,11 @@ func main() {
 				log.Infof("[%s skipped: %v]", oc.ID, oc.Err)
 				continue
 			}
-			log.Errorf("toplists: %v", oc.Err)
+			log.Errorf("toplists: %s", errText(oc.Err))
 			os.Exit(1)
 		}
 		if err := renderTo(oc.Result, *outdir); err != nil {
-			log.Errorf("toplists: %v", err)
+			log.Errorf("toplists: %s", errText(err))
 			os.Exit(1)
 		}
 		fmt.Println()
@@ -198,7 +207,7 @@ func main() {
 	}
 	if *reportPath != "" {
 		if err := writeReport(rep, *reportPath); err != nil {
-			log.Errorf("toplists: %v", err)
+			log.Errorf("toplists: %s", errText(err))
 			os.Exit(1)
 		}
 		log.Debugf("run report written to %s", *reportPath)
@@ -212,9 +221,16 @@ func renderOrDie(log *obs.Logger, res toplists.Result, err error) {
 		err = res.Render(os.Stdout)
 	}
 	if err != nil {
-		log.Errorf("toplists: %v", err)
+		log.Errorf("toplists: %s", errText(err))
 		os.Exit(1)
 	}
+}
+
+// errText returns err's message with the library's "toplists: " prefix
+// trimmed; library errors self-identify, and the CLI tags every message
+// itself, so printing both would double the prefix.
+func errText(err error) string {
+	return strings.TrimPrefix(err.Error(), "toplists: ")
 }
 
 // writeReport writes the JSON run report to path.

@@ -14,6 +14,10 @@
 //	-clients    browsing population (default 6000)
 //	-days       measurement window in days (default 28)
 //	-workers    per-day simulation worker goroutines (0 = one per CPU)
+//	-vantages   measurement vantage points (1 = the single transparent
+//	            global vantage; up to 12)
+//	-backends   deployed CDN edge backends (1 = Cloudflare-style only;
+//	            up to 3)
 //	-allcombos  track all 21 Cloudflare filter-aggregation combinations
 //	-sketch     aggregate through bounded mergeable sketches
 //	-faultrate  inject deterministic network faults at this rate (0..1)
@@ -30,7 +34,11 @@
 //
 //	GET  /v1/status              day cursor, completion, abort state
 //	POST /v1/advance?days=N      simulate N more days (409 when done)
-//	GET  /v1/rankings/{list}     top k of a list for an advanced day
+//	GET  /v1/vantages            the vantage/backend measurement grid
+//	GET  /v1/rankings/{list}     top k of a list for an advanced day;
+//	                             with ?vantage=&backend= the path names a
+//	                             Cloudflare metric and the response is
+//	                             that (vantage, backend) edge's view
 //	GET  /v1/diff                top-k churn of a list between two days
 //	GET  /v1/report[?stable=1]   telemetry report (stable = the subset
 //	                             pinned across checkpoint/restore)
@@ -54,6 +62,7 @@ import (
 	"toplists/internal/core"
 	"toplists/internal/obs"
 	"toplists/internal/sketch"
+	"toplists/internal/world"
 )
 
 func main() {
@@ -64,6 +73,8 @@ func main() {
 		clients    = flag.Int("clients", 6000, "number of simulated clients")
 		days       = flag.Int("days", 28, "measurement window in days")
 		workers    = flag.Int("workers", 0, "simulation worker goroutines (0 = one per CPU, 1 = serial)")
+		vantages   = flag.Int("vantages", 1, "measurement vantage points (1 = transparent global only)")
+		backends   = flag.Int("backends", 1, "deployed CDN edge backends (1 = Cloudflare-style only)")
 		allCombos  = flag.Bool("allcombos", false, "track all 21 Cloudflare filter-aggregation combinations")
 		sketchMode = flag.Bool("sketch", false, "aggregate through bounded mergeable sketches instead of exact state")
 		faultRate  = flag.Float64("faultrate", 0, "inject deterministic network faults at this rate (0..1)")
@@ -84,6 +95,15 @@ func main() {
 		level = obs.LevelError
 	}
 	log := obs.NewLogger(os.Stderr, level)
+
+	if *vantages < 1 || *vantages > world.MaxVantages {
+		log.Errorf("toplistsd: -vantages %d outside [1, %d]", *vantages, world.MaxVantages)
+		os.Exit(2)
+	}
+	if *backends < 1 || *backends > world.NumBackends {
+		log.Errorf("toplistsd: -backends %d outside [1, %d]", *backends, world.NumBackends)
+		os.Exit(2)
+	}
 
 	reg := obs.NewRegistry()
 	if *debugAddr != "" {
@@ -119,6 +139,8 @@ func main() {
 			Days:           *days,
 			TrackAllCombos: *allCombos,
 			Workers:        *workers,
+			Vantages:       *vantages,
+			Backends:       *backends,
 			FaultRate:      *faultRate,
 			Sketch:         sketch.Config{Enabled: *sketchMode},
 			Obs:            reg,

@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"sync"
 
+	"toplists/internal/cfmetrics"
 	"toplists/internal/core"
 	"toplists/internal/obs"
 	"toplists/internal/rank"
@@ -45,6 +46,7 @@ func (s *server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/status", s.handleStatus)
 	mux.HandleFunc("POST /v1/advance", s.handleAdvance)
+	mux.HandleFunc("GET /v1/vantages", s.handleVantages)
 	mux.HandleFunc("GET /v1/rankings/{list}", s.handleRankings)
 	mux.HandleFunc("GET /v1/diff", s.handleDiff)
 	mux.HandleFunc("GET /v1/report", s.handleReport)
@@ -142,16 +144,56 @@ func (s *server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+type vantageInfo struct {
+	Name        string `json:"name"`
+	Country     string `json:"country"`
+	Transparent bool   `json:"transparent"`
+}
+
+type vantagesResponse struct {
+	Vantages []vantageInfo `json:"vantages"`
+	Backends []string      `json:"backends"`
+	Metrics  []string      `json:"metrics"`
+}
+
+// handleVantages describes the study's measurement grid: every vantage
+// point, every deployed backend, and the metric keys the per-edge
+// rankings endpoint accepts.
+func (s *server) handleVantages(w http.ResponseWriter, r *http.Request) {
+	vs := s.study.Vantages()
+	resp := vantagesResponse{Vantages: make([]vantageInfo, 0, len(vs))}
+	for i := range vs {
+		v := &vs[i]
+		resp.Vantages = append(resp.Vantages, vantageInfo{
+			Name:        v.Name,
+			Country:     v.Country.String(),
+			Transparent: v.Transparent(),
+		})
+	}
+	for _, b := range s.study.Backends() {
+		resp.Backends = append(resp.Backends, b.String())
+	}
+	for _, m := range cfmetrics.AllMetrics() {
+		resp.Metrics = append(resp.Metrics, m.Key())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 type rankingsResponse struct {
-	List  string   `json:"list"`
-	Day   int      `json:"day"`
-	K     int      `json:"k"`
-	Total int      `json:"total"`
-	Names []string `json:"names"`
+	List    string   `json:"list"`
+	Vantage string   `json:"vantage,omitempty"`
+	Backend string   `json:"backend,omitempty"`
+	Day     int      `json:"day"`
+	K       int      `json:"k"`
+	Total   int      `json:"total"`
+	Names   []string `json:"names"`
 }
 
 // handleRankings serves the top k of one list for one advanced day
-// (default: the most recent). k=0 serves the full list.
+// (default: the most recent). k=0 serves the full list. With a ?vantage=
+// or ?backend= parameter the path names a Cloudflare metric key instead
+// of a list, and the response is that (vantage, backend) edge pipeline's
+// view of the metric; an unknown metric, vantage, or backend is 404.
 func (s *server) handleRankings(w http.ResponseWriter, r *http.Request) {
 	list := r.PathValue("list")
 	day, ok := queryInt(w, r, "day", s.study.Day()-1)
@@ -160,6 +202,10 @@ func (s *server) handleRankings(w http.ResponseWriter, r *http.Request) {
 	}
 	k, ok := queryInt(w, r, "k", 100)
 	if !ok {
+		return
+	}
+	if vantage, backend := r.URL.Query().Get("vantage"), r.URL.Query().Get("backend"); vantage != "" || backend != "" {
+		s.edgeRankings(w, r, list, vantage, backend, day, k)
 		return
 	}
 	ranking, err := s.study.RankingFor(list, day)
@@ -183,6 +229,44 @@ func (s *server) handleRankings(w http.ResponseWriter, r *http.Request) {
 		K:     len(names),
 		Total: ranking.Len(),
 		Names: names,
+	})
+}
+
+// edgeRankings serves one (vantage, backend) edge pipeline's view of a
+// Cloudflare metric. An omitted side of the edge key defaults to the
+// grid's first entry (the transparent global vantage, the Cloudflare-
+// style backend), so ?vantage=eu-central alone reads that vantage's view
+// of the primary backend.
+func (s *server) edgeRankings(w http.ResponseWriter, r *http.Request, metric, vantage, backend string, day, k int) {
+	if vantage == "" {
+		vantage = s.study.Vantages()[0].Name
+	}
+	if backend == "" {
+		backend = s.study.Backends()[0].String()
+	}
+	ranking, err := s.study.EdgeRankingFor(metric, vantage, backend, day)
+	if err != nil {
+		// As for lists: a day the study can never serve is the caller's
+		// mistake (400); unknown keys and not-yet-advanced days are 404.
+		code := http.StatusNotFound
+		if r.URL.Query().Get("day") != "" && (day >= s.study.Cfg.Days || day < 0) {
+			code = http.StatusBadRequest
+		}
+		writeErr(w, code, "%v", err)
+		return
+	}
+	names := ranking.Names()
+	if k > 0 && k < len(names) {
+		names = names[:k]
+	}
+	writeJSON(w, http.StatusOK, rankingsResponse{
+		List:    metric,
+		Vantage: vantage,
+		Backend: backend,
+		Day:     day,
+		K:       len(names),
+		Total:   ranking.Len(),
+		Names:   names,
 	})
 }
 

@@ -252,3 +252,102 @@ func TestServerConcurrentReaders(t *testing.T) {
 	}
 	restored.Close()
 }
+
+// multiEdgeServer starts a server over a 2-vantage, 2-backend study with
+// two days already advanced, so edge rankings have data to serve.
+func multiEdgeServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	s := core.NewStudy(core.Config{
+		Seed:       33,
+		NumSites:   300,
+		NumClients: 60,
+		Days:       3,
+		Workers:    2,
+		Vantages:   2,
+		Backends:   2,
+	})
+	t.Cleanup(s.Close)
+	ts := testServer(t, s, "")
+	do(t, "POST", ts.URL+"/v1/advance?days=2", 200)
+	return ts
+}
+
+func TestServerVantages(t *testing.T) {
+	ts := multiEdgeServer(t)
+	var resp vantagesResponse
+	if err := json.Unmarshal(do(t, "GET", ts.URL+"/v1/vantages", 200), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Vantages) != 2 || len(resp.Backends) != 2 {
+		t.Fatalf("grid = %d vantages x %d backends, want 2x2", len(resp.Vantages), len(resp.Backends))
+	}
+	if v := resp.Vantages[0]; v.Name != "global" || !v.Transparent {
+		t.Fatalf("vantage 0 = %+v, want transparent global", v)
+	}
+	if v := resp.Vantages[1]; v.Name != "us-east" || v.Transparent {
+		t.Fatalf("vantage 1 = %+v, want opaque us-east", v)
+	}
+	if resp.Backends[0] != "cdnflare" || resp.Backends[1] != "edgecast" {
+		t.Fatalf("backends = %v", resp.Backends)
+	}
+	if len(resp.Metrics) != 7 {
+		t.Fatalf("metrics = %v, want the seven canonical keys", resp.Metrics)
+	}
+}
+
+func TestServerEdgeRankings(t *testing.T) {
+	ts := multiEdgeServer(t)
+
+	// The transparent primary edge's view equals the un-keyed metric: both
+	// sides of the edge key default to the grid's first entry.
+	var primary rankingsResponse
+	if err := json.Unmarshal(do(t, "GET", ts.URL+"/v1/rankings/all-requests?vantage=global&backend=cdnflare", 200), &primary); err != nil {
+		t.Fatal(err)
+	}
+	if primary.Vantage != "global" || primary.Backend != "cdnflare" || primary.Total == 0 {
+		t.Fatalf("primary edge response: %+v", primary)
+	}
+	var defaulted rankingsResponse
+	if err := json.Unmarshal(do(t, "GET", ts.URL+"/v1/rankings/all-requests?vantage=global", 200), &defaulted); err != nil {
+		t.Fatal(err)
+	}
+	if defaulted.Backend != "cdnflare" || defaulted.Total != primary.Total {
+		t.Fatalf("defaulted backend response: %+v", defaulted)
+	}
+
+	// A regional vantage serves its own (smaller or equal) view.
+	var regional rankingsResponse
+	if err := json.Unmarshal(do(t, "GET", ts.URL+"/v1/rankings/all-requests?vantage=us-east&backend=edgecast", 200), &regional); err != nil {
+		t.Fatal(err)
+	}
+	if regional.Total == 0 || regional.Total > primary.Total {
+		t.Fatalf("regional edge total = %d (primary %d)", regional.Total, primary.Total)
+	}
+
+	// Unknown keys answer 404 with a JSON error, never a panic; a day the
+	// study can never serve is 400.
+	do(t, "GET", ts.URL+"/v1/rankings/bogus-metric?vantage=global", 404)
+	do(t, "GET", ts.URL+"/v1/rankings/all-requests?vantage=atlantis", 404)
+	do(t, "GET", ts.URL+"/v1/rankings/all-requests?vantage=global&backend=akamai", 404)
+	do(t, "GET", ts.URL+"/v1/rankings/all-requests?vantage=global&day=2", 404)
+	do(t, "GET", ts.URL+"/v1/rankings/all-requests?vantage=global&day=99", 400)
+}
+
+func TestServerEdgeRankingsSingleEdge(t *testing.T) {
+	// The default single-edge study still serves its one edge and rejects
+	// the vantages a wider grid would have.
+	s := testStudy(t, 2)
+	ts := testServer(t, s, "")
+	do(t, "POST", ts.URL+"/v1/advance?days=1", 200)
+
+	var resp vantagesResponse
+	if err := json.Unmarshal(do(t, "GET", ts.URL+"/v1/vantages", 200), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Vantages) != 1 || len(resp.Backends) != 1 {
+		t.Fatalf("default grid = %+v", resp)
+	}
+	do(t, "GET", ts.URL+"/v1/rankings/all-requests?vantage=global", 200)
+	do(t, "GET", ts.URL+"/v1/rankings/all-requests?vantage=us-east", 404)
+	do(t, "GET", ts.URL+"/v1/rankings/all-requests?backend=edgecast", 404)
+}

@@ -12,6 +12,7 @@ import (
 
 	"toplists/internal/names"
 	"toplists/internal/rank"
+	"toplists/internal/simrand"
 	"toplists/internal/sketch"
 	"toplists/internal/traffic"
 	"toplists/internal/world"
@@ -101,6 +102,26 @@ func (m Metric) String() string {
 		"Top-Browser Requests", "Unique IPs", "Unique IPs (Root)",
 		"Unique IPs (Browsers)",
 	}[m]
+}
+
+// Key is the metric's stable API slug, used by the resident server's
+// per-(vantage, backend) ranking routes.
+func (m Metric) Key() string {
+	return [...]string{
+		"all-requests", "tls-handshakes", "root-requests",
+		"top-browser-requests", "unique-ips", "unique-ips-root",
+		"unique-ips-browsers",
+	}[m]
+}
+
+// MetricByKey resolves a metric API slug (as produced by Key).
+func MetricByKey(key string) (Metric, bool) {
+	for _, m := range AllMetrics() {
+		if m.Key() == key {
+			return m, true
+		}
+	}
+	return 0, false
 }
 
 // Combo returns the metric's filter-aggregation pair.
@@ -196,8 +217,12 @@ func botContribution(f Filter, bb *traffic.BotBatch) int {
 	}
 }
 
-// Pipeline is the Cloudflare log processor. It implements traffic.Sink and
-// accumulates, for each tracked combo, a ranked site list per day.
+// Pipeline is one edge-log processor: the request stream of one CDN
+// backend as observed from one measurement vantage. It implements
+// traffic.Sink and accumulates, for each tracked combo, a ranked site list
+// per day. The default pipeline — the transparent global vantage watching
+// the Cloudflare-style backend — is the paper's Cloudflare log pipeline,
+// byte-identical to the pre-multi-vantage implementation.
 type Pipeline struct {
 	traffic.BaseSink
 
@@ -205,8 +230,20 @@ type Pipeline struct {
 	combos  []Combo
 	factory sketch.Factory
 
-	// isCF[i] reports whether site i is served by Cloudflare.
-	isCF []bool
+	// Edge identity: the backend whose logs these are and the vantage they
+	// are observed from. A transparent vantage (full reach everywhere)
+	// short-circuits the visibility test, so the default configuration
+	// never consults the reach hash.
+	vantage     world.Vantage
+	backend     world.Backend
+	transparent bool
+	// reachSeed keys the deterministic per-event visibility decision for
+	// non-transparent vantages; derived from (world seed, vantage name).
+	reachSeed uint64
+
+	// observes[i] reports whether site i serves traffic through this
+	// pipeline's backend (primary or secondary).
+	observes []bool
 
 	// Current-day state, one entry per tracked combo.
 	counts   [][]float64                 // combo -> site -> score
@@ -226,20 +263,32 @@ type Pipeline struct {
 	days [][][]int32
 }
 
-// NewPipeline builds a pipeline tracking the given combos. A nil factory
-// defaults to exact distinct counting.
+// NewPipeline builds the primary pipeline — the transparent global vantage
+// observing the Cloudflare-style backend, the paper's configuration — for
+// the given combos. A nil factory defaults to exact distinct counting.
 func NewPipeline(w *world.World, combos []Combo, factory sketch.Factory) *Pipeline {
+	return NewEdgePipeline(w, combos, factory, w.Vantages()[0], world.BackendCdnflare)
+}
+
+// NewEdgePipeline builds the edge-log pipeline of one (vantage, backend)
+// pair: it observes the sites on the backend, filtered by the vantage's
+// per-country reach. A nil factory defaults to exact distinct counting.
+func NewEdgePipeline(w *world.World, combos []Combo, factory sketch.Factory, v world.Vantage, b world.Backend) *Pipeline {
 	if factory == nil {
 		factory = sketch.ExactFactory
 	}
 	p := &Pipeline{
-		w:       w,
-		combos:  combos,
-		factory: factory,
-		isCF:    make([]bool, w.NumSites()),
+		w:           w,
+		combos:      combos,
+		factory:     factory,
+		vantage:     v,
+		backend:     b,
+		transparent: v.Transparent(),
+		reachSeed:   simrand.New(w.Cfg.Seed).Derive("vantage-reach").Derive(v.Name).Uint64(),
+		observes:    make([]bool, w.NumSites()),
 	}
 	for i := 0; i < w.NumSites(); i++ {
-		p.isCF[i] = w.Site(int32(i)).Cloudflare
+		p.observes[i] = w.Site(int32(i)).OnBackend(b)
 	}
 	p.counts = make([][]float64, len(combos))
 	p.distinct = make([]map[int32]sketch.Distinct, len(combos))
@@ -251,6 +300,64 @@ func NewPipeline(w *world.World, combos []Combo, factory sketch.Factory) *Pipeli
 		}
 	}
 	return p
+}
+
+// Vantage returns the vantage the pipeline observes from.
+func (p *Pipeline) Vantage() world.Vantage { return p.vantage }
+
+// Backend returns the backend whose logs the pipeline processes.
+func (p *Pipeline) Backend() world.Backend { return p.backend }
+
+// seesPage decides whether this pipeline's vantage observes a page load.
+// The decision is a pure function of the event's content (never of worker
+// scheduling): a deterministic hash of (reach seed, client, site, time)
+// thresholded against the vantage's reach into the client's country. The
+// transparent vantage sees everything.
+func (p *Pipeline) seesPage(pl *traffic.PageLoad) bool {
+	if p.transparent {
+		return true
+	}
+	r := p.vantage.Reach[pl.Client.Country]
+	if r >= 1 {
+		return true
+	}
+	if r <= 0 {
+		return false
+	}
+	h := reachMix(p.reachSeed,
+		uint64(uint32(pl.Client.ID))<<32|uint64(uint32(pl.Site)),
+		uint64(uint32(pl.Day))<<32|uint64(uint32(pl.Second))<<8|uint64(pl.SubIdx))
+	return float64(h>>11)/(1<<53) < r
+}
+
+// seesBot decides whether the vantage observes a bot batch. Bots carry no
+// client country, so the batch is gated on the site's home country reach,
+// keyed by (site, day).
+func (p *Pipeline) seesBot(bb *traffic.BotBatch) bool {
+	if p.transparent {
+		return true
+	}
+	r := p.vantage.Reach[p.w.Site(bb.Site).Home]
+	if r >= 1 {
+		return true
+	}
+	if r <= 0 {
+		return false
+	}
+	h := reachMix(p.reachSeed, uint64(uint32(bb.Site)), uint64(uint32(bb.Day)))
+	return float64(h>>11)/(1<<53) < r
+}
+
+// reachMix is a 64-bit mix of the visibility key (splitmix64 finalizer
+// over the xor-combined words).
+func reachMix(seed, a, b uint64) uint64 {
+	x := seed ^ a*0x9e3779b97f4a7c15 ^ b*0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // BeginDay implements traffic.Sink.
@@ -272,7 +379,7 @@ func (p *Pipeline) BeginDay(day int, weekend bool) {
 
 // OnPageLoad implements traffic.Sink.
 func (p *Pipeline) OnPageLoad(pl *traffic.PageLoad) {
-	if !p.isCF[pl.Site] {
+	if !p.observes[pl.Site] || !p.seesPage(pl) {
 		return
 	}
 	for i, c := range p.combos {
@@ -299,7 +406,7 @@ func (p *Pipeline) OnBotBatch(bb *traffic.BotBatch) {
 		p.botState.onBotBatch(bb)
 		return
 	}
-	if !p.isCF[bb.Site] {
+	if !p.observes[bb.Site] || !p.seesBot(bb) {
 		return
 	}
 	for i, c := range p.combos {

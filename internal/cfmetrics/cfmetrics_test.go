@@ -69,7 +69,7 @@ func TestPipelineOnlySeesCloudflare(t *testing.T) {
 	for d := 0; d < p.NumDays(); d++ {
 		for _, m := range AllMetrics() {
 			for _, id := range p.DayList(d, m.Combo()) {
-				if !w.Site(id).Cloudflare {
+				if !w.Site(id).Cloudflare() {
 					t.Fatalf("day %d metric %v ranked non-CF site %d", d, m, id)
 				}
 			}

@@ -52,7 +52,7 @@ func (p *Pipeline) newPipelineShard() *pipelineShard {
 
 // OnPageLoad implements traffic.ShardState.
 func (sh *pipelineShard) OnPageLoad(pl *traffic.PageLoad) {
-	if !sh.p.isCF[pl.Site] {
+	if !sh.p.observes[pl.Site] || !sh.p.seesPage(pl) {
 		return
 	}
 	site := uint64(uint32(pl.Site))
@@ -80,7 +80,7 @@ func (sh *pipelineShard) OnDNSQuery(*traffic.DNSQuery) {}
 // onBotBatch folds a bot batch into the shard, mirroring the exact path's
 // contribution rules.
 func (sh *pipelineShard) onBotBatch(bb *traffic.BotBatch) {
-	if !sh.p.isCF[bb.Site] {
+	if !sh.p.observes[bb.Site] || !sh.p.seesBot(bb) {
 		return
 	}
 	site := uint64(uint32(bb.Site))

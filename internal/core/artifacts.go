@@ -80,6 +80,18 @@ type (
 		platform world.Platform
 		metric   chrome.TelemetryMetric
 	}
+	// Edge keys carry the (vantage, backend) grid coordinates. The primary
+	// edge (0, 0) aliases the un-keyed families above, so the default
+	// configuration's cache metric counts are unchanged.
+	edgeComboDayKey struct {
+		vi, bi int
+		day    int
+		combo  cfmetrics.Combo
+	}
+	edgeMonthlyKey struct {
+		vi, bi int
+		combo  cfmetrics.Combo
+	}
 )
 
 func newArtifacts(s *Study) *Artifacts {
@@ -143,7 +155,7 @@ func (a *Artifacts) invalidateMonthly() {
 	defer a.mu.Unlock()
 	for k := range a.derived {
 		switch k.(type) {
-		case monthlyKey, telemetryKey:
+		case monthlyKey, telemetryKey, edgeMonthlyKey:
 			delete(a.derived, k)
 		}
 	}
@@ -185,6 +197,47 @@ func (a *Artifacts) MonthlyMetric(m cfmetrics.Metric) *rank.Ranking {
 		scores := make(map[names.ID]float64)
 		for d := 0; d < a.s.Pipeline.NumDays(); d++ {
 			for i, id := range a.MetricRanking(d, m).IDs() {
+				scores[id] += 1 / float64(i+1)
+			}
+		}
+		scored := make([]rank.ScoredID, 0, len(scores))
+		for id, v := range scores {
+			scored = append(scored, rank.ScoredID{ID: id, Score: v})
+		}
+		return rank.FromScoredIDs(tab, scored, rank.TieHashed)
+	})
+}
+
+// EdgeComboRanking returns the day's ranked domain list for one combo as
+// observed by the (vi, bi) edge pipeline, memoized per (edge, day, combo).
+// The primary edge (0, 0) shares the un-keyed ComboRanking memo.
+func (a *Artifacts) EdgeComboRanking(vi, bi, day int, c cfmetrics.Combo) *rank.Ranking {
+	if vi == 0 && bi == 0 {
+		return a.ComboRanking(day, c)
+	}
+	return a.memoized(edgeComboDayKey{vi, bi, day, c}, a.cmCombo, func() *rank.Ranking {
+		return a.s.Edges.At(vi, bi).DayRanking(day, c)
+	})
+}
+
+// EdgeMetricRanking returns the day's ranking for a canonical metric as
+// observed by the (vi, bi) edge pipeline.
+func (a *Artifacts) EdgeMetricRanking(vi, bi, day int, m cfmetrics.Metric) *rank.Ranking {
+	return a.EdgeComboRanking(vi, bi, day, m.Combo())
+}
+
+// EdgeMonthlyMetric is MonthlyMetric for one (vantage, backend) edge: the
+// metric's daily rankings under that edge's visibility, Dowdall-combined
+// into one month-level ranking. The primary edge shares the un-keyed memo.
+func (a *Artifacts) EdgeMonthlyMetric(vi, bi int, m cfmetrics.Metric) *rank.Ranking {
+	if vi == 0 && bi == 0 {
+		return a.MonthlyMetric(m)
+	}
+	return a.memoized(edgeMonthlyKey{vi, bi, m.Combo()}, a.cmMonthly, func() *rank.Ranking {
+		tab := a.s.World.Interner()
+		scores := make(map[names.ID]float64)
+		for d := 0; d < a.s.Edges.At(vi, bi).NumDays(); d++ {
+			for i, id := range a.EdgeMetricRanking(vi, bi, d, m).IDs() {
 				scores[id] += 1 / float64(i+1)
 			}
 		}

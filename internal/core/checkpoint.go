@@ -36,10 +36,16 @@ const (
 	compSecrank  = "secrank"
 	compTranco   = "tranco"
 	compTrexa    = "trexa"
+	// compEdges holds the extra (vantage, backend) pipelines' cross-day
+	// state, compDNS the per-vantage resolver pool. Both are always
+	// written: under the default 1-vantage, 1-backend config they carry
+	// only the grid shape, so the container layout stays uniform.
+	compEdges = "edges"
+	compDNS   = "dnsv"
 )
 
 const (
-	metaSnapVersion   = 1
+	metaSnapVersion   = 2
 	engineSnapVersion = 1
 	obsSnapVersion    = 1
 )
@@ -69,6 +75,8 @@ func (s *Study) Snapshot(w io.Writer) error {
 	sw.Component(compSecrank, s.Secrank.Snapshot)
 	sw.Component(compTranco, s.Tranco.Snapshot)
 	sw.Component(compTrexa, s.Trexa.Snapshot)
+	sw.Component(compEdges, s.Edges.Snapshot)
+	sw.Component(compDNS, s.DNS.Snapshot)
 	return sw.Close()
 }
 
@@ -102,6 +110,8 @@ func (s *Study) snapshotMeta(w io.Writer) error {
 	e.Bool(cfg.Ablate.NoPanelDistortion)
 	e.Bool(cfg.Ablate.NoWorkSkew)
 	e.Bool(cfg.Ablate.NoRevisits)
+	e.Int(cfg.Vantages)
+	e.Int(cfg.Backends)
 	e.Uvarint(uint64(len(cfg.Sybils)))
 	for _, sy := range cfg.Sybils {
 		e.Varint(int64(sy.Site))
@@ -149,6 +159,8 @@ func decodeMeta(b []byte) (Config, error) {
 		NoWorkSkew:        d.Bool(),
 		NoRevisits:        d.Bool(),
 	}
+	cfg.Vantages = d.Int()
+	cfg.Backends = d.Int()
 	n := d.Len(4)
 	for i := 0; i < n; i++ {
 		cfg.Sybils = append(cfg.Sybils, traffic.SybilSpec{
@@ -327,6 +339,12 @@ func restoreInto(s *Study, sr *snapshot.Reader) error {
 	if err := reader(compTrexa, func(r io.Reader) error { return s.Trexa.Restore(r, tab) }); err != nil {
 		return err
 	}
+	if err := reader(compEdges, s.Edges.Restore); err != nil {
+		return err
+	}
+	if err := reader(compDNS, s.DNS.Restore); err != nil {
+		return err
+	}
 	if err := sr.End(); err != nil {
 		return err
 	}
@@ -346,6 +364,12 @@ func restoreInto(s *Study, sr *snapshot.Reader) error {
 	} {
 		if c.days != day {
 			return fmt.Errorf("%w: component %q holds %d days, engine cursor %d", snapshot.ErrCorrupt, c.name, c.days, day)
+		}
+	}
+	for _, p := range s.Edges.Extras() {
+		if p.NumDays() != day {
+			return fmt.Errorf("%w: edge pipeline %s/%s holds %d days, engine cursor %d",
+				snapshot.ErrCorrupt, p.Vantage().Name, p.Backend(), p.NumDays(), day)
 		}
 	}
 	if err := s.Engine.RestoreDay(day); err != nil {

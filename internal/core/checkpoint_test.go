@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"testing"
 
+	"toplists/internal/cfmetrics"
+	"toplists/internal/dnssim"
 	"toplists/internal/sketch"
 	"toplists/internal/snapshot"
 )
@@ -197,5 +199,116 @@ func TestSnapshotRefusesAbortedStudy(t *testing.T) {
 	}
 	if buf.Len() > 0 {
 		t.Fatalf("Snapshot wrote %d bytes before refusing", buf.Len())
+	}
+}
+
+// TestSnapshotRoundTripMultiVantage extends the byte-identity property to
+// the multi-edge state: a 3-vantage, 2-backend study — with per-vantage
+// resolver caches deliberately warmed unevenly — must Snapshot -> Resume
+// -> Snapshot byte-identically at every day boundary, and the resumed
+// extra pipelines must publish the same day lists.
+func TestSnapshotRoundTripMultiVantage(t *testing.T) {
+	cfg := checkpointCfg(31, 2, false)
+	cfg.Vantages = 3
+	cfg.Backends = 2
+
+	warmDNS := func(s *Study, n int) {
+		for vi, name := range s.DNS.Names() {
+			r, ok := s.DNS.Resolver(name)
+			if !ok {
+				t.Fatalf("no resolver for vantage %q", name)
+			}
+			for i := 0; i < n*(vi+1); i++ {
+				site := s.World.Site(int32(i % s.World.NumSites()))
+				r.Resolve(uint32(i), site.Hostname(0), dnssim.TypeA)
+				r.Advance(60)
+			}
+		}
+	}
+
+	s := NewStudy(cfg)
+	defer s.Close()
+	if len(s.Vantages()) != 3 || len(s.Backends()) != 2 {
+		t.Fatalf("grid is %dx%d, want 3x2", len(s.Vantages()), len(s.Backends()))
+	}
+	for k := 0; ; k++ {
+		warmDNS(s, 5)
+		a := snap(t, s)
+		r, err := Resume(bytes.NewReader(a), ResumeOptions{Workers: 1})
+		if err != nil {
+			t.Fatalf("day %d: Resume: %v", k, err)
+		}
+		b := snap(t, r)
+		if !bytes.Equal(a, b) {
+			r.Close()
+			t.Fatalf("day %d: re-snapshot differs (%d vs %d bytes)", k, len(a), len(b))
+		}
+		for i, p := range s.Edges.Extras() {
+			q := r.Edges.Extras()[i]
+			if p.NumDays() != q.NumDays() {
+				t.Fatalf("day %d extra %d: %d vs %d days", k, i, p.NumDays(), q.NumDays())
+			}
+			for d := 0; d < p.NumDays(); d++ {
+				for _, m := range cfmetrics.AllMetrics() {
+					al, bl := p.DayList(d, m.Combo()), q.DayList(d, m.Combo())
+					if len(al) != len(bl) {
+						t.Fatalf("day %d extra %d metric %v: %d vs %d sites", d, i, m, len(al), len(bl))
+					}
+					for j := range al {
+						if al[j] != bl[j] {
+							t.Fatalf("day %d extra %d metric %v rank %d differs", d, i, m, j)
+						}
+					}
+				}
+			}
+		}
+		r.Close()
+		if k == cfg.Days {
+			break
+		}
+		if err := s.AdvanceDay(context.Background()); err != nil {
+			t.Fatalf("day %d: AdvanceDay: %v", k, err)
+		}
+	}
+}
+
+// TestEdgeRankingFor covers the keyed ranking accessor: the primary edge
+// serves the same ranking as the un-keyed path, regional edges serve
+// their own, and unknown keys error instead of panicking.
+func TestEdgeRankingFor(t *testing.T) {
+	cfg := checkpointCfg(33, 2, false)
+	cfg.Vantages = 2
+	cfg.Backends = 2
+	s := NewStudy(cfg)
+	defer s.Close()
+	s.Run()
+
+	m := cfmetrics.MAllRequests
+	primary, err := s.EdgeRankingFor(m.Key(), s.Vantages()[0].Name, "cdnflare", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s.Artifacts().MetricRanking(1, m)
+	if primary.Len() != want.Len() {
+		t.Fatalf("primary edge ranking %d entries, un-keyed path %d", primary.Len(), want.Len())
+	}
+	regional, err := s.EdgeRankingFor(m.Key(), s.Vantages()[1].Name, "cdnflare", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regional.Len() == 0 || regional.Len() > primary.Len() {
+		t.Fatalf("regional edge ranking %d entries, primary %d", regional.Len(), primary.Len())
+	}
+	for _, bad := range [][3]string{
+		{"bogus-metric", s.Vantages()[0].Name, "cdnflare"},
+		{m.Key(), "bogus-vantage", "cdnflare"},
+		{m.Key(), s.Vantages()[0].Name, "akamai"}, // not deployed at Backends=2
+	} {
+		if _, err := s.EdgeRankingFor(bad[0], bad[1], bad[2], 1); err == nil {
+			t.Fatalf("EdgeRankingFor(%v) accepted unknown key", bad)
+		}
+	}
+	if _, err := s.EdgeRankingFor(m.Key(), s.Vantages()[0].Name, "cdnflare", 99); err == nil {
+		t.Fatal("EdgeRankingFor accepted out-of-range day")
 	}
 }

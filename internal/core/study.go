@@ -12,6 +12,7 @@ import (
 
 	"toplists/internal/cfmetrics"
 	"toplists/internal/chrome"
+	"toplists/internal/dnssim"
 	"toplists/internal/faults"
 	"toplists/internal/httpsim"
 	"toplists/internal/linkgraph"
@@ -89,6 +90,15 @@ type Config struct {
 	Ablate Ablations
 	// Sybils adds attacker-controlled clients (see experiments.RunAttack).
 	Sybils []traffic.SybilSpec
+	// Vantages is the number of measurement vantage points (default 1,
+	// the transparent global vantage — the original single-edge model).
+	// Additional vantages are placed by world.DefaultVantages and observe
+	// the same traffic through per-country reachability filters.
+	Vantages int
+	// Backends is the number of deployed CDN backends (default 1, the
+	// Cloudflare-style edge only). Additional backends get their own
+	// adoption skew and header signatures; see world.Backend.
+	Backends int
 }
 
 // Ablations aggregates the mechanism switches of the world and engine.
@@ -123,6 +133,12 @@ func (c Config) withDefaults() Config {
 	if c.Sketch.Enabled {
 		c.Sketch = c.Sketch.WithDefaults()
 	}
+	if c.Vantages <= 0 {
+		c.Vantages = 1
+	}
+	if c.Backends <= 0 {
+		c.Backends = 1
+	}
 	return c
 }
 
@@ -134,6 +150,8 @@ type Study struct {
 	World     *world.World
 	Engine    *traffic.Engine
 	Pipeline  *cfmetrics.Pipeline
+	Edges     *cfmetrics.PipelineSet
+	DNS       *dnssim.Pool
 	Telemetry *chrome.Telemetry
 	Graph     *linkgraph.Graph
 	PSL       *psl.List
@@ -201,6 +219,8 @@ func NewStudy(cfg Config) *Study {
 	w := world.Generate(world.Config{
 		Seed:     cfg.Seed,
 		NumSites: cfg.NumSites,
+		Backends: cfg.Backends,
+		Vantages: world.DefaultVantages(cfg.Vantages),
 		Ablate: world.Ablations{
 			NoPrivateBrowsing: cfg.Ablate.NoPrivateBrowsing,
 			NoOpenness:        cfg.Ablate.NoOpenness,
@@ -225,7 +245,19 @@ func NewStudy(cfg Config) *Study {
 	if cfg.TrackAllCombos {
 		combos = cfmetrics.AllCombos()
 	}
-	s.Pipeline = cfmetrics.NewPipeline(w, combos, nil)
+	// The edge grid: one pipeline per (vantage, backend). The primary at
+	// (0, 0) is the paper's Cloudflare pipeline, wired exactly as before;
+	// under the default 1-vantage, 1-backend config the grid has no extras
+	// and the event path is unchanged.
+	s.Edges = cfmetrics.NewPipelineSet(w, combos, cfmetrics.MetricCombos(), nil)
+	s.Pipeline = s.Edges.Primary()
+	// Each vantage runs its own caching resolver over the shared authority,
+	// so DNS-side cache warmth diverges per vantage.
+	vantageNames := make([]string, len(w.Vantages()))
+	for i, v := range w.Vantages() {
+		vantageNames[i] = v.Name
+	}
+	s.DNS = dnssim.NewPool(dnssim.NewWorldAuthority(w), vantageNames, nil)
 	s.Telemetry = chrome.NewTelemetry(w)
 	s.Alexa = providers.NewAlexa(w)
 	s.Umbrella = providers.NewUmbrella(w, l)
@@ -233,6 +265,9 @@ func NewStudy(cfg Config) *Study {
 	s.Secrank = providers.NewSecrank(w, l)
 	if cfg.Sketch.Enabled {
 		s.Pipeline.SetSketch(cfg.Sketch)
+		for _, p := range s.Edges.Extras() {
+			p.SetSketch(cfg.Sketch)
+		}
 		s.Telemetry.SetSketch(cfg.Sketch)
 		s.Umbrella.SetSketch(cfg.Sketch)
 		s.Secrank.SetSketch(cfg.Sketch)
@@ -263,6 +298,12 @@ func NewStudy(cfg Config) *Study {
 	s.Engine.AddSink(s.Alexa)
 	s.Engine.AddSink(s.Umbrella)
 	s.Engine.AddSink(s.Secrank)
+	// Extra edge pipelines ride after the original five sinks, so the
+	// default configuration's sink order — and therefore its event replay
+	// and goldens — is untouched.
+	for _, p := range s.Edges.Extras() {
+		s.Engine.AddSink(p)
+	}
 	s.Engine.SetObs(reg)
 	s.artifacts = newArtifacts(s)
 	// The amalgams are incremental consumers: each AdvanceDay feeds them
@@ -541,6 +582,35 @@ func (s *Study) RankingFor(list string, day int) (*rank.Ranking, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown list %q", list)
 	}
+}
+
+// Vantages returns the study's measurement vantage points in grid order.
+func (s *Study) Vantages() []world.Vantage { return s.World.Vantages() }
+
+// Backends returns the study's deployed CDN backends in grid order.
+func (s *Study) Backends() []world.Backend { return s.World.Backends() }
+
+// EdgeRankingFor returns the day's ranking of one canonical metric as
+// observed by one (vantage, backend) edge pipeline, for a 0-based day that
+// has already been advanced. metric is a cfmetrics.Metric key slug,
+// vantage a vantage name, backend a backend slug; unknown keys error.
+// Safe for concurrent use with AdvanceDay, like RankingFor.
+func (s *Study) EdgeRankingFor(metric, vantage, backend string, day int) (*rank.Ranking, error) {
+	m, ok := cfmetrics.MetricByKey(metric)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown metric %q", metric)
+	}
+	vi, bi, ok := s.Edges.Index(vantage, backend)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown edge (%q, %q)", vantage, backend)
+	}
+	s.lifeMu.RLock()
+	defer s.lifeMu.RUnlock()
+	cur := s.Engine.Day()
+	if day < 0 || day >= cur {
+		return nil, fmt.Errorf("core: day %d not available (advanced through day %d)", day, cur-1)
+	}
+	return s.artifacts.EdgeMetricRanking(vi, bi, day, m), nil
 }
 
 // EvalK returns the list magnitude at which set comparisons run.

@@ -1,0 +1,123 @@
+package dnssim
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"toplists/internal/snapshot"
+)
+
+// Pool is a set of per-vantage resolvers over one shared authority. Each
+// vantage point runs its own recursive resolver, so cache warmth — and
+// therefore the DNS-based view of popularity — diverges between vantages
+// even though the authoritative data is identical.
+type Pool struct {
+	names []string
+	res   map[string]*Resolver
+}
+
+// NewPool builds one resolver per vantage name, in the given order (the
+// canonical serialization order). log may be nil; it receives the vantage
+// name alongside each query's log entry.
+func NewPool(auth Authority, vantages []string, log func(vantage string, clientIP uint32, name string, cacheHit bool)) *Pool {
+	p := &Pool{res: make(map[string]*Resolver, len(vantages))}
+	for _, v := range vantages {
+		if _, dup := p.res[v]; dup {
+			continue
+		}
+		var ql QueryLog
+		if log != nil {
+			vn := v
+			ql = func(clientIP uint32, name string, cacheHit bool) {
+				log(vn, clientIP, name, cacheHit)
+			}
+		}
+		p.names = append(p.names, v)
+		p.res[v] = NewResolver(auth, ql)
+	}
+	return p
+}
+
+// Names returns the vantage names in canonical order.
+func (p *Pool) Names() []string { return p.names }
+
+// Resolver returns the vantage's resolver.
+func (p *Pool) Resolver(vantage string) (*Resolver, bool) {
+	r, ok := p.res[vantage]
+	return r, ok
+}
+
+// Advance moves every resolver's virtual clock forward by d seconds.
+func (p *Pool) Advance(d int64) {
+	for _, name := range p.names {
+		p.res[name].Advance(d)
+	}
+}
+
+// SetTime sets every resolver's virtual clock.
+func (p *Pool) SetTime(t int64) {
+	for _, name := range p.names {
+		p.res[name].SetTime(t)
+	}
+}
+
+const poolSnapVersion = 1
+
+// Snapshot writes every resolver's state in canonical vantage order, each
+// length-prefixed and tagged with its vantage name for cross-validation
+// on restore.
+func (p *Pool) Snapshot(w io.Writer) error {
+	var e snapshot.Encoder
+	e.Uvarint(poolSnapVersion)
+	e.Uvarint(uint64(len(p.names)))
+	for _, name := range p.names {
+		var buf bytes.Buffer
+		if err := p.res[name].Snapshot(&buf); err != nil {
+			return fmt.Errorf("dnssim: pool resolver %q: %w", name, err)
+		}
+		e.String(name)
+		e.Bytes(buf.Bytes())
+	}
+	_, err := e.WriteTo(w)
+	return err
+}
+
+// Restore replaces every resolver's state from a Snapshot payload. The
+// snapshot must list exactly this pool's vantages, in order; the shape is
+// validated entry by entry before the named resolver's state is replaced.
+func (p *Pool) Restore(r io.Reader) error {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	d := snapshot.NewDecoder(b)
+	ver := d.Uvarint()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if ver != poolSnapVersion {
+		return fmt.Errorf("%w: Pool payload v%d, this build reads v%d", snapshot.ErrVersion, ver, poolSnapVersion)
+	}
+	n := int(d.Uvarint())
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if n != len(p.names) {
+		return fmt.Errorf("%w: Pool has %d vantages, snapshot has %d", snapshot.ErrCorrupt, len(p.names), n)
+	}
+	for i := 0; i < n; i++ {
+		name := d.String()
+		payload := d.Bytes()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if name != p.names[i] {
+			return fmt.Errorf("%w: Pool vantage %d is %q, snapshot has %q", snapshot.ErrCorrupt, i, p.names[i], name)
+		}
+		if err := p.res[name].Restore(bytes.NewReader(payload)); err != nil {
+			return fmt.Errorf("dnssim: pool resolver %q: %w", name, err)
+		}
+	}
+	return d.Finish()
+}

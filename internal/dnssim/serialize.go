@@ -1,0 +1,118 @@
+package dnssim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"toplists/internal/snapshot"
+)
+
+const resolverSnapVersion = 1
+
+// Snapshot writes the resolver's mutable state: virtual clock, counters,
+// and the TTL cache in canonical (name, type) order, so two resolvers with
+// equal state serialize byte-identically regardless of map iteration.
+func (r *Resolver) Snapshot(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	keys := make([]cacheKey, 0, len(r.cache))
+	for k := range r.cache {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].name != keys[b].name {
+			return keys[a].name < keys[b].name
+		}
+		return keys[a].t < keys[b].t
+	})
+
+	var e snapshot.Encoder
+	e.Uvarint(resolverSnapVersion)
+	e.Varint(r.now)
+	e.Varint(r.hits)
+	e.Varint(r.misses)
+	e.Varint(r.nxdomain)
+	e.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		ent := r.cache[k]
+		e.String(k.name)
+		e.Uvarint(uint64(k.t))
+		e.Bool(ent.exists)
+		e.Varint(ent.expires)
+		e.Uvarint(uint64(len(ent.rrs)))
+		for _, rr := range ent.rrs {
+			e.String(rr.Name)
+			e.Uvarint(uint64(rr.Type))
+			e.Uvarint(uint64(rr.Class))
+			e.Uvarint(uint64(rr.TTL))
+			e.Bytes(rr.Data)
+		}
+	}
+	_, err := e.WriteTo(w)
+	return err
+}
+
+// Restore replaces the resolver's mutable state from a Snapshot payload.
+func (r *Resolver) Restore(rd io.Reader) error {
+	b, err := io.ReadAll(rd)
+	if err != nil {
+		return err
+	}
+	d := snapshot.NewDecoder(b)
+	ver := d.Uvarint()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if ver != resolverSnapVersion {
+		return fmt.Errorf("%w: Resolver payload v%d, this build reads v%d", snapshot.ErrVersion, ver, resolverSnapVersion)
+	}
+	now := d.Varint()
+	hits := d.Varint()
+	misses := d.Varint()
+	nxdomain := d.Varint()
+	nEntries := d.Len(4)
+	cache := make(map[cacheKey]cacheEntry, nEntries)
+	for i := 0; i < nEntries; i++ {
+		var k cacheKey
+		k.name = d.String()
+		k.t = Type(d.Uvarint())
+		var ent cacheEntry
+		ent.exists = d.Bool()
+		ent.expires = d.Varint()
+		nRRs := d.Len(4)
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if nRRs > 0 {
+			ent.rrs = make([]RR, nRRs)
+			for j := range ent.rrs {
+				ent.rrs[j].Name = d.String()
+				ent.rrs[j].Type = Type(d.Uvarint())
+				ent.rrs[j].Class = uint16(d.Uvarint())
+				ent.rrs[j].TTL = uint32(d.Uvarint())
+				ent.rrs[j].Data = d.Bytes()
+			}
+		}
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if _, dup := cache[k]; dup {
+			return fmt.Errorf("%w: Resolver cache key (%s, %v) duplicated", snapshot.ErrCorrupt, k.name, k.t)
+		}
+		cache[k] = ent
+	}
+	if err := d.Finish(); err != nil {
+		return err
+	}
+
+	r.mu.Lock()
+	r.now = now
+	r.hits = hits
+	r.misses = misses
+	r.nxdomain = nxdomain
+	r.cache = cache
+	r.mu.Unlock()
+	return nil
+}

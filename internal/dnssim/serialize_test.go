@@ -1,0 +1,202 @@
+package dnssim
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"toplists/internal/snapshot"
+	"toplists/internal/world"
+)
+
+func snapAuthority(t *testing.T) (*world.World, *WorldAuthority) {
+	t.Helper()
+	w := world.Generate(world.Config{Seed: 11, NumSites: 200})
+	return w, NewWorldAuthority(w)
+}
+
+// warmResolver drives a deterministic mixed query load: hits, misses,
+// NXDOMAIN, and expiring entries.
+func warmResolver(w *world.World, r *Resolver, n int) {
+	for i := 0; i < n; i++ {
+		s := w.Site(int32(i % w.NumSites()))
+		r.Resolve(uint32(0x0A000000+i), s.Hostname(0), TypeA)
+		if i%3 == 0 {
+			r.Resolve(uint32(0x0A000000+i), s.Hostname(0), TypeA) // cache hit
+		}
+		if i%7 == 0 {
+			r.Resolve(uint32(i), "no-such-host.invalid", TypeA) // NXDOMAIN
+		}
+		r.Advance(17)
+	}
+}
+
+func resolverSnap(t *testing.T, r *Resolver) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestResolverSnapshotRoundTrip(t *testing.T) {
+	w, auth := snapAuthority(t)
+	r := NewResolver(auth, nil)
+	warmResolver(w, r, 150)
+	snap := resolverSnap(t, r)
+
+	r2 := NewResolver(auth, nil)
+	if err := r2.Restore(bytes.NewReader(snap)); err != nil {
+		t.Fatal(err)
+	}
+
+	h1, m1, nx1 := r.Stats()
+	h2, m2, nx2 := r2.Stats()
+	if h1 != h2 || m1 != m2 || nx1 != nx2 {
+		t.Fatalf("stats diverge: (%d,%d,%d) vs (%d,%d,%d)", h1, m1, nx1, h2, m2, nx2)
+	}
+	// A restored resolver must serialize byte-identically.
+	if !bytes.Equal(snap, resolverSnap(t, r2)) {
+		t.Fatal("restored resolver re-serializes differently")
+	}
+	// And behave identically on the next queries.
+	for i := 0; i < 40; i++ {
+		s := w.Site(int32(i * 3 % w.NumSites()))
+		a1, c1 := r.Resolve(uint32(i), s.Hostname(0), TypeA)
+		a2, c2 := r2.Resolve(uint32(i), s.Hostname(0), TypeA)
+		if c1 != c2 || len(a1) != len(a2) {
+			t.Fatalf("query %d diverges after restore: (%v,%d) vs (%v,%d)", i, c1, len(a1), c2, len(a2))
+		}
+		r.Advance(31)
+		r2.Advance(31)
+	}
+}
+
+func TestResolverRestoreRejectsDamage(t *testing.T) {
+	w, auth := snapAuthority(t)
+	r := NewResolver(auth, nil)
+	warmResolver(w, r, 80)
+	snap := resolverSnap(t, r)
+
+	t.Run("truncation", func(t *testing.T) {
+		for _, n := range []int{0, 1, len(snap) / 2, len(snap) - 1} {
+			r2 := NewResolver(auth, nil)
+			if err := r2.Restore(bytes.NewReader(snap[:n])); err == nil {
+				t.Fatalf("restore accepted %d/%d bytes", n, len(snap))
+			}
+		}
+	})
+	t.Run("version-skew", func(t *testing.T) {
+		bad := append([]byte{}, snap...)
+		bad[0] = resolverSnapVersion + 1
+		r2 := NewResolver(auth, nil)
+		if err := r2.Restore(bytes.NewReader(bad)); !errors.Is(err, snapshot.ErrVersion) {
+			t.Fatalf("version skew error = %v, want ErrVersion", err)
+		}
+	})
+	t.Run("trailing-garbage", func(t *testing.T) {
+		bad := append(append([]byte{}, snap...), 0xFF)
+		r2 := NewResolver(auth, nil)
+		if err := r2.Restore(bytes.NewReader(bad)); err == nil {
+			t.Fatal("restore accepted trailing garbage")
+		}
+	})
+}
+
+func poolSnap(t *testing.T, p *Pool) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := p.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func newTestPool(auth Authority) *Pool {
+	return NewPool(auth, []string{"global", "eu-central", "ap-south"}, nil)
+}
+
+// warmPool gives each vantage resolver a different cache history.
+func warmPool(w *world.World, p *Pool) {
+	for vi, name := range p.Names() {
+		r, _ := p.Resolver(name)
+		warmResolver(w, r, 40+30*vi)
+	}
+}
+
+func TestPoolSnapshotRoundTrip(t *testing.T) {
+	w, auth := snapAuthority(t)
+	p := newTestPool(auth)
+	warmPool(w, p)
+	snap := poolSnap(t, p)
+
+	p2 := newTestPool(auth)
+	if err := p2.Restore(bytes.NewReader(snap)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snap, poolSnap(t, p2)) {
+		t.Fatal("restored pool re-serializes differently")
+	}
+	for _, name := range p.Names() {
+		r1, _ := p.Resolver(name)
+		r2, _ := p2.Resolver(name)
+		h1, m1, nx1 := r1.Stats()
+		h2, m2, nx2 := r2.Stats()
+		if h1 != h2 || m1 != m2 || nx1 != nx2 {
+			t.Fatalf("vantage %s stats diverge: (%d,%d,%d) vs (%d,%d,%d)", name, h1, m1, nx1, h2, m2, nx2)
+		}
+	}
+}
+
+func TestPoolRestoreRejectsShapeMismatch(t *testing.T) {
+	w, auth := snapAuthority(t)
+	p := newTestPool(auth)
+	warmPool(w, p)
+	snap := poolSnap(t, p)
+
+	t.Run("wrong-count", func(t *testing.T) {
+		p2 := NewPool(auth, []string{"global"}, nil)
+		if err := p2.Restore(bytes.NewReader(snap)); !errors.Is(err, snapshot.ErrCorrupt) {
+			t.Fatalf("count mismatch error = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("wrong-names", func(t *testing.T) {
+		p2 := NewPool(auth, []string{"global", "sa-east", "ap-south"}, nil)
+		if err := p2.Restore(bytes.NewReader(snap)); !errors.Is(err, snapshot.ErrCorrupt) {
+			t.Fatalf("name mismatch error = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("truncation", func(t *testing.T) {
+		p2 := newTestPool(auth)
+		if err := p2.Restore(bytes.NewReader(snap[:len(snap)/3])); err == nil {
+			t.Fatal("restore accepted truncated pool payload")
+		}
+	})
+}
+
+func TestPoolVantagesDivergeIndependently(t *testing.T) {
+	w, auth := snapAuthority(t)
+	p := newTestPool(auth)
+	g, _ := p.Resolver("global")
+	e, _ := p.Resolver("eu-central")
+
+	s := w.Site(0)
+	g.Resolve(1, s.Hostname(0), TypeA) // miss, fills global's cache only
+	_, gm1, _ := g.Stats()
+	if gm1 != 1 {
+		t.Fatalf("global misses = %d, want 1", gm1)
+	}
+	if _, em, _ := func() (int64, int64, int64) { return e.Stats() }(); em != 0 {
+		t.Fatalf("eu-central misses = %d before any query, want 0", em)
+	}
+	e.Resolve(1, s.Hostname(0), TypeA)
+	if _, em, _ := e.Stats(); em != 1 {
+		t.Fatalf("eu-central should miss on its own cold cache, misses = %d", em)
+	}
+	gh, _, _ := g.Stats()
+	g.Resolve(2, s.Hostname(0), TypeA)
+	if gh2, _, _ := g.Stats(); gh2 != gh+1 {
+		t.Fatal("global second lookup should hit its warm cache")
+	}
+}

@@ -74,6 +74,8 @@ func Extensions() []Runner {
 			func(ctx context.Context, s *core.Study) (Result, error) { return SurveyResult{}, nil }},
 		{"faultsense", "Probe-fault sensitivity of the Cloudflare filter (extension)",
 			RunFaultSense},
+		{"vantages", "Per-vantage, per-backend edge disagreement (extension)",
+			RunVantages},
 	}
 }
 

@@ -86,7 +86,7 @@ func RunFaultSense(ctx context.Context, s *core.Study) (Result, error) {
 	for i := 0; i < nHosts; i++ {
 		site := w.Site(int32(i))
 		hosts[i] = site.Domain
-		if site.Cloudflare {
+		if site.Cloudflare() {
 			truth[site.Domain] = struct{}{}
 		}
 	}

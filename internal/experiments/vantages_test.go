@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"toplists/internal/core"
+)
+
+func vantageStudy(t *testing.T, vantages, backends int) *core.Study {
+	t.Helper()
+	s := core.NewStudy(core.Config{
+		Seed:       47,
+		NumSites:   600,
+		NumClients: 120,
+		Days:       3,
+		Workers:    2,
+		Vantages:   vantages,
+		Backends:   backends,
+	})
+	t.Cleanup(s.Close)
+	s.Run()
+	return s
+}
+
+func runVantages(t *testing.T, s *core.Study) *VantagesResult {
+	t.Helper()
+	res, err := RunVantages(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.(*VantagesResult)
+}
+
+func TestVantagesSingleEdgeDegenerates(t *testing.T) {
+	s := vantageStudy(t, 1, 1)
+	r := runVantages(t, s)
+	if len(r.Edges) != 1 || len(r.Vantages) != 1 || len(r.Backends) != 1 {
+		t.Fatalf("single-edge result has %d edges, %d vantages, %d backends",
+			len(r.Edges), len(r.Vantages), len(r.Backends))
+	}
+	if r.Divergence[0][0] != 1 {
+		t.Fatalf("self-divergence = %v, want 1", r.Divergence[0][0])
+	}
+	e := r.Edges[0]
+	if e.Vantage != "global" || e.Backend != "cdnflare" {
+		t.Fatalf("edge = %s/%s", e.Vantage, e.Backend)
+	}
+	if e.Jaccard <= 0 || e.Ranked == 0 {
+		t.Fatalf("degenerate edge: %+v", e)
+	}
+}
+
+func TestVantagesDisagreementAppears(t *testing.T) {
+	s := vantageStudy(t, 3, 2)
+	r := runVantages(t, s)
+	if want := 3 * 2; len(r.Edges) != want {
+		t.Fatalf("%d edges, want %d", len(r.Edges), want)
+	}
+	// The transparent global vantage must be the best (or tied-best)
+	// observer of its own backend, and regional vantages must actually
+	// diverge from it.
+	global, ok := r.EdgeFor("global", "cdnflare")
+	if !ok {
+		t.Fatal("no global/cdnflare edge")
+	}
+	var sawDivergence bool
+	for i, v := range r.Vantages {
+		if i == 0 {
+			continue
+		}
+		e, ok := r.EdgeFor(v, "cdnflare")
+		if !ok {
+			t.Fatalf("no %s/cdnflare edge", v)
+		}
+		if e.Ranked > global.Ranked {
+			t.Errorf("vantage %s ranked %d sites, global only %d", v, e.Ranked, global.Ranked)
+		}
+		if r.Divergence[0][i] < 1 {
+			sawDivergence = true
+		}
+		if r.Divergence[0][i] != r.Divergence[i][0] {
+			t.Errorf("divergence matrix asymmetric at (0,%d)", i)
+		}
+	}
+	if !sawDivergence {
+		t.Error("no regional vantage diverged from the global view")
+	}
+	if r.MinDivergence() >= 1 {
+		t.Error("MinDivergence = 1 with non-transparent vantages")
+	}
+}
+
+func TestVantagesRender(t *testing.T) {
+	s := vantageStudy(t, 2, 2)
+	r := runVantages(t, s)
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Vantage disagreement", "cdnflare", "edgecast", "Cross-vantage rank divergence"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVantagesRegisteredAsExtension(t *testing.T) {
+	if _, ok := Lookup("vantages"); !ok {
+		t.Fatal("vantages experiment not registered")
+	}
+	// It must NOT be in All(): RenderAll is golden-pinned and the default
+	// single-edge render must stay byte-identical.
+	for _, r := range All() {
+		if r.ID == "vantages" {
+			t.Fatal("vantages must not join the golden-pinned All() set")
+		}
+	}
+}

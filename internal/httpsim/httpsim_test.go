@@ -25,7 +25,7 @@ func testNetwork(t testing.TB) (*world.World, *Network) {
 func findSite(w *world.World, cloudflare bool) *world.Site {
 	for i := 0; i < w.NumSites(); i++ {
 		s := w.Site(int32(i))
-		if s.Cloudflare == cloudflare {
+		if s.Cloudflare() == cloudflare {
 			return s
 		}
 	}
@@ -145,7 +145,7 @@ func TestProberClassifiesCorrectly(t *testing.T) {
 	for i := 0; i < 100 && i < w.NumSites(); i++ {
 		s := w.Site(int32(i))
 		hosts = append(hosts, s.Domain)
-		want[s.Domain] = s.Cloudflare
+		want[s.Domain] = s.Cloudflare()
 	}
 	hosts = append(hosts, "unreachable.invalid")
 

@@ -104,8 +104,9 @@ func (l *memListener) dial(ctx context.Context) (net.Conn, error) {
 
 // hostInfo describes one registered hostname.
 type hostInfo struct {
-	cloudflare bool
-	https      bool
+	// backend is the CDN edge fronting the host (BackendNone = origin).
+	backend world.Backend
+	https   bool
 	// redirectTo, when set, 301-redirects root requests to the given host
 	// (the www-canonical pattern).
 	redirectTo string
@@ -158,29 +159,32 @@ func NewNetwork() *Network {
 	return &Network{hosts: make(map[string]hostInfo)}
 }
 
-// AddHost registers a hostname.
-func (n *Network) AddHost(host string, cloudflare, https bool) {
+// AddHost registers a hostname fronted by the given backend (BackendNone
+// for an origin-served host).
+func (n *Network) AddHost(host string, backend world.Backend, https bool) {
 	n.mu.Lock()
-	n.hosts[domain.Normalize(host)] = hostInfo{cloudflare: cloudflare, https: https}
+	n.hosts[domain.Normalize(host)] = hostInfo{backend: backend, https: https}
 	n.mu.Unlock()
 }
 
-// AddWorld registers every hostname of every site in the world. Sites
-// whose www hostname carries more traffic than the apex serve the
+// AddWorld registers every hostname of every site in the world, each
+// fronted by the site's serving backend (its primary CDN when deployed).
+// Sites whose www hostname carries more traffic than the apex serve the
 // www-canonical pattern: the apex 301-redirects to www.
 func (n *Network) AddWorld(w *world.World) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	for i := 0; i < w.NumSites(); i++ {
 		s := w.Site(int32(i))
-		apex := hostInfo{cloudflare: s.Cloudflare, https: s.HTTPS}
+		b := w.ServingBackend(s)
+		apex := hostInfo{backend: b, https: s.HTTPS}
 		for sub, label := range s.Subdomains {
 			if label == "www" && s.SubWeights[sub] > s.SubWeights[0] {
 				apex.redirectTo = s.Hostname(sub)
 			}
 		}
 		for sub := range s.Subdomains {
-			info := hostInfo{cloudflare: s.Cloudflare, https: s.HTTPS}
+			info := hostInfo{backend: b, https: s.HTTPS}
 			if sub == 0 {
 				info = apex
 			}
@@ -297,9 +301,11 @@ func (n *Network) DialContext(ctx context.Context, network, addr string) (net.Co
 	return n.dialBackend(ctx, info)
 }
 
-// dialBackend connects to the listener serving the host.
+// dialBackend connects to the listener serving the host. All deployed CDN
+// backends share one edge listener — what distinguishes them is the
+// response signature the edge stamps, not the wire.
 func (n *Network) dialBackend(ctx context.Context, info hostInfo) (net.Conn, error) {
-	if info.cloudflare {
+	if info.backend != world.BackendNone {
 		return n.edge.dial(ctx)
 	}
 	return n.origin.dial(ctx)
@@ -319,24 +325,24 @@ func (n *Network) Client() *http.Client {
 	}
 }
 
-// serveEdge is the Cloudflare reverse proxy: it stamps the cf-ray header
-// (and a Server banner) on every response for a host it fronts, then serves
-// the origin content.
+// serveEdge is the CDN reverse proxy: it stamps the fronting backend's ray
+// header (cf-ray for the Cloudflare-style backend) and Server banner on
+// every response for a host it fronts, then serves the origin content.
 func (n *Network) serveEdge(w http.ResponseWriter, r *http.Request) {
 	host := domain.Normalize(hostOf(r.Host))
 	if n.injectResponseFault(w, r, host) {
 		return
 	}
 	info, ok := n.lookup(host)
-	if !ok || !info.cloudflare {
-		// A direct-to-edge request for a host Cloudflare does not front.
+	if !ok || info.backend == world.BackendNone {
+		// A direct-to-edge request for a host no backend fronts.
 		w.Header().Set("Server", "cloudflare")
 		http.Error(w, "error 1001: DNS resolution error", http.StatusForbidden)
 		return
 	}
 	ray := n.rayCounter.Add(1)
-	w.Header().Set("Cf-Ray", fmt.Sprintf("%012x-SIM", ray))
-	w.Header().Set("Server", "cloudflare")
+	w.Header().Set(info.backend.RayHeader(), fmt.Sprintf("%012x-SIM", ray))
+	w.Header().Set("Server", info.backend.Banner())
 	n.writeContent(w, r, host)
 }
 

@@ -8,6 +8,8 @@ import (
 	"time"
 
 	"toplists/internal/faults"
+
+	"toplists/internal/world"
 )
 
 // Outcome is the three-way classification of one probe: the zero value is
@@ -45,6 +47,11 @@ type ProbeResult struct {
 	Host string
 	// Cloudflare reports whether the response carried a cf-ray header.
 	Cloudflare bool
+	// Backend is the CDN backend the response's signature identified
+	// (BackendNone when no known ray header was present). Cloudflare is
+	// always Backend == BackendCdnflare, kept for callers predating the
+	// multi-backend model.
+	Backend world.Backend
 	// Reachable is true when a response was classified (Outcome ==
 	// OutcomeOK); kept for callers predating the three-way Outcome.
 	Reachable bool
@@ -199,7 +206,8 @@ func (p *Prober) probeOne(ctx context.Context, host string) ProbeResult {
 				if p.SingleShot || status < 500 {
 					res.Outcome = OutcomeOK
 					res.Reachable = true
-					res.Cloudflare = hdr.Get("Cf-Ray") != ""
+					res.Backend = classifyBackend(hdr)
+					res.Cloudflare = res.Backend == world.BackendCdnflare
 					p.breakerClear(host)
 					return res
 				}
@@ -336,6 +344,18 @@ func (p *Prober) ResetBreakers() {
 	p.mu.Unlock()
 }
 
+// classifyBackend identifies the CDN backend from a response's signature:
+// each backend stamps its own ray header, so the first match wins (a real
+// response carries at most one).
+func classifyBackend(hdr http.Header) world.Backend {
+	for b := world.BackendCdnflare; b <= world.Backend(world.NumBackends); b++ {
+		if hdr.Get(b.RayHeader()) != "" {
+			return b
+		}
+	}
+	return world.BackendNone
+}
+
 // CloudflareSet probes hosts and returns the subset served by Cloudflare.
 func (p *Prober) CloudflareSet(ctx context.Context, hosts []string) map[string]struct{} {
 	out := make(map[string]struct{})
@@ -343,6 +363,24 @@ func (p *Prober) CloudflareSet(ctx context.Context, hosts []string) map[string]s
 		if r.Cloudflare {
 			out[r.Host] = struct{}{}
 		}
+	}
+	return out
+}
+
+// BackendSets probes hosts and returns, per deployed backend, the subset
+// whose responses carried that backend's signature.
+func (p *Prober) BackendSets(ctx context.Context, hosts []string) map[world.Backend]map[string]struct{} {
+	out := make(map[world.Backend]map[string]struct{})
+	for _, r := range p.ProbeAll(ctx, hosts) {
+		if r.Backend == world.BackendNone {
+			continue
+		}
+		set, ok := out[r.Backend]
+		if !ok {
+			set = make(map[string]struct{})
+			out[r.Backend] = set
+		}
+		set[r.Host] = struct{}{}
 	}
 	return out
 }

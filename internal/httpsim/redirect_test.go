@@ -58,7 +58,7 @@ func TestWWWCanonicalRedirect(t *testing.T) {
 		t.Error("no Location header")
 	}
 	// Cloudflare-served sites stamp cf-ray on the redirect itself too.
-	if s.Cloudflare && resp.Header.Get("Cf-Ray") == "" {
+	if s.Cloudflare() && resp.Header.Get("Cf-Ray") == "" {
 		t.Error("redirect response missing cf-ray on CF site")
 	}
 }
@@ -74,9 +74,9 @@ func TestProberHandlesRedirects(t *testing.T) {
 	if !results[0].Reachable {
 		t.Fatal("redirecting site unreachable")
 	}
-	if results[0].Cloudflare != s.Cloudflare {
+	if results[0].Cloudflare != s.Cloudflare() {
 		t.Errorf("cloudflare = %v through redirect, want %v",
-			results[0].Cloudflare, s.Cloudflare)
+			results[0].Cloudflare, s.Cloudflare())
 	}
 }
 

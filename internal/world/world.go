@@ -39,12 +39,75 @@ type Config struct {
 	// CFBase is the base Cloudflare adoption probability before category,
 	// country, and tier multipliers (default 0.30).
 	CFBase float64
+	// Backends is how many CDN edge backends are deployed (1..NumBackends,
+	// default 1). The first backend is always cdnflare; a world with one
+	// backend is the original single-edge model, byte-identical to worlds
+	// generated before competitor backends existed.
+	Backends int
+	// ExtraCDNBase is the base adoption probability of each competitor
+	// backend (default 0.12), skewed per backend by category, country, and
+	// tier. Only consulted when Backends > 1.
+	ExtraCDNBase float64
+	// Vantages is the set of measurement vantage points (default: the
+	// single transparent global vantage). Vantage 0 must be the primary
+	// (transparent) vantage for the default pipeline to stay byte-identical.
+	Vantages []Vantage
 	// InfraNames is the number of non-website infrastructure FQDNs (OS
 	// telemetry, NTP, update servers) that dominate DNS vantage points.
 	// Default max(20, NumSites/50).
 	InfraNames int
 	// Ablate disables selected mechanisms for ablation studies.
 	Ablate Ablations
+}
+
+// Validate reports the first invalid configuration field as an explicit
+// error. Zero values are valid (they take defaults); out-of-range values
+// are rejected rather than silently clamped.
+func (c Config) Validate() error {
+	if c.NumSites < 0 {
+		return fmt.Errorf("world: NumSites %d negative", c.NumSites)
+	}
+	if c.InfraNames < 0 {
+		return fmt.Errorf("world: InfraNames %d negative", c.InfraNames)
+	}
+	if c.ZipfS < 0 {
+		return fmt.Errorf("world: ZipfS %v negative", c.ZipfS)
+	}
+	if c.PopNoise < 0 {
+		return fmt.Errorf("world: PopNoise %v negative", c.PopNoise)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"HTTPSShare", c.HTTPSShare},
+		{"NonPublicShare", c.NonPublicShare},
+		{"MultiCDNShare", c.MultiCDNShare},
+		{"CFBase", c.CFBase},
+		{"ExtraCDNBase", c.ExtraCDNBase},
+	} {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("world: %s %v outside [0, 1]", f.name, f.v)
+		}
+	}
+	if c.Backends < 0 || c.Backends > NumBackends {
+		return fmt.Errorf("world: Backends %d outside [0, %d]", c.Backends, NumBackends)
+	}
+	seen := make(map[string]bool, len(c.Vantages))
+	for i := range c.Vantages {
+		v := &c.Vantages[i]
+		if err := v.Validate(); err != nil {
+			return err
+		}
+		if seen[v.Name] {
+			return fmt.Errorf("world: duplicate vantage name %q", v.Name)
+		}
+		seen[v.Name] = true
+	}
+	if len(c.Vantages) > 0 && !c.Vantages[0].Transparent() {
+		return fmt.Errorf("world: vantage 0 (%q) must be transparent (full reach); regional vantages follow it", c.Vantages[0].Name)
+	}
+	return nil
 }
 
 // Ablations switches individual world mechanisms off so their effect on
@@ -85,6 +148,15 @@ func (c Config) withDefaults() Config {
 	if c.CFBase == 0 {
 		c.CFBase = 0.30
 	}
+	if c.Backends <= 0 {
+		c.Backends = 1
+	}
+	if c.ExtraCDNBase == 0 {
+		c.ExtraCDNBase = 0.12
+	}
+	if len(c.Vantages) == 0 {
+		c.Vantages = DefaultVantages(1)
+	}
 	if c.InfraNames == 0 {
 		c.InfraNames = c.NumSites / 50
 		if c.InfraNames < 20 {
@@ -112,9 +184,14 @@ type Site struct {
 	// countries (sums to 1).
 	CountryShare [NumCountries]float32
 
-	Cloudflare bool
-	MultiCDN   bool
-	NonPublic  bool
+	// CDN is the backend the site's traffic is served through
+	// (BackendNone = origin only). AltCDN names the secondary backend of a
+	// multi-CDN site; it may name a backend beyond the world's deployed
+	// count — "also on some other CDN" — in which case only the primary
+	// serves an observable edge.
+	CDN       Backend
+	AltCDN    Backend
+	NonPublic bool
 
 	// Behavioural parameters, drawn around category means.
 	// Stickiness drives within-day revisits (page loads per visitor).
@@ -137,6 +214,20 @@ type Site struct {
 	// of web traffic using each hostname.
 	Subdomains []string
 	SubWeights []float32
+}
+
+// Cloudflare reports whether the site's primary backend is the
+// Cloudflare-style edge — the population the paper's cf-ray filter targets.
+func (s *Site) Cloudflare() bool { return s.CDN == BackendCdnflare }
+
+// MultiCDN reports whether the site serves through a secondary CDN besides
+// its primary ("rare" per Section 4.5).
+func (s *Site) MultiCDN() bool { return s.AltCDN != BackendNone }
+
+// OnBackend reports whether the site serves any traffic through backend b
+// (as primary or secondary).
+func (s *Site) OnBackend(b Backend) bool {
+	return b != BackendNone && (s.CDN == b || s.AltCDN == b)
 }
 
 // Hostname returns the FQDN for subdomain index i.
@@ -182,8 +273,15 @@ type World struct {
 }
 
 // Generate builds a world from the config. Generation is deterministic in
-// Config (including Seed).
+// Config (including Seed). Generate panics on a config Config.Validate
+// rejects; zero fields are valid and take defaults.
 func Generate(cfg Config) *World {
+	// Out-of-range values are programmer errors at this layer: callers
+	// holding user input validate with Config.Validate first and report
+	// the error themselves; Generate refuses to silently clamp.
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	cfg = cfg.withDefaults()
 	root := simrand.New(cfg.Seed).Derive("world")
 	w := &World{
@@ -235,10 +333,18 @@ func Generate(cfg Config) *World {
 			s.CountryShare[c] = float32(float64(s.CountryShare[c]) / sum)
 		}
 
+		// The two adoption draws below predate the multi-backend model and
+		// must stay in this exact order on the per-site stream: every later
+		// field of the site is drawn from the same stream, so inserting,
+		// removing, or reordering draws here would shift the whole universe.
+		// Competitor-backend assignment draws from a separate derived stream
+		// after sorting (below) for the same reason.
 		pCF := cfg.CFBase * cat.CFBoost * ci.CFAdoption * tierCFFactor(tier)
-		s.Cloudflare = src.Bernoulli(clamp(pCF, 0, 0.95))
-		if s.Cloudflare {
-			s.MultiCDN = src.Bernoulli(cfg.MultiCDNShare)
+		if src.Bernoulli(clamp(pCF, 0, 0.95)) {
+			s.CDN = BackendCdnflare
+			if src.Bernoulli(cfg.MultiCDNShare) {
+				s.AltCDN = BackendEdgecast
+			}
 		}
 		pNonPub := cfg.NonPublicShare
 		if tier == tierHead {
@@ -276,8 +382,41 @@ func Generate(cfg Config) *World {
 
 	// None of the global top ten sites use Cloudflare (Section 4.5).
 	for i := 0; i < 10 && i < n; i++ {
-		w.Sites[i].Cloudflare = false
-		w.Sites[i].MultiCDN = false
+		if w.Sites[i].CDN == BackendCdnflare {
+			w.Sites[i].CDN = BackendNone
+			w.Sites[i].AltCDN = BackendNone
+		}
+	}
+
+	// Competitor backends, when deployed, are assigned from their own
+	// derived stream keyed by final (true-rank) site index, so a
+	// single-backend world never consumes these draws and stays
+	// byte-identical to worlds generated before competitors existed.
+	if cfg.Backends > 1 {
+		deployed := DeployedBackends(cfg.Backends)
+		extra := root.Derive("cdn-extra")
+		for i := range w.Sites {
+			s := &w.Sites[i]
+			src := extra.At(i)
+			if s.CDN == BackendCdnflare {
+				// Multi-CDN sites pair with a competitor; with three or more
+				// backends deployed the pairing splits between them.
+				if s.AltCDN != BackendNone && cfg.Backends > 2 && src.Bernoulli(0.5) {
+					s.AltCDN = BackendAkamai
+				}
+				continue
+			}
+			cat := s.Category.Info()
+			ci := s.Home.Info()
+			tf := tierCFFactor(tierOf(i, n))
+			for _, b := range deployed[1:] {
+				p := cfg.ExtraCDNBase * b.categoryBoost(cat) * b.countryBoost(ci) * tf
+				if src.Bernoulli(clamp(p, 0, 0.95)) {
+					s.CDN = b
+					break
+				}
+			}
+		}
 	}
 
 	w.Infra = generateInfra(root.Derive("infra"), cfg.InfraNames)
@@ -447,12 +586,48 @@ func (w *World) SiteOfID(id names.ID) (int32, bool) {
 func (w *World) CloudflareSet() map[string]struct{} {
 	s := make(map[string]struct{})
 	for i := range w.Sites {
-		if w.Sites[i].Cloudflare {
+		if w.Sites[i].Cloudflare() {
 			s[w.Sites[i].Domain] = struct{}{}
 		}
 	}
 	return s
 }
+
+// BackendSet returns the registrable domains serving any traffic through
+// backend b (primary or secondary).
+func (w *World) BackendSet(b Backend) map[string]struct{} {
+	s := make(map[string]struct{})
+	for i := range w.Sites {
+		if w.Sites[i].OnBackend(b) {
+			s[w.Sites[i].Domain] = struct{}{}
+		}
+	}
+	return s
+}
+
+// Backends returns the world's deployed edge backends in deployment order.
+func (w *World) Backends() []Backend {
+	return DeployedBackends(w.Cfg.Backends)
+}
+
+// Deployed reports whether backend b serves an observable edge in this
+// world.
+func (w *World) Deployed(b Backend) bool {
+	return b >= BackendCdnflare && int(b-BackendCdnflare) < w.Cfg.Backends
+}
+
+// ServingBackend returns the backend whose edge actually fronts the site:
+// its primary CDN when that backend is deployed, BackendNone otherwise.
+func (w *World) ServingBackend(s *Site) Backend {
+	if w.Deployed(s.CDN) {
+		return s.CDN
+	}
+	return BackendNone
+}
+
+// Vantages returns the world's measurement vantage points. Vantage 0 is
+// always the transparent primary.
+func (w *World) Vantages() []Vantage { return w.Cfg.Vantages }
 
 // SiteWeights returns per-site selection weights for browsing clients in
 // the given country and platform: the site's true weight, scaled by its
@@ -531,7 +706,7 @@ func (w *World) WorkDistortion() []float64 {
 func (w *World) Describe() string {
 	cf := 0
 	for i := range w.Sites {
-		if w.Sites[i].Cloudflare {
+		if w.Sites[i].Cloudflare() {
 			cf++
 		}
 	}

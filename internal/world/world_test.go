@@ -67,7 +67,7 @@ func TestDomainsUniqueAndValidRegistrable(t *testing.T) {
 func TestTopTenNotCloudflare(t *testing.T) {
 	w := testWorld(t)
 	for i := 0; i < 10; i++ {
-		if w.Site(int32(i)).Cloudflare {
+		if w.Site(int32(i)).Cloudflare() {
 			t.Errorf("top-10 site %d is on Cloudflare", i)
 		}
 	}
@@ -124,7 +124,7 @@ func TestChinaRarelyCloudflare(t *testing.T) {
 	for i := range w.Sites {
 		if w.Sites[i].Home == CN {
 			cn++
-			if w.Sites[i].Cloudflare {
+			if w.Sites[i].Cloudflare() {
 				cnCF++
 			}
 		}

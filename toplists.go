@@ -36,6 +36,7 @@ import (
 	"toplists/internal/experiments"
 	"toplists/internal/obs"
 	"toplists/internal/sketch"
+	"toplists/internal/world"
 )
 
 // Config parameterizes a study run. Zero fields take defaults sized for a
@@ -68,6 +69,19 @@ type Config struct {
 	// network at the given rate (0..1); 0 leaves the network pristine.
 	// The fault plan is derived from Seed, so runs stay reproducible.
 	FaultRate float64
+	// Vantages is the number of measurement vantage points (0 or 1 = the
+	// single transparent global vantage, the paper's single-edge model;
+	// up to world.MaxVantages). Additional vantages are regional: each
+	// observes the browsing population through its own country-skewed
+	// reachability and keeps its own per-(vantage, backend) edge pipeline
+	// and resolver cache. The default output is byte-identical to the
+	// pre-vantage model.
+	Vantages int
+	// Backends is the number of deployed CDN edge backends (0 or 1 = the
+	// Cloudflare-style backend only; up to world.NumBackends). Extra
+	// backends host a skewed slice of the universe and are measured by
+	// the same vantage grid.
+	Backends int
 	// Sketch switches the aggregation layer to bounded mergeable summaries
 	// (count-min, space-saving, HyperLogLog): each traffic shard keeps
 	// fixed-size state merged at the day barrier, so peak memory stops
@@ -82,6 +96,31 @@ type Config struct {
 	// pure function of the configuration, and timing-valued metrics are
 	// excluded from the run report's deterministic subset.
 	Obs *obs.Registry
+}
+
+// validate reports the first invalid Config field as an explicit error.
+// Zero fields are valid (they take defaults); out-of-range values are
+// rejected here rather than silently clamped downstream.
+func (cfg Config) validate() error {
+	switch {
+	case cfg.Sites < 0:
+		return fmt.Errorf("toplists: sites %d negative", cfg.Sites)
+	case cfg.Clients < 0:
+		return fmt.Errorf("toplists: clients %d negative", cfg.Clients)
+	case cfg.Days < 0:
+		return fmt.Errorf("toplists: days %d negative", cfg.Days)
+	case cfg.Workers < 0:
+		return fmt.Errorf("toplists: workers %d negative", cfg.Workers)
+	case cfg.CruxMinVisitors < 0:
+		return fmt.Errorf("toplists: crux min visitors %d negative", cfg.CruxMinVisitors)
+	case cfg.FaultRate < 0 || cfg.FaultRate > 1:
+		return fmt.Errorf("toplists: fault rate %v outside [0, 1]", cfg.FaultRate)
+	case cfg.Vantages < 0 || cfg.Vantages > world.MaxVantages:
+		return fmt.Errorf("toplists: vantages %d outside [0, %d]", cfg.Vantages, world.MaxVantages)
+	case cfg.Backends < 0 || cfg.Backends > world.NumBackends:
+		return fmt.Errorf("toplists: backends %d outside [0, %d]", cfg.Backends, world.NumBackends)
+	}
+	return nil
 }
 
 // ErrStudyAborted marks a study whose day advancement failed mid-day (a
@@ -136,11 +175,8 @@ func Run(cfg Config) (*Study, error) {
 // RunContext is Run honoring ctx: cancellation mid-simulation returns the
 // context's error promptly, with no goroutines left behind.
 func RunContext(ctx context.Context, cfg Config) (*Study, error) {
-	if cfg.Sites < 0 || cfg.Clients < 0 || cfg.Days < 0 {
-		return nil, fmt.Errorf("toplists: negative config value")
-	}
-	if cfg.FaultRate < 0 || cfg.FaultRate > 1 {
-		return nil, fmt.Errorf("toplists: fault rate %v outside [0, 1]", cfg.FaultRate)
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	s := core.NewStudy(core.Config{
 		Seed:            cfg.Seed,
@@ -151,6 +187,8 @@ func RunContext(ctx context.Context, cfg Config) (*Study, error) {
 		CruxMinVisitors: cfg.CruxMinVisitors,
 		Workers:         cfg.Workers,
 		FaultRate:       cfg.FaultRate,
+		Vantages:        cfg.Vantages,
+		Backends:        cfg.Backends,
 		Sketch:          sketch.Config{Enabled: cfg.Sketch},
 		Obs:             cfg.Obs,
 	})
@@ -247,8 +285,8 @@ func (s *Study) RunExperimentsContext(ctx context.Context, ids []string) ([]Expe
 // given configuration, measuring how each planted mechanism drives its
 // attributed finding. Expect roughly seven times the cost of Run.
 func RunAblations(cfg Config) (Result, error) {
-	if cfg.Sites < 0 || cfg.Clients < 0 || cfg.Days < 0 {
-		return nil, fmt.Errorf("toplists: negative config value")
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	return experiments.RunAblations(core.Config{
 		Seed:            cfg.Seed,
@@ -266,8 +304,8 @@ func RunAblations(cfg Config) (Result, error) {
 // target's achieved rank in Alexa, Tranco, and the Cloudflare truth per
 // attacker budget. Cost is (1 + len(budgets)) full studies.
 func RunAttack(cfg Config, budgets []int) (Result, error) {
-	if cfg.Sites < 0 || cfg.Clients < 0 || cfg.Days < 0 {
-		return nil, fmt.Errorf("toplists: negative config value")
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	return experiments.RunAttack(core.Config{
 		Seed:            cfg.Seed,
@@ -283,8 +321,8 @@ func RunAttack(cfg Config, budgets []int) (Result, error) {
 // RunRobustness replicates the study's headline numbers over multiple
 // seeds (an extension beyond the paper). Cost is len(seeds) full studies.
 func RunRobustness(cfg Config, seeds []uint64) (Result, error) {
-	if cfg.Sites < 0 || cfg.Clients < 0 || cfg.Days < 0 {
-		return nil, fmt.Errorf("toplists: negative config value")
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	return experiments.RunRobustness(core.Config{
 		NumSites:        cfg.Sites,

@@ -53,8 +53,8 @@ func TestRunRejectsNegativeConfig(t *testing.T) {
 
 func TestExperimentsRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 14 {
-		t.Fatalf("experiments = %d, want 14 (11 paper artifacts + 3 extensions)", len(exps))
+	if len(exps) != 15 {
+		t.Fatalf("experiments = %d, want 15 (11 paper artifacts + 4 extensions)", len(exps))
 	}
 	for _, e := range exps {
 		if e.ID == "" || e.Name == "" {

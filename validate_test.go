@@ -1,0 +1,80 @@
+package toplists
+
+import (
+	"strings"
+	"testing"
+
+	"toplists/internal/world"
+)
+
+// TestConfigValidation is the table-driven contract of the facade's config
+// validation: out-of-range values fail Run (and the fleet runners) with an
+// explicit error naming the field, instead of being silently clamped.
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     Config
+		wantErr string // empty = accepted
+	}{
+		{"zero config", Config{}, ""},
+		{"all fields at max", Config{Vantages: world.MaxVantages, Backends: world.NumBackends, FaultRate: 1}, ""},
+		{"negative sites", Config{Sites: -1}, "sites -1 negative"},
+		{"negative clients", Config{Clients: -5}, "clients -5 negative"},
+		{"negative days", Config{Days: -2}, "days -2 negative"},
+		{"negative workers", Config{Workers: -1}, "workers -1 negative"},
+		{"negative crux threshold", Config{CruxMinVisitors: -10}, "crux min visitors -10 negative"},
+		{"fault rate above one", Config{FaultRate: 1.5}, "fault rate 1.5 outside [0, 1]"},
+		{"negative fault rate", Config{FaultRate: -0.5}, "fault rate -0.5 outside [0, 1]"},
+		{"negative vantages", Config{Vantages: -1}, "vantages -1 outside"},
+		{"too many vantages", Config{Vantages: world.MaxVantages + 1}, "vantages 13 outside"},
+		{"negative backends", Config{Backends: -1}, "backends -1 outside"},
+		{"too many backends", Config{Backends: world.NumBackends + 1}, "backends 4 outside"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validate() = nil, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validate() = %q, want it to contain %q", err, tc.wantErr)
+			}
+			// Every entry point must surface the same explicit error.
+			if _, runErr := Run(tc.cfg); runErr == nil || runErr.Error() != err.Error() {
+				t.Fatalf("Run() = %v, want %v", runErr, err)
+			}
+			if _, abErr := RunAblations(tc.cfg); abErr == nil || abErr.Error() != err.Error() {
+				t.Fatalf("RunAblations() = %v, want %v", abErr, err)
+			}
+		})
+	}
+}
+
+// TestRunMultiVantage pins the facade plumbing: a multi-vantage, multi-
+// backend study runs end to end and serves the vantages extension.
+func TestRunMultiVantage(t *testing.T) {
+	s, err := Run(Config{Seed: 5, Sites: 400, Clients: 80, Days: 2, Vantages: 2, Backends: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res, err := s.Experiment("vantages")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := res.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"2 vantages x 2 backends", "us-east", "edgecast"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("vantages render missing %q:\n%s", want, b.String())
+		}
+	}
+}
