@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz bench check faultcheck obscheck sketchcheck snapcheck vantagecheck
+.PHONY: build test vet race fuzz bench check faultcheck obscheck sketchcheck snapcheck vantagecheck crashcheck
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,17 @@ snapcheck:
 	$(GO) test -run=TestSnapCheck -count=1 .
 	$(GO) test -count=1 ./cmd/toplistsd ./internal/snapshot
 
+# crashcheck is the kill-anywhere chaos oracle: the real toplistsd binary,
+# auto-checkpointing on a fast ticker, is SIGKILLed at seed-keyed offsets
+# (mid-day, between generations, and mid-checkpoint-write via the
+# TOPLISTSD_CRASHPOINT hook), restarted through the recovery supervisor
+# each time, and must finish the month byte-identical over HTTP to an
+# uninterrupted run — for three seeds. A torn-on-disk generation must be
+# rejected visibly and recovery must fall back a generation. Set
+# CRASHCHECK_LOG=path to capture the kill schedule (CI uploads it).
+crashcheck:
+	$(GO) test -run=TestCrashCheck -count=1 -v .
+
 # vantagecheck is the multi-vantage oracle: an explicit single-edge config
 # (Vantages=1, Backends=1) must render byte-identically to the zero-value
 # config and to the pre-refactor golden, and the full 3x3 vantage/backend
@@ -84,4 +95,4 @@ benchsmoke:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...
 
 # check is the CI gate: everything must pass before merging.
-check: build vet test race faultcheck obscheck sketchcheck snapcheck vantagecheck
+check: build vet test race faultcheck obscheck sketchcheck snapcheck vantagecheck crashcheck

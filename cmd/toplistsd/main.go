@@ -1,39 +1,52 @@
 // Command toplistsd runs the study as a resident service: the simulated
 // month advances one day at a time — on demand or on a virtual-clock
 // ticker — while HTTP readers consult the day's published lists, and the
-// whole study can checkpoint to disk and resume byte-identically in a
-// later process.
+// whole study checkpoints durably to disk and resumes byte-identically
+// in a later process, even one started by a supervisor after a SIGKILL.
 //
 // Usage:
 //
 //	toplistsd [flags]
 //
-//	-addr       HTTP listen address for the v1 API (default localhost:8650)
-//	-seed       study seed (default 2022)
-//	-sites      universe size (default 50000)
-//	-clients    browsing population (default 6000)
-//	-days       measurement window in days (default 28)
-//	-workers    per-day simulation worker goroutines (0 = one per CPU)
-//	-vantages   measurement vantage points (1 = the single transparent
-//	            global vantage; up to 12)
-//	-backends   deployed CDN edge backends (1 = Cloudflare-style only;
-//	            up to 3)
-//	-allcombos  track all 21 Cloudflare filter-aggregation combinations
-//	-sketch     aggregate through bounded mergeable sketches
-//	-faultrate  inject deterministic network faults at this rate (0..1)
-//	-tick       advance one simulated day per interval (0 = only on
-//	            POST /v1/advance)
-//	-checkpoint snapshot file written by POST /v1/checkpoint and on
-//	            SIGTERM/SIGINT
-//	-restore    resume from this snapshot instead of starting at day 0
-//	-debugaddr  serve /metrics and /debug/pprof/ on this address
-//	-quiet      suppress diagnostics (errors still print)
-//	-v          verbose diagnostics
+//	-addr           HTTP listen address for the v1 API (default
+//	                localhost:8650; :0 picks a free port)
+//	-seed           study seed (default 2022)
+//	-sites          universe size (default 50000)
+//	-clients        browsing population (default 6000)
+//	-days           measurement window in days (default 28)
+//	-workers        per-day simulation worker goroutines (0 = one per CPU)
+//	-vantages       measurement vantage points (1 = the single transparent
+//	                global vantage; up to 12)
+//	-backends       deployed CDN edge backends (1 = Cloudflare-style only;
+//	                up to 3)
+//	-allcombos      track all 21 Cloudflare filter-aggregation combinations
+//	-sketch         aggregate through bounded mergeable sketches
+//	-faultrate      inject deterministic network faults at this rate (0..1)
+//	-tick           advance one simulated day per interval (0 = only on
+//	                POST /v1/advance)
+//	-checkpoint     checkpoint DIRECTORY: POST /v1/checkpoint, the
+//	                -autocheckpoint cadence, and shutdown each write a new
+//	                fsynced generation (study.snap.NNNNNN) here, and
+//	                startup recovers from the newest intact generation
+//	-autocheckpoint write a checkpoint generation every N advanced days
+//	                (and on the final day; 0 = only manual/shutdown)
+//	-retain         checkpoint generations to keep (default 5)
+//	-restore        resume from this single snapshot FILE instead of
+//	                recovering from the -checkpoint directory
+//	-readyfile      write the bound HTTP address to this file once
+//	                serving (for harnesses using -addr localhost:0)
+//	-debugaddr      serve /metrics and /debug/pprof/ on this address
+//	-quiet          suppress diagnostics (errors still print)
+//	-v              verbose diagnostics
 //
 // API:
 //
+//	GET  /healthz                liveness: the process serves
+//	GET  /readyz                 readiness: >= 1 day published, not aborted
 //	GET  /v1/status              day cursor, completion, abort state
-//	POST /v1/advance?days=N      simulate N more days (409 when done)
+//	POST /v1/advance?days=N      simulate N more days (409 when done,
+//	                             503 + Retry-After when the write path
+//	                             is saturated)
 //	GET  /v1/vantages            the vantage/backend measurement grid
 //	GET  /v1/rankings/{list}     top k of a list for an advanced day;
 //	                             with ?vantage=&backend= the path names a
@@ -42,7 +55,14 @@
 //	GET  /v1/diff                top-k churn of a list between two days
 //	GET  /v1/report[?stable=1]   telemetry report (stable = the subset
 //	                             pinned across checkpoint/restore)
-//	POST /v1/checkpoint          snapshot to the -checkpoint path
+//	POST /v1/checkpoint          write a new checkpoint generation
+//
+// Crash model: checkpoint generations are fsynced (file and directory)
+// before being renamed into place, so a crash — SIGKILL, power loss —
+// at any instant leaves at worst a torn temp file that recovery ignores.
+// On startup with -checkpoint, the recovery supervisor scans generations
+// newest-first, verifies each frame-by-frame, and resumes the newest
+// intact one; corrupt candidates are logged and skipped, never fatal.
 //
 // Readers never see a torn day: advancement write-holds the study's
 // lifecycle lock, so every request observes a complete day boundary.
@@ -56,13 +76,27 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
 	"toplists/internal/core"
 	"toplists/internal/obs"
 	"toplists/internal/sketch"
+	"toplists/internal/snapshot"
 	"toplists/internal/world"
+)
+
+// HTTP server hardening. The write timeout bounds the slowest legitimate
+// response — a multi-day POST /v1/advance on a large study — so it is
+// deliberately generous; the header/read timeouts bound what a slow or
+// hostile client can pin per connection.
+const (
+	readHeaderTimeout = 5 * time.Second
+	readTimeout       = 30 * time.Second
+	writeTimeout      = 10 * time.Minute
+	idleTimeout       = 2 * time.Minute
+	drainTimeout      = 30 * time.Second
 )
 
 func main() {
@@ -79,8 +113,11 @@ func main() {
 		sketchMode = flag.Bool("sketch", false, "aggregate through bounded mergeable sketches instead of exact state")
 		faultRate  = flag.Float64("faultrate", 0, "inject deterministic network faults at this rate (0..1)")
 		tick       = flag.Duration("tick", 0, "advance one simulated day per interval (0 = manual advance only)")
-		ckptPath   = flag.String("checkpoint", "", "snapshot file for POST /v1/checkpoint and shutdown")
-		restore    = flag.String("restore", "", "resume from this snapshot file")
+		ckptPath   = flag.String("checkpoint", "", "checkpoint directory for generations, recovery, and shutdown")
+		autoCkpt   = flag.Int("autocheckpoint", 0, "write a checkpoint generation every N advanced days (0 = off)")
+		retain     = flag.Int("retain", 5, "checkpoint generations to keep")
+		restore    = flag.String("restore", "", "resume from this snapshot file (bypasses directory recovery)")
+		readyFile  = flag.String("readyfile", "", "write the bound HTTP address here once serving")
 		debugAddr  = flag.String("debugaddr", "", "serve /metrics and /debug/pprof/ on this address")
 		quiet      = flag.Bool("quiet", false, "suppress diagnostics (errors still print)")
 		verbose    = flag.Bool("v", false, "verbose diagnostics")
@@ -104,6 +141,10 @@ func main() {
 		log.Errorf("toplistsd: -backends %d outside [1, %d]", *backends, world.NumBackends)
 		os.Exit(2)
 	}
+	if *autoCkpt > 0 && *ckptPath == "" {
+		log.Errorf("toplistsd: -autocheckpoint needs a -checkpoint directory")
+		os.Exit(2)
+	}
 
 	reg := obs.NewRegistry()
 	if *debugAddr != "" {
@@ -116,89 +157,156 @@ func main() {
 		log.Infof("debug server on http://%s (/metrics, /debug/pprof/)", srv.Addr())
 	}
 
-	var study *core.Study
-	if *restore != "" {
-		f, err := os.Open(*restore)
+	var ckptDir *snapshot.Dir
+	if *ckptPath != "" {
+		var err error
+		ckptDir, err = snapshot.OpenDir(*ckptPath)
 		if err != nil {
 			log.Errorf("toplistsd: %v", err)
 			os.Exit(1)
 		}
-		study, err = core.Resume(f, core.ResumeOptions{Workers: *workers, Obs: reg})
-		f.Close()
-		if err != nil {
-			log.Errorf("toplistsd: restore %s: %v", *restore, err)
-			os.Exit(1)
-		}
-		log.Infof("restored %s at day %d/%d", *restore, study.Day(), study.Cfg.Days)
-	} else {
-		start := time.Now()
-		study = core.NewStudy(core.Config{
-			Seed:           *seed,
-			NumSites:       *sites,
-			NumClients:     *clients,
-			Days:           *days,
-			TrackAllCombos: *allCombos,
-			Workers:        *workers,
-			Vantages:       *vantages,
-			Backends:       *backends,
-			FaultRate:      *faultRate,
-			Sketch:         sketch.Config{Enabled: *sketchMode},
-			Obs:            reg,
-		})
-		log.Infof("%s (built in %v)", study.Describe(), time.Since(start).Round(time.Millisecond))
+	}
+
+	study, err := openStudy(studyFlags{
+		seed: *seed, sites: *sites, clients: *clients, days: *days,
+		workers: *workers, vantages: *vantages, backends: *backends,
+		allCombos: *allCombos, sketch: *sketchMode, faultRate: *faultRate,
+		restore: *restore,
+	}, ckptDir, reg, log)
+	if err != nil {
+		log.Errorf("toplistsd: %v", err)
+		os.Exit(1)
 	}
 	defer study.Close()
 
-	srv := newServer(study, *ckptPath, log)
+	srv := newServer(study, ckptDir, *retain, log)
+	if ckptDir != nil && *autoCkpt > 0 {
+		study.SetAutoCheckpoint(*autoCkpt, srv.autoCheckpoint)
+		log.Infof("auto-checkpoint every %d day(s), retaining %d generation(s)", *autoCkpt, *retain)
+	}
 
 	lis, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Errorf("toplistsd: %v", err)
 		os.Exit(1)
 	}
-	httpSrv := &http.Server{Handler: srv.routes()}
+	httpSrv := &http.Server{
+		Handler:           srv.handler(),
+		ReadHeaderTimeout: readHeaderTimeout,
+		ReadTimeout:       readTimeout,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       idleTimeout,
+	}
 	go func() {
 		if err := httpSrv.Serve(lis); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Errorf("toplistsd: serve: %v", err)
 		}
 	}()
 	log.Infof("v1 API on http://%s (day %d/%d)", lis.Addr(), study.Day(), study.Cfg.Days)
+	if *readyFile != "" {
+		if err := os.WriteFile(*readyFile, []byte(lis.Addr().String()), 0o644); err != nil {
+			log.Errorf("toplistsd: readyfile: %v", err)
+			os.Exit(1)
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var tickDone sync.WaitGroup
 	if *tick > 0 {
-		ticks := make(chan struct{})
+		tickDone.Add(1)
 		go func() {
-			t := time.NewTicker(*tick)
-			defer t.Stop()
-			defer close(ticks)
-			for {
-				select {
-				case <-ctx.Done():
-					return
-				case <-t.C:
-					ticks <- struct{}{}
-				}
-			}
+			defer tickDone.Done()
+			srv.tickLoop(ctx, *tick)
 		}()
-		go srv.advanceLoop(ctx, ticks)
 	}
 
 	<-ctx.Done()
 	stop()
 	log.Infof("shutting down")
 
+	// Drain order matters for the final checkpoint's day boundary:
+	// 1. the ticker stops (an in-flight day completes — tickLoop never
+	//    cancels mid-day);
+	// 2. in-flight HTTP requests finish, so no POST /v1/advance can move
+	//    the cursor underneath the snapshot;
+	// 3. the final generation streams out durably;
+	// 4. the listener closes.
+	tickDone.Wait()
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Errorf("toplistsd: drain: %v", err)
+	}
+
 	// Snapshot on the way out so the next process resumes where this one
 	// stopped. An aborted study refuses (its sinks are torn) — that is
-	// reported, not fatal, and never overwrites the previous checkpoint.
-	if *ckptPath != "" {
-		if _, err := srv.writeCheckpoint(); err != nil {
+	// reported, not fatal, and never damages the previous generation.
+	if ckptDir != nil {
+		if _, _, err := srv.writeCheckpoint(); err != nil {
 			log.Errorf("toplistsd: shutdown checkpoint: %v", err)
 		}
 	}
+}
 
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-	defer cancel()
-	httpSrv.Shutdown(shutdownCtx) //nolint:errcheck // exiting anyway
+type studyFlags struct {
+	seed                        uint64
+	sites, clients, days        int
+	workers, vantages, backends int
+	allCombos, sketch           bool
+	faultRate                   float64
+	restore                     string
+}
+
+// openStudy builds the resident study: an explicit -restore file wins,
+// then recovery from the checkpoint directory's newest intact
+// generation, then a fresh day-zero study. Recovery failure other than
+// "nothing there yet" is fatal on purpose: generations existed and none
+// restored, and silently starting over would discard the month.
+func openStudy(f studyFlags, ckptDir *snapshot.Dir, reg *obs.Registry, log *obs.Logger) (*core.Study, error) {
+	if f.restore != "" {
+		file, err := os.Open(f.restore)
+		if err != nil {
+			return nil, err
+		}
+		defer file.Close()
+		study, err := core.Resume(file, core.ResumeOptions{Workers: f.workers, Obs: reg})
+		if err != nil {
+			return nil, err
+		}
+		log.Infof("restored %s at day %d/%d", f.restore, study.Day(), study.Cfg.Days)
+		return study, nil
+	}
+
+	if ckptDir != nil {
+		rec, err := core.Recover(ckptDir, core.ResumeOptions{Workers: f.workers, Obs: reg}, log)
+		switch {
+		case err == nil:
+			log.Infof("recovered generation %s at day %d/%d (%d candidate(s), %d rejected)",
+				rec.Gen.Name(), rec.Study.Day(), rec.Study.Cfg.Days, rec.Scanned, rec.Rejected)
+			return rec.Study, nil
+		case errors.Is(err, core.ErrNoCheckpoint):
+			log.Infof("checkpoint directory empty; starting fresh")
+		default:
+			return nil, err
+		}
+	}
+
+	start := time.Now()
+	study := core.NewStudy(core.Config{
+		Seed:           f.seed,
+		NumSites:       f.sites,
+		NumClients:     f.clients,
+		Days:           f.days,
+		TrackAllCombos: f.allCombos,
+		Workers:        f.workers,
+		Vantages:       f.vantages,
+		Backends:       f.backends,
+		FaultRate:      f.faultRate,
+		Sketch:         sketch.Config{Enabled: f.sketch},
+		Obs:            reg,
+	})
+	log.Infof("%s (built in %v)", study.Describe(), time.Since(start).Round(time.Millisecond))
+	return study, nil
 }

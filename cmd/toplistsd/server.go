@@ -5,45 +5,115 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
-	"path/filepath"
 	"strconv"
+	"strings"
 	"sync"
+	"syscall"
+	"time"
 
 	"toplists/internal/cfmetrics"
 	"toplists/internal/core"
 	"toplists/internal/obs"
 	"toplists/internal/rank"
+	"toplists/internal/snapshot"
 	"toplists/internal/traffic"
 )
 
+// crashpointEnv, when set to "N:OFF", SIGKILLs the process after OFF
+// bytes of the Nth checkpoint written by this process have reached the
+// temp file — before fsync and rename, so only a torn temp file is left
+// behind. It exists for the crashcheck oracle, which uses it to prove
+// that a power loss mid-checkpoint-write can never damage the previous
+// generation or be mistaken for a valid one.
+const crashpointEnv = "TOPLISTSD_CRASHPOINT"
+
+// writeSlots caps concurrent write-path requests (advance, checkpoint).
+// Both are heavyweight — a day advance write-holds the study lock, a
+// checkpoint streams the full state — so unbounded concurrent POSTs
+// would only queue on those locks while holding HTTP resources. Excess
+// callers get an immediate 503 with Retry-After instead.
+const writeSlots = 2
+
 // server wraps one resident study with the HTTP+JSON control surface.
 // All day-lifecycle synchronization lives in core.Study (its lifecycle
-// lock); the server only adds checkpoint-file serialization, so any
-// number of readers can be in flight while a day advances or a
-// checkpoint streams out.
+// lock); the server only adds checkpoint-directory serialization and a
+// write-path admission semaphore, so any number of readers can be in
+// flight while a day advances or a checkpoint streams out.
 type server struct {
 	study *core.Study
 	log   *obs.Logger
 
-	// ckptMu serializes checkpoint writes: two concurrent POSTs must not
-	// interleave tmp-file renames onto the same path.
-	ckptMu   sync.Mutex
-	ckptPath string
+	// ckptMu serializes checkpoint writes: generation numbering in the
+	// snapshot directory assumes one writer at a time.
+	ckptMu  sync.Mutex
+	ckptDir *snapshot.Dir
+	retain  int
+
+	// ckptCount counts checkpoint writes attempted by this process; the
+	// crashpoint hook keys off it.
+	ckptCount  int
+	crashNth   int
+	crashAfter int64
+
+	writeSem chan struct{}
 }
 
-func newServer(study *core.Study, ckptPath string, log *obs.Logger) *server {
+func newServer(study *core.Study, dir *snapshot.Dir, retain int, log *obs.Logger) *server {
 	if log == nil {
 		log = obs.NewLogger(os.Stderr, obs.LevelError)
 	}
-	return &server{study: study, ckptPath: ckptPath, log: log}
+	s := &server{
+		study:    study,
+		ckptDir:  dir,
+		retain:   retain,
+		log:      log,
+		writeSem: make(chan struct{}, writeSlots),
+	}
+	if spec := os.Getenv(crashpointEnv); spec != "" {
+		if nth, off, ok := parseCrashpoint(spec); ok {
+			s.crashNth, s.crashAfter = nth, off
+			log.Infof("crashpoint armed: SIGKILL after %d bytes of checkpoint %d", off, nth)
+		} else {
+			log.Errorf("ignoring malformed %s=%q (want N:OFF)", crashpointEnv, spec)
+		}
+	}
+	return s
+}
+
+func parseCrashpoint(spec string) (nth int, off int64, ok bool) {
+	a, b, found := strings.Cut(spec, ":")
+	if !found {
+		return 0, 0, false
+	}
+	nth, err := strconv.Atoi(a)
+	if err != nil || nth < 1 {
+		return 0, 0, false
+	}
+	off, err = strconv.ParseInt(b, 10, 64)
+	if err != nil || off < 0 {
+		return 0, 0, false
+	}
+	return nth, off, true
+}
+
+// handler is the complete serving surface: the route mux wrapped in
+// panic recovery, so one faulty handler answers 500 instead of killing
+// the resident process (http.Server would otherwise only kill the one
+// connection goroutine, but a panic while the study lock is held could
+// wedge every later request).
+func (s *server) handler() http.Handler {
+	return s.withRecovery(s.routes())
 }
 
 // routes builds the API surface. Every handler answers JSON; errors are
 // {"error": "..."} with a meaningful status code.
 func (s *server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /v1/status", s.handleStatus)
 	mux.HandleFunc("POST /v1/advance", s.handleAdvance)
 	mux.HandleFunc("GET /v1/vantages", s.handleVantages)
@@ -53,6 +123,41 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
 	return mux
 }
+
+// withRecovery turns a handler panic into a JSON 500 and a volatile
+// http.panics counter tick. Volatile because operational mishaps are
+// process history, not simulation state: they must not perturb the
+// resume-stable report the crash oracle compares across restarts.
+func (s *server) withRecovery(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.study.Metrics().Counter("http.panics", obs.Volatile).Inc()
+				s.log.Errorf("panic serving %s %s: %v", r.Method, r.URL.Path, v)
+				// Best effort: if the handler already wrote headers this
+				// is a no-op on a broken stream, which is all we can do.
+				writeErr(w, http.StatusInternalServerError, "internal error")
+			}
+		}()
+		h.ServeHTTP(w, r)
+	})
+}
+
+// acquireWrite admits a write-path request or answers 503 Retry-After.
+// The caller must releaseWrite() iff this returns true.
+func (s *server) acquireWrite(w http.ResponseWriter) bool {
+	select {
+	case s.writeSem <- struct{}{}:
+		return true
+	default:
+		s.study.Metrics().Counter("http.throttled", obs.Volatile).Inc()
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, "too many concurrent write operations (limit %d)", writeSlots)
+		return false
+	}
+}
+
+func (s *server) releaseWrite() { <-s.writeSem }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -79,6 +184,29 @@ func queryInt(w http.ResponseWriter, r *http.Request, name string, def int) (int
 		return 0, false
 	}
 	return v, true
+}
+
+// handleHealth is liveness: the process is up and serving. It says
+// nothing about the study — an aborted study still answers 200 here so
+// an operator can reach /v1/status and /v1/report to see why.
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReady is readiness: the study has at least one published day to
+// serve and has not aborted. Load balancers and the crash oracle gate on
+// this before sending reader traffic.
+func (s *server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if err := s.study.Aborted(); err != nil {
+		writeErr(w, http.StatusServiceUnavailable, "study aborted: %v", err)
+		return
+	}
+	day := s.study.Day()
+	if day < 1 {
+		writeErr(w, http.StatusServiceUnavailable, "no day published yet (day %d)", day)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "day": day})
 }
 
 type statusResponse struct {
@@ -124,6 +252,10 @@ func (s *server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "days must be >= 1, got %d", n)
 		return
 	}
+	if !s.acquireWrite(w) {
+		return
+	}
+	defer s.releaseWrite()
 	for i := 0; i < n; i++ {
 		err := s.study.AdvanceDay(r.Context())
 		switch {
@@ -367,13 +499,17 @@ func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
 	rep.WriteJSON(w) //nolint:errcheck // client went away
 }
 
-// handleCheckpoint snapshots the study to the configured checkpoint path.
+// handleCheckpoint snapshots the study to the configured directory.
 func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
-	if s.ckptPath == "" {
-		writeErr(w, http.StatusBadRequest, "no -checkpoint path configured")
+	if s.ckptDir == nil {
+		writeErr(w, http.StatusBadRequest, "no -checkpoint directory configured")
 		return
 	}
-	n, err := s.writeCheckpoint()
+	if !s.acquireWrite(w) {
+		return
+	}
+	defer s.releaseWrite()
+	gen, n, err := s.writeCheckpoint()
 	if err != nil {
 		code := http.StatusInternalServerError
 		if errors.Is(err, core.ErrStudyAborted) {
@@ -383,63 +519,118 @@ func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"path":  s.ckptPath,
-		"bytes": n,
-		"day":   s.study.Day(),
+		"generation": gen.Name(),
+		"path":       gen.Path,
+		"bytes":      n,
+		"day":        s.study.Day(),
 	})
 }
 
-// writeCheckpoint atomically replaces the checkpoint file: the snapshot
-// streams to a temp file in the same directory, then renames over the
-// target, so a crash mid-write never leaves a torn checkpoint behind.
-func (s *server) writeCheckpoint() (int64, error) {
+// writeCheckpoint snapshots the study into a fresh generation. The
+// snapshot takes the study's read lock itself, so this is the endpoint
+// path; the auto-checkpoint hook, which already holds the write lock,
+// goes through autoCheckpoint.
+//
+// Lock order here is ckptMu -> study read lock. The auto hook runs with
+// the study WRITE lock held, so it must never block on ckptMu — that
+// would be the classic inversion deadlock. It uses TryLock instead.
+func (s *server) writeCheckpoint() (snapshot.Gen, int64, error) {
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
-	dir := filepath.Dir(s.ckptPath)
-	tmp, err := os.CreateTemp(dir, filepath.Base(s.ckptPath)+".tmp*")
-	if err != nil {
-		return 0, err
-	}
-	defer os.Remove(tmp.Name()) //nolint:errcheck // no-op after rename
-	if err := s.study.Snapshot(tmp); err != nil {
-		tmp.Close()
-		return 0, err
-	}
-	n, err := tmp.Seek(0, 2)
-	if err != nil {
-		tmp.Close()
-		return 0, err
-	}
-	if err := tmp.Close(); err != nil {
-		return 0, err
-	}
-	if err := os.Rename(tmp.Name(), s.ckptPath); err != nil {
-		return 0, err
-	}
-	s.log.Infof("checkpoint: day %d, %d bytes -> %s", s.study.Day(), n, s.ckptPath)
-	return n, nil
+	return s.writeGenerationLocked(s.study.Day, s.study.Snapshot)
 }
 
-// advanceLoop drives the virtual clock: one simulated day per tick until
-// the study completes, the context cancels, or an advancement fails.
-func (s *server) advanceLoop(ctx context.Context, tick <-chan struct{}) {
+// autoCheckpoint is the core.CheckpointFunc wired into the study by
+// main: it runs on the advance path with the write lock already held, so
+// it receives the study's lock-free snapshot writer. If a manual
+// checkpoint holds ckptMu it is necessarily blocked on the study's read
+// lock and will capture this very day boundary (or a newer one) the
+// moment the advance returns — so skipping here loses nothing and
+// avoids deadlocking against it.
+func (s *server) autoCheckpoint(day int, write func(io.Writer) error) error {
+	if !s.ckptMu.TryLock() {
+		s.log.Infof("checkpoint: day %d auto-checkpoint skipped, manual checkpoint in flight", day)
+		return nil
+	}
+	defer s.ckptMu.Unlock()
+	_, _, err := s.writeGenerationLocked(func() int { return day }, write)
+	return err
+}
+
+// writeGenerationLocked (ckptMu held) performs one durable checkpoint
+// write: next generation file, fsynced and renamed into place by the
+// snapshot directory, then pruned to the retention limit. day is a func
+// because the endpoint path reads it after the snapshot settles, while
+// the auto hook already knows it.
+func (s *server) writeGenerationLocked(day func() int, write func(io.Writer) error) (snapshot.Gen, int64, error) {
+	s.ckptCount++
+	if s.crashNth > 0 && s.ckptCount == s.crashNth {
+		write = crashAfter(write, s.crashAfter)
+	}
+	gen, n, err := s.ckptDir.Write(write)
+	if err != nil {
+		return snapshot.Gen{}, 0, err
+	}
+	if _, err := s.ckptDir.Prune(s.retain); err != nil {
+		// Retention is advisory: the new generation is already durable.
+		s.log.Errorf("checkpoint: prune: %v", err)
+	}
+	s.log.Infof("checkpoint: day %d, %d bytes -> %s", day(), n, gen.Path)
+	return gen, n, nil
+}
+
+// crashAfter wraps a snapshot writer so that after off bytes the process
+// SIGKILLs itself — no deferred cleanup, no flush, exactly what a power
+// loss mid-write leaves behind.
+func crashAfter(write func(io.Writer) error, off int64) func(io.Writer) error {
+	return func(w io.Writer) error {
+		return write(&crashWriter{w: w, remaining: off})
+	}
+}
+
+type crashWriter struct {
+	w         io.Writer
+	remaining int64
+}
+
+func (cw *crashWriter) Write(p []byte) (int, error) {
+	if int64(len(p)) >= cw.remaining {
+		cw.w.Write(p[:cw.remaining])               //nolint:errcheck // dying anyway
+		syscall.Kill(os.Getpid(), syscall.SIGKILL) //nolint:errcheck
+		select {}                                  // unreachable: SIGKILL is not deliverable to a handler
+	}
+	cw.remaining -= int64(len(p))
+	return cw.w.Write(p)
+}
+
+// tickLoop drives the virtual clock: one simulated day per interval
+// until the study completes or ctx cancels. Ticker and advancement live
+// in ONE goroutine — the previous split (a ticker goroutine feeding an
+// unbuffered channel) could block forever on `ticks <- struct{}{}` when
+// the consumer exited first, and close the channel under a pending send.
+//
+// Days advance under context.Background() deliberately: AdvanceDay
+// latches the study aborted if its context cancels mid-day, which would
+// poison the shutdown checkpoint. Cancellation is honored between days;
+// an in-flight day always runs to its boundary.
+func (s *server) tickLoop(ctx context.Context, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case _, open := <-tick:
-			if !open {
-				return
-			}
+		case <-t.C:
 		}
-		err := s.study.AdvanceDay(ctx)
+		if ctx.Err() != nil {
+			return
+		}
+		err := s.study.AdvanceDay(context.Background())
 		switch {
 		case err == nil:
 			s.log.Infof("advanced to day %d/%d", s.study.Day(), s.study.Cfg.Days)
 		case errors.Is(err, traffic.ErrRunComplete):
 			s.log.Infof("all %d days simulated; ticker idle", s.study.Cfg.Days)
-			return
-		case ctx.Err() != nil:
 			return
 		default:
 			s.log.Errorf("advance: %v", err)

@@ -2,17 +2,19 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
-	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"toplists/internal/core"
+	"toplists/internal/snapshot"
 )
 
 func testStudy(t *testing.T, days int) *core.Study {
@@ -28,9 +30,19 @@ func testStudy(t *testing.T, days int) *core.Study {
 	return s
 }
 
-func testServer(t *testing.T, s *core.Study, ckpt string) *httptest.Server {
+// testDir opens a fresh checkpoint generation directory.
+func testDir(t *testing.T) *snapshot.Dir {
 	t.Helper()
-	ts := httptest.NewServer(newServer(s, ckpt, nil).routes())
+	dir, err := snapshot.OpenDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func testServer(t *testing.T, s *core.Study, dir *snapshot.Dir) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(newServer(s, dir, 5, nil).handler())
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -58,12 +70,13 @@ func do(t *testing.T, method, url string, wantCode int) []byte {
 
 // TestServerSmoke is the service-mode acceptance walk: start a study,
 // advance three days over HTTP, read rankings and diffs, checkpoint to
-// disk, restore into a second server, and require the restored service
-// to report the identical resume-stable telemetry and rankings.
+// a generation directory, restore the newest generation into a second
+// server, and require the restored service to report the identical
+// resume-stable telemetry and rankings.
 func TestServerSmoke(t *testing.T) {
-	ckpt := filepath.Join(t.TempDir(), "day3.snap")
+	dir := testDir(t)
 	s := testStudy(t, 4)
-	ts := testServer(t, s, ckpt)
+	ts := testServer(t, s, dir)
 
 	var status statusResponse
 	if err := json.Unmarshal(do(t, "GET", ts.URL+"/v1/status", 200), &status); err != nil {
@@ -73,9 +86,14 @@ func TestServerSmoke(t *testing.T) {
 		t.Fatalf("fresh status: %+v", status)
 	}
 
+	// Liveness is unconditional; readiness needs a published day.
+	do(t, "GET", ts.URL+"/healthz", 200)
+	do(t, "GET", ts.URL+"/readyz", 503)
+
 	// No day advanced yet: rankings must not serve, advance must.
 	do(t, "GET", ts.URL+"/v1/rankings/Alexa", 404)
 	do(t, "POST", ts.URL+"/v1/advance?days=3", 200)
+	do(t, "GET", ts.URL+"/readyz", 200)
 
 	var rk rankingsResponse
 	if err := json.Unmarshal(do(t, "GET", ts.URL+"/v1/rankings/Tranco?day=2&k=10", 200), &rk); err != nil {
@@ -100,10 +118,25 @@ func TestServerSmoke(t *testing.T) {
 	do(t, "GET", ts.URL+"/v1/diff", 400)
 	do(t, "POST", ts.URL+"/v1/advance?days=bogus", 400)
 
-	do(t, "POST", ts.URL+"/v1/checkpoint", 200)
+	var ck struct {
+		Generation string `json:"generation"`
+		Path       string `json:"path"`
+		Bytes      int64  `json:"bytes"`
+		Day        int    `json:"day"`
+	}
+	if err := json.Unmarshal(do(t, "POST", ts.URL+"/v1/checkpoint", 200), &ck); err != nil {
+		t.Fatal(err)
+	}
+	if ck.Generation != "study.snap.000001" || ck.Day != 3 || ck.Bytes < 1 {
+		t.Fatalf("checkpoint response: %+v", ck)
+	}
 	stable := do(t, "GET", ts.URL+"/v1/report?stable=1", 200)
 
-	f, err := os.Open(ckpt)
+	gen, err := dir.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(gen.Path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +146,7 @@ func TestServerSmoke(t *testing.T) {
 		t.Fatalf("Resume: %v", err)
 	}
 	defer restored.Close()
-	ts2 := testServer(t, restored, "")
+	ts2 := testServer(t, restored, nil)
 
 	if err := json.Unmarshal(do(t, "GET", ts2.URL+"/v1/status", 200), &status); err != nil {
 		t.Fatal(err)
@@ -140,25 +173,172 @@ func TestServerSmoke(t *testing.T) {
 		t.Fatalf("status after final day: %+v", status)
 	}
 	do(t, "GET", ts.URL+"/v1/rankings/CrUX?day=3", 200)
+
+	// A second checkpoint rotates to the next generation.
+	do(t, "POST", ts.URL+"/v1/checkpoint", 200)
+	gens, err := dir.Generations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 2 || gens[1].Seq != 2 {
+		t.Fatalf("generations after two checkpoints: %+v", gens)
+	}
 }
 
 // TestServerCheckpointUnconfigured: without -checkpoint the endpoint is a
 // clean 400.
 func TestServerCheckpointUnconfigured(t *testing.T) {
-	ts := testServer(t, testStudy(t, 2), "")
+	ts := testServer(t, testStudy(t, 2), nil)
 	do(t, "POST", ts.URL+"/v1/checkpoint", 400)
+}
+
+// TestServerPanicRecovery: a panicking handler answers a JSON 500 and
+// ticks the volatile http.panics counter; the process (and the study)
+// keep serving.
+func TestServerPanicRecovery(t *testing.T) {
+	s := testStudy(t, 2)
+	srv := newServer(s, nil, 5, nil)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /boom", func(http.ResponseWriter, *http.Request) {
+		panic("handler bug")
+	})
+	mux.Handle("/", srv.routes())
+	ts := httptest.NewServer(srv.withRecovery(mux))
+	t.Cleanup(ts.Close)
+
+	body := do(t, "GET", ts.URL+"/boom", 500)
+	var e map[string]string
+	if err := json.Unmarshal(body, &e); err != nil || e["error"] == "" {
+		t.Fatalf("panic response not a JSON error: %s", body)
+	}
+	do(t, "GET", ts.URL+"/v1/status", 200)
+	if got := s.Metrics().Snapshot().Volatile["http.panics"]; got != 1 {
+		t.Fatalf("http.panics = %d, want 1", got)
+	}
+	// Operational mishaps never reach the resume-stable subset.
+	stable, err := s.Metrics().Snapshot().ResumeStable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(stable, []byte("http.")) {
+		t.Fatalf("http.* counters leaked into the resume-stable subset:\n%s", stable)
+	}
+}
+
+// TestServerWriteSemaphore: with every write slot held, advance and
+// checkpoint answer 503 + Retry-After instead of queueing.
+func TestServerWriteSemaphore(t *testing.T) {
+	s := testStudy(t, 2)
+	dir := testDir(t)
+	srv := newServer(s, dir, 5, nil)
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+
+	for i := 0; i < writeSlots; i++ {
+		srv.writeSem <- struct{}{}
+	}
+	for _, path := range []string{"/v1/advance", "/v1/checkpoint"} {
+		resp, err := http.Post(ts.URL+path, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("POST %s with saturated write path: %d, want 503", path, resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatalf("POST %s: 503 without Retry-After", path)
+		}
+	}
+	if got := s.Metrics().Snapshot().Volatile["http.throttled"]; got != 2 {
+		t.Fatalf("http.throttled = %d, want 2", got)
+	}
+	for i := 0; i < writeSlots; i++ {
+		<-srv.writeSem
+	}
+	// Slots released: the write path serves again.
+	do(t, "POST", ts.URL+"/v1/advance", 200)
+}
+
+// TestTickLoopShutdown: the merged tick loop exits promptly on cancel
+// with no goroutine stuck on a channel send (the bug the old split
+// ticker/advancer had). Run under -race it also proves the loop and a
+// concurrent reader share the study safely.
+func TestTickLoopShutdown(t *testing.T) {
+	s := testStudy(t, 3)
+	srv := newServer(s, nil, 5, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.tickLoop(ctx, time.Millisecond)
+	}()
+
+	// Reader racing the ticker.
+	for s.Day() < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := s.RankingFor("Tranco", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("tickLoop did not exit after cancel")
+	}
+	// The loop never cancels a day mid-flight: the study must not abort.
+	if err := s.Aborted(); err != nil {
+		t.Fatalf("tick loop aborted the study on shutdown: %v", err)
+	}
+}
+
+// TestTickLoopRunsToCompletion: left alone, the loop finishes the study
+// and exits on its own.
+func TestTickLoopRunsToCompletion(t *testing.T) {
+	s := testStudy(t, 2)
+	srv := newServer(s, nil, 5, nil)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.tickLoop(context.Background(), time.Millisecond)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("tickLoop did not complete the study")
+	}
+	if got := s.Day(); got != 2 {
+		t.Fatalf("tick loop stopped at day %d, want 2", got)
+	}
+}
+
+// TestParseCrashpoint pins the chaos-hook env format.
+func TestParseCrashpoint(t *testing.T) {
+	if n, off, ok := parseCrashpoint("3:4096"); !ok || n != 3 || off != 4096 {
+		t.Fatalf("parseCrashpoint(3:4096) = %d %d %v", n, off, ok)
+	}
+	for _, bad := range []string{"", "3", ":4096", "0:1", "-1:5", "2:-1", "x:y"} {
+		if _, _, ok := parseCrashpoint(bad); ok {
+			t.Fatalf("parseCrashpoint(%q) accepted", bad)
+		}
+	}
 }
 
 // TestServerConcurrentReaders is the reader-consistency acceptance test,
 // meaningful under -race: rankings, status, diff, and report readers
 // hammer the API while days advance and checkpoints stream out. Every
 // reader must observe a complete prior day — a served day is fully
-// published, never mid-advancement.
+// published, never mid-advancement. Write-path 503s are expected: the
+// admission semaphore sheds load, it never corrupts it.
 func TestServerConcurrentReaders(t *testing.T) {
 	const days = 4
-	ckpt := filepath.Join(t.TempDir(), "c.snap")
+	dir := testDir(t)
 	s := testStudy(t, days)
-	ts := testServer(t, s, ckpt)
+	ts := testServer(t, s, dir)
 	do(t, "POST", ts.URL+"/v1/advance", 200)
 
 	stopc := make(chan struct{})
@@ -220,28 +400,48 @@ func TestServerConcurrentReaders(t *testing.T) {
 		return nil
 	})
 	reader(func() error {
-		// Checkpoints race advancement: both must stay coherent.
+		// Checkpoints race advancement: both must stay coherent. 503 is
+		// load shedding (Retry-After), not an error.
 		resp, err := http.Post(ts.URL+"/v1/checkpoint", "", nil)
 		if err != nil {
 			return err
 		}
 		io.Copy(io.Discard, resp.Body) //nolint:errcheck
 		resp.Body.Close()
-		if resp.StatusCode != 200 {
+		if resp.StatusCode != 200 && resp.StatusCode != http.StatusServiceUnavailable {
 			return fmt.Errorf("checkpoint: code %d", resp.StatusCode)
 		}
 		return nil
 	})
 
 	for d := 1; d < days; d++ {
-		do(t, "POST", ts.URL+"/v1/advance", 200)
+		// Advance can also be shed while a checkpoint streams; retry.
+		for {
+			resp, err := http.Post(ts.URL+"/v1/advance", "", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			if resp.StatusCode == 200 {
+				break
+			}
+			if resp.StatusCode != http.StatusServiceUnavailable {
+				t.Fatalf("advance: code %d", resp.StatusCode)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
 	}
 	close(stopc)
 	wg.Wait()
 
-	// The last concurrent checkpoint to win the rename is a coherent day
+	// The newest generation written under load is a coherent day
 	// boundary: it must restore cleanly.
-	f, err := os.Open(ckpt)
+	gen, err := dir.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(gen.Path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +467,7 @@ func multiEdgeServer(t *testing.T) *httptest.Server {
 		Backends:   2,
 	})
 	t.Cleanup(s.Close)
-	ts := testServer(t, s, "")
+	ts := testServer(t, s, nil)
 	do(t, "POST", ts.URL+"/v1/advance?days=2", 200)
 	return ts
 }
@@ -337,7 +537,7 @@ func TestServerEdgeRankingsSingleEdge(t *testing.T) {
 	// The default single-edge study still serves its one edge and rejects
 	// the vantages a wider grid would have.
 	s := testStudy(t, 2)
-	ts := testServer(t, s, "")
+	ts := testServer(t, s, nil)
 	do(t, "POST", ts.URL+"/v1/advance?days=1", 200)
 
 	var resp vantagesResponse

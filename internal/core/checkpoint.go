@@ -57,6 +57,14 @@ const (
 func (s *Study) Snapshot(w io.Writer) error {
 	s.lifeMu.RLock()
 	defer s.lifeMu.RUnlock()
+	return s.snapshotLocked(w)
+}
+
+// snapshotLocked serializes the study without taking the lifecycle lock.
+// It is the write function handed to auto-checkpoint hooks, which run
+// from the advance path with the write lock already held — that is what
+// guarantees an auto-checkpoint always lands on a clean day boundary.
+func (s *Study) snapshotLocked(w io.Writer) error {
 	if s.aborted != nil {
 		return fmt.Errorf("core: cannot snapshot: %w", s.aborted)
 	}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"toplists/internal/obs"
+	"toplists/internal/snapshot"
+)
+
+// ErrNoCheckpoint is returned by Recover when the checkpoint directory
+// holds no generation at all — the caller should start a fresh study.
+// It is distinct from the every-candidate-rejected case, which is an
+// error: state exists but none of it is usable, and silently starting
+// over would discard a month of aggregation.
+var ErrNoCheckpoint = errors.New("core: no checkpoint generations to recover from")
+
+// Recovered reports what the recovery supervisor did.
+type Recovered struct {
+	// Study is the resumed study.
+	Study *Study
+	// Gen is the generation it was resumed from.
+	Gen snapshot.Gen
+	// Scanned counts the candidate generations examined (newest-first);
+	// Rejected counts how many were skipped as corrupt, truncated, or
+	// otherwise unrestorable before one succeeded.
+	Scanned, Rejected int
+}
+
+// Recover is the startup supervisor for a crash-interrupted resident
+// study: it scans dir's generations newest-first and resumes the newest
+// one that is intact. A corrupt, truncated, or version-skewed generation
+// — the debris a SIGKILL or power loss mid-write can leave — is logged
+// and skipped, never fatal, because an older intact generation costs only
+// re-simulating a few deterministic days. Each candidate is first
+// verified frame-by-frame (cheap CRC walk, no state touched), so a torn
+// file cannot even partially restore; a candidate that passes Verify but
+// still fails Resume (cross-validation, payload decode) is rejected the
+// same way.
+//
+// Counters recorded on opt.Obs — recovery.candidates, recovery.rejected,
+// and the recovery.resumed_gen gauge — are registered Volatile: how many
+// times a deployment crashed is operational history, not a function of
+// the seed, so they stay out of the deterministic and resume-stable
+// report subsets.
+//
+// With no generations present, Recover returns ErrNoCheckpoint and the
+// caller starts fresh. With generations present but all rejected, it
+// returns an error wrapping the newest generation's failure: state
+// existed and none of it was usable, which needs an operator, not a
+// silent restart from day zero.
+func Recover(dir *snapshot.Dir, opt ResumeOptions, log *obs.Logger) (Recovered, error) {
+	gens, err := dir.Generations()
+	if err != nil {
+		return Recovered{}, err
+	}
+	if len(gens) == 0 {
+		return Recovered{}, ErrNoCheckpoint
+	}
+
+	candidates := opt.Obs.Counter("recovery.candidates", obs.Volatile)
+	rejected := opt.Obs.Counter("recovery.rejected", obs.Volatile)
+
+	rec := Recovered{}
+	var firstErr error
+	for i := len(gens) - 1; i >= 0; i-- {
+		g := gens[i]
+		rec.Scanned++
+		candidates.Inc()
+		s, err := resumeGeneration(g, opt)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("generation %s: %w", g.Name(), err)
+			}
+			rec.Rejected++
+			rejected.Inc()
+			log.Errorf("recovery: rejecting generation %s: %v", g.Name(), err)
+			continue
+		}
+		rec.Study, rec.Gen = s, g
+		opt.Obs.Gauge("recovery.resumed_gen", obs.Volatile).Set(int64(g.Seq))
+		if rec.Rejected > 0 {
+			log.Infof("recovery: fell back %d generation(s) to %s (day %d)", rec.Rejected, g.Name(), s.Day())
+		}
+		return rec, nil
+	}
+	return rec, fmt.Errorf("core: all %d checkpoint generations rejected: %w", rec.Scanned, firstErr)
+}
+
+// resumeGeneration verifies one generation file's container integrity and
+// resumes it. Verification runs first so a torn candidate is rejected
+// before Resume can touch the caller's obs registry or build a world.
+func resumeGeneration(g snapshot.Gen, opt ResumeOptions) (*Study, error) {
+	f, err := os.Open(g.Path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if err := snapshot.Verify(f); err != nil {
+		return nil, err
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		return nil, err
+	}
+	return Resume(f, opt)
+}

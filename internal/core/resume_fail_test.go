@@ -1,0 +1,163 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"toplists/internal/obs"
+	"toplists/internal/snapshot"
+)
+
+// TestResumePartialFailureReleasesEverything drives Resume down every
+// per-component error branch — frame by frame — and asserts the
+// close-and-discard contract each time: no study escapes, no goroutine
+// (listener) leaks, and the caller's obs registry stays fully usable by a
+// later successful Resume. The damage is injected with the snapshot
+// package's Scan/FixCRC helpers, so each case targets exactly one frame:
+// a checksum failure (bit flip), a truncation at the frame boundary, and
+// — for the engine frame — a CRC-valid payload carrying an out-of-range
+// day cursor, which exercises the semantic rejection that fires after the
+// obs counters were already delta-restored onto the caller's registry.
+func TestResumePartialFailureReleasesEverything(t *testing.T) {
+	s := NewStudy(checkpointCfg(61, 3, false))
+	if err := s.AdvanceDay(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	good := snap(t, s)
+	s.Close()
+
+	frames, err := snapshot.Scan(good)
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if len(frames) != 13 {
+		t.Fatalf("checkpoint has %d frames, expected 13 (update this test for new components)", len(frames))
+	}
+
+	reg := obs.NewRegistry()
+	baseline := runtime.NumGoroutine()
+
+	mustFail := func(t *testing.T, b []byte, what string) {
+		t.Helper()
+		r, err := Resume(bytes.NewReader(b), ResumeOptions{Workers: 1, Obs: reg})
+		if err == nil {
+			t.Fatalf("%s: Resume accepted damaged checkpoint", what)
+		}
+		if r != nil {
+			t.Fatalf("%s: Resume returned a study alongside error %v", what, err)
+		}
+	}
+
+	for _, f := range frames {
+		t.Run(f.Name, func(t *testing.T) {
+			// Checksum branch: one payload bit flipped.
+			if f.PayloadLen > 0 {
+				b := bytes.Clone(good)
+				b[f.PayloadOff+f.PayloadLen/2] ^= 0x08
+				mustFail(t, b, "bit flip in "+f.Name)
+			}
+			// Truncation branch: the file ends where this frame starts.
+			mustFail(t, good[:f.Off], "truncation before "+f.Name)
+			// And mid-frame, in the payload.
+			mustFail(t, good[:f.PayloadOff+f.PayloadLen/2], "truncation inside "+f.Name)
+		})
+	}
+
+	t.Run("engine-cursor-out-of-range", func(t *testing.T) {
+		// A CRC-valid engine frame carrying day 50 (same varint width as
+		// day 1, far past a 3-day study): every earlier frame (names, obs
+		// — already delta-restored) decodes fine, then the semantic check
+		// rejects. The registry must survive that.
+		var engine *snapshot.Frame
+		for i := range frames {
+			if frames[i].Name == "engine" {
+				engine = &frames[i]
+			}
+		}
+		if engine == nil {
+			t.Fatal("no engine frame")
+		}
+		b := bytes.Clone(good)
+		// Payload layout: uvarint version, varint day. Re-encode day=50.
+		var e snapshot.Encoder
+		e.Uvarint(1) // engineSnapVersion
+		e.Int(50)
+		var buf bytes.Buffer
+		if _, err := e.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf.Len() != engine.PayloadLen {
+			t.Fatalf("re-encoded engine payload %d bytes, frame holds %d", buf.Len(), engine.PayloadLen)
+		}
+		copy(b[engine.PayloadOff:], buf.Bytes())
+		snapshot.FixCRC(b, *engine)
+		mustFail(t, b, "engine cursor out of range")
+	})
+
+	t.Run("mismatched-day-counts", func(t *testing.T) {
+		// Engine cursor 0 with day-1 provider state: the cross-validation
+		// branch at the very end of restoreInto, after every component
+		// restored cleanly. This is the deepest discard path there is.
+		var engine *snapshot.Frame
+		for i := range frames {
+			if frames[i].Name == "engine" {
+				engine = &frames[i]
+			}
+		}
+		b := bytes.Clone(good)
+		var e snapshot.Encoder
+		e.Uvarint(1)
+		e.Int(0)
+		var buf bytes.Buffer
+		if _, err := e.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		pad := engine.PayloadLen - buf.Len()
+		if pad < 0 {
+			t.Fatalf("re-encoded engine payload %d bytes > frame %d", buf.Len(), engine.PayloadLen)
+		}
+		copy(b[engine.PayloadOff:], buf.Bytes())
+		if pad > 0 {
+			// A shorter varint leaves stale tail bytes the decoder's
+			// Finish would reject before cross-validation; skip then.
+			t.Skip("day-0 encoding narrower than day-1; branch covered when widths match")
+		}
+		snapshot.FixCRC(b, *engine)
+		mustFail(t, b, "cross-validation day mismatch")
+	})
+
+	// After every failure branch, the registry is not wedged: a clean
+	// Resume against it succeeds, its study serves, and the names.interned
+	// gauge reads the new study's interner (GaugeFunc re-registration
+	// replaced the closures the discarded attempts left behind).
+	r, err := Resume(bytes.NewReader(good), ResumeOptions{Workers: 1, Obs: reg})
+	if err != nil {
+		t.Fatalf("clean Resume after failures: %v", err)
+	}
+	if _, err := r.RankingFor("Alexa", 0); err != nil {
+		t.Fatalf("recovered study does not serve: %v", err)
+	}
+	rep := reg.Snapshot()
+	if got, want := rep.Gauges["names.interned"], int64(r.Names().Len()); got != want {
+		t.Fatalf("names.interned gauge = %d, live interner = %d (stale closure?)", got, want)
+	}
+	r.Close()
+
+	// No error branch may leak a goroutine: the virtual network is never
+	// started during restore, and a failed Resume closes the partial study
+	// — so the count settles back to the baseline.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d now, %d at baseline", runtime.NumGoroutine(), baseline)
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}

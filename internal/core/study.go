@@ -8,6 +8,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 
 	"toplists/internal/cfmetrics"
@@ -188,6 +189,13 @@ type Study struct {
 	// aborted latches the first failed advancement (see ErrStudyAborted).
 	aborted error
 
+	// ckptEvery/ckptFn implement auto-checkpointing from the advance path
+	// (SetAutoCheckpoint): every ckptEvery advanced days, ckptFn runs with
+	// the lifecycle write lock still held, so its snapshot is always at a
+	// clean day boundary.
+	ckptEvery int
+	ckptFn    CheckpointFunc
+
 	// cruxMu guards the lazily derived CrUX list; cruxDay is the engine
 	// day count the current s.Crux was derived at (-1 = none yet).
 	cruxMu  sync.Mutex
@@ -346,6 +354,7 @@ func (s *Study) RunContext(ctx context.Context) error {
 		if err := s.advanceDayLocked(ctx); err != nil {
 			return err
 		}
+		s.autoCheckpointLocked()
 	}
 	s.finalizeLocked()
 	return nil
@@ -370,7 +379,52 @@ func (s *Study) AdvanceDay(ctx context.Context) error {
 	if s.Engine.Day() == s.Cfg.Days {
 		s.finalizeLocked()
 	}
+	s.autoCheckpointLocked()
 	return nil
+}
+
+// CheckpointFunc persists one auto-checkpoint: day is the number of fully
+// advanced days, and write serializes the study at that boundary into any
+// sink. The function runs from the advance path with the lifecycle write
+// lock held — keep it bounded (a durable file write, not an upload).
+type CheckpointFunc func(day int, write func(io.Writer) error) error
+
+// SetAutoCheckpoint installs fn to run after every nth successful day
+// advancement (and always after the final day), from inside the advance
+// path itself. n < 1 or a nil fn disables auto-checkpointing. A failing
+// fn never aborts the study — the advanced day is good even if the disk
+// is not — it only bumps the volatile checkpoint.auto_failed counter;
+// callers that need to surface the failure should do so inside fn.
+func (s *Study) SetAutoCheckpoint(n int, fn CheckpointFunc) {
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	if n < 1 || fn == nil {
+		s.ckptEvery, s.ckptFn = 0, nil
+		return
+	}
+	s.ckptEvery, s.ckptFn = n, fn
+}
+
+// autoCheckpointLocked fires the auto-checkpoint hook when the just-
+// completed day count hits the configured cadence. Callers hold lifeMu.
+func (s *Study) autoCheckpointLocked() {
+	if s.ckptFn == nil || s.ckptEvery < 1 {
+		return
+	}
+	day := s.Engine.Day()
+	if day%s.ckptEvery != 0 && day != s.Cfg.Days {
+		return
+	}
+	span := s.obs.Span("phase.autocheckpoint")
+	err := s.ckptFn(day, s.snapshotLocked)
+	span.End()
+	// Operational counters are volatile: how many auto-checkpoints a
+	// process wrote depends on its crash/restart history, not on the seed.
+	if err != nil {
+		s.obs.Counter("checkpoint.auto_failed", obs.Volatile).Inc()
+	} else {
+		s.obs.Counter("checkpoint.auto", obs.Volatile).Inc()
+	}
 }
 
 // advanceDayLocked runs one engine day plus the per-day amalgam updates.
