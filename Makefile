@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz bench check faultcheck obscheck sketchcheck snapcheck vantagecheck crashcheck
+.PHONY: build test vet race fuzz bench check faultcheck obscheck sketchcheck snapcheck vantagecheck crashcheck perfcheck sweepsmoke
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,7 @@ vet:
 # race pass covers every package that touches a parallel path, with
 # -shuffle=on so test-order coupling can't hide behind a fixed schedule.
 race:
-	$(GO) test -race -shuffle=on ./internal/names ./internal/rank ./internal/sketch ./internal/cfmetrics ./internal/traffic ./internal/core ./internal/experiments ./internal/httpsim ./internal/obs ./internal/snapshot ./internal/world ./internal/dnssim ./cmd/toplistsd
+	$(GO) test -race -shuffle=on ./internal/names ./internal/rank ./internal/sketch ./internal/cfmetrics ./internal/traffic ./internal/core ./internal/experiments ./internal/httpsim ./internal/obs ./internal/snapshot ./internal/world ./internal/dnssim ./internal/sweep ./internal/perfgate ./cmd/toplistsd
 
 # faultcheck is the fault-injection determinism oracle: a fixed seed at a
 # nonzero fault rate must render the full evaluation byte-identically
@@ -94,5 +94,28 @@ benchrank:
 benchsmoke:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...
 
+# perfcheck is the enforced perf trajectory: run the pinned hot-path
+# benchmark set (engine day, warm RenderAll, top-set build, Jaccard,
+# sketch merge, snapshot encode) and compare against the committed
+# BENCH_baseline.json, failing on any regression beyond 15% (plus
+# $PERFGATE_SLACK, which CI sets to keep shared runners advisory).
+# Comparisons are ratios to an interleaved machine-speed reference, so
+# the committed baseline transfers across machines. Regenerate the
+# baseline after a deliberate perf change with:
+#   go run ./cmd/sweep -perfgate -update-baseline -rounds 7
+perfcheck:
+	$(GO) run ./cmd/sweep -perfgate -rounds 7
+
+# sweepsmoke drives the grid runner end to end on a tiny 2x2 grid
+# (2 seeds x exact/sketch), then re-runs it to prove per-cell resume:
+# the second pass must skip every completed cell. Artifacts (per-cell
+# reports + merged sweep.csv) land in sweep-smoke/ for CI to upload.
+sweepsmoke:
+	rm -rf sweep-smoke
+	$(GO) run ./cmd/sweep -seeds 11,12 -sites 600 -clients 150 -days 2 \
+		-sketch both -experiments tab2,fig2 -par 4 -out sweep-smoke
+	$(GO) run ./cmd/sweep -seeds 11,12 -sites 600 -clients 150 -days 2 \
+		-sketch both -experiments tab2,fig2 -par 4 -out sweep-smoke -v
+
 # check is the CI gate: everything must pass before merging.
-check: build vet test race faultcheck obscheck sketchcheck snapcheck vantagecheck crashcheck
+check: build vet test race faultcheck obscheck sketchcheck snapcheck vantagecheck crashcheck perfcheck sweepsmoke

@@ -7,7 +7,7 @@
 //
 //	cfprobe [-sites 5000] [-top 200] [-seed 1] [-concurrency 32]
 //	        [-faultrate 0] [-faultseed 1] [-singleshot] [-v]
-//	        [-debugaddr localhost:6060]
+//	        [-report report.json] [-debugaddr localhost:6060]
 //
 // With -debugaddr set, live probe and fault-injection metrics are served
 // on /metrics (plus /debug/pprof/) while the sweep runs, and a telemetry
@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"time"
 
 	"toplists/internal/faults"
@@ -37,6 +38,7 @@ func main() {
 		faultSeed   = flag.Uint64("faultseed", 1, "fault plan seed")
 		singleShot  = flag.Bool("singleshot", false, "disable retries/backoff (the fragile baseline prober)")
 		verbose     = flag.Bool("v", false, "print one line per probed host")
+		reportPath  = flag.String("report", "", "write a JSON run report (telemetry snapshot) to this file")
 		debugAddr   = flag.String("debugaddr", "", "serve /metrics and /debug/pprof/ on this address")
 	)
 	flag.Parse()
@@ -112,10 +114,37 @@ func main() {
 	fmt.Printf("cloudflare: %d (%.1f%%), down: %d, unknown: %d\n",
 		cf, 100*float64(cf)/float64(len(results)), down, unknown)
 
+	rep := reg.Snapshot()
 	if *verbose {
 		fmt.Fprintln(os.Stderr)
-		if err := reg.Snapshot().WriteSummary(os.Stderr); err != nil {
+		if err := rep.WriteSummary(os.Stderr); err != nil {
 			fmt.Fprintln(os.Stderr, "cfprobe:", err)
 		}
 	}
+	if *reportPath != "" {
+		rep.Meta = map[string]string{
+			"cmd":       "cfprobe",
+			"seed":      strconv.FormatUint(*seed, 10),
+			"sites":     strconv.Itoa(*sites),
+			"top":       strconv.Itoa(*top),
+			"faultrate": strconv.FormatFloat(*faultRate, 'g', -1, 64),
+		}
+		if err := writeReport(rep, *reportPath); err != nil {
+			fmt.Fprintln(os.Stderr, "cfprobe:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeReport writes the JSON run report to path.
+func writeReport(rep *obs.Report, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

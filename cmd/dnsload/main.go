@@ -7,7 +7,8 @@
 // Usage:
 //
 //	dnsload [-sites 2000] [-queries 5000] [-workers 8] [-seed 1]
-//	        [-faultrate 0] [-faultseed 1] [-debugaddr localhost:6060]
+//	        [-faultrate 0] [-faultseed 1] [-report report.json]
+//	        [-debugaddr localhost:6060]
 //
 // With -faultrate set, the resolver is wrapped in the deterministic DNS
 // fault injector (SERVFAIL, spurious NXDOMAIN, truncation, drops). With
@@ -20,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,13 +35,14 @@ import (
 
 func main() {
 	var (
-		seed      = flag.Uint64("seed", 1, "world seed")
-		sites     = flag.Int("sites", 2000, "universe size")
-		queries   = flag.Int("queries", 5000, "total queries to send")
-		workers   = flag.Int("workers", 8, "concurrent stub clients")
-		faultRate = flag.Float64("faultrate", 0, "inject DNS faults at this rate (0..1)")
-		faultSeed = flag.Uint64("faultseed", 1, "fault plan seed")
-		debugAddr = flag.String("debugaddr", "", "serve /metrics and /debug/pprof/ on this address")
+		seed       = flag.Uint64("seed", 1, "world seed")
+		sites      = flag.Int("sites", 2000, "universe size")
+		queries    = flag.Int("queries", 5000, "total queries to send")
+		workers    = flag.Int("workers", 8, "concurrent stub clients")
+		faultRate  = flag.Float64("faultrate", 0, "inject DNS faults at this rate (0..1)")
+		faultSeed  = flag.Uint64("faultseed", 1, "fault plan seed")
+		reportPath = flag.String("report", "", "write a JSON run report (telemetry snapshot) to this file")
+		debugAddr  = flag.String("debugaddr", "", "serve /metrics and /debug/pprof/ on this address")
 	)
 	flag.Parse()
 
@@ -117,4 +120,27 @@ func main() {
 	fmt.Printf("resolver: %d lookups, %.1f%% cache hits, %d NXDOMAIN\n",
 		total, 100*float64(hits)/float64(total), nx)
 	fmt.Println("the cache-hit share is the popularity signal a DNS vantage point never sees")
+
+	if *reportPath != "" {
+		rep := reg.Snapshot()
+		rep.Meta = map[string]string{
+			"cmd":       "dnsload",
+			"seed":      strconv.FormatUint(*seed, 10),
+			"sites":     strconv.Itoa(*sites),
+			"queries":   strconv.Itoa(*queries),
+			"workers":   strconv.Itoa(*workers),
+			"faultrate": strconv.FormatFloat(*faultRate, 'g', -1, 64),
+		}
+		f, err := os.Create(*reportPath)
+		if err == nil {
+			err = rep.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dnsload:", err)
+			os.Exit(1)
+		}
+	}
 }

@@ -1,0 +1,276 @@
+// Command sweep drives a declarative grid of study configurations and,
+// with -perfgate, the enforced performance gate.
+//
+// Grid mode (the default) expands the cross product of every axis flag,
+// runs each cell as an independent study on a bounded pool, writes one
+// toplists-run-report/v1 JSON per cell into -out, and merges all cells
+// into a sweep.csv (cell parameters x deterministic counters x phase
+// totals x wall/RSS). Cells whose report already exists and parses are
+// skipped, so an interrupted sweep resumes where it stopped; pass
+// -resume=false to force a full re-run.
+//
+// Usage:
+//
+//	sweep [flags]
+//
+//	-seeds       comma-separated study seeds              (default 2022)
+//	-sites       comma-separated universe sizes           (default 20000)
+//	-clients     comma-separated browsing populations     (default 3000)
+//	-days        comma-separated window lengths           (default 14)
+//	-workers     comma-separated worker counts            (default 0 = auto)
+//	-faultrates  comma-separated fault injection rates    (default 0)
+//	-sketch      exact, sketch, or both                   (default exact)
+//	-vantages    comma-separated vantage counts           (default 1)
+//	-backends    comma-separated CDN backend counts       (default 1)
+//	-experiments comma-separated experiment ids or "all"  (default all)
+//	-out         report directory                         (default sweep-out)
+//	-csv         merged CSV path (default <out>/sweep.csv; "-" for stdout)
+//	-par         cells in flight at once                  (default 1)
+//	-resume      skip cells with a valid report           (default true)
+//
+// Perf-gate mode:
+//
+//	sweep -perfgate [-baseline BENCH_baseline.json] [-rounds 5]
+//	sweep -perfgate -update-baseline [-note "..."]
+//
+// -perfgate runs the pinned hot-path benchmark set (engine day, warm
+// RenderAll, top-set build, Jaccard, sketch merge, snapshot encode),
+// compares medians against the committed baseline, prints the
+// per-benchmark delta table, and exits non-zero on any regression
+// beyond 15% + $PERFGATE_SLACK. -update-baseline rewrites the baseline
+// from this machine's medians instead of comparing.
+package main
+
+import (
+	"context"
+	"flag"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"toplists/internal/obs"
+	"toplists/internal/perfgate"
+	"toplists/internal/sweep"
+)
+
+func main() {
+	var (
+		seeds       = flag.String("seeds", "2022", "comma-separated study seeds")
+		sites       = flag.String("sites", "20000", "comma-separated universe sizes")
+		clients     = flag.String("clients", "3000", "comma-separated browsing populations")
+		days        = flag.String("days", "14", "comma-separated measurement windows (days)")
+		workers     = flag.String("workers", "0", "comma-separated worker counts (0 = one per CPU)")
+		faultRates  = flag.String("faultrates", "0", "comma-separated fault injection rates (0..1)")
+		sketchAxis  = flag.String("sketch", "exact", "aggregation mode axis: exact, sketch, or both")
+		vantages    = flag.String("vantages", "1", "comma-separated vantage counts")
+		backends    = flag.String("backends", "1", "comma-separated CDN backend counts")
+		experiments = flag.String("experiments", "all", "comma-separated experiment ids or 'all'")
+		outDir      = flag.String("out", "sweep-out", "directory for per-cell run reports")
+		csvPath     = flag.String("csv", "", "merged CSV path (default <out>/sweep.csv; '-' for stdout)")
+		par         = flag.Int("par", 1, "cells in flight at once")
+		resume      = flag.Bool("resume", true, "skip cells whose report already exists and parses")
+
+		gate     = flag.Bool("perfgate", false, "run the pinned benchmark set against -baseline instead of a grid")
+		baseline = flag.String("baseline", "BENCH_baseline.json", "perf-gate baseline file")
+		update   = flag.Bool("update-baseline", false, "rewrite -baseline from this machine's medians")
+		note     = flag.String("note", "", "note stored in the baseline with -update-baseline")
+		rounds   = flag.Int("rounds", 5, "perf-gate timing rounds per benchmark")
+
+		quiet   = flag.Bool("quiet", false, "suppress diagnostics (errors still print)")
+		verbose = flag.Bool("v", false, "verbose diagnostics")
+	)
+	flag.Parse()
+
+	level := obs.LevelInfo
+	if *verbose {
+		level = obs.LevelDebug
+	}
+	if *quiet {
+		level = obs.LevelError
+	}
+	log := obs.NewLogger(os.Stderr, level)
+
+	if *gate || *update {
+		os.Exit(runPerfGate(log, *baseline, *update, *note, *rounds))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	g := sweep.Grid{
+		Seeds:       parseUints(log, "seeds", *seeds),
+		Sites:       parseInts(log, "sites", *sites),
+		Clients:     parseInts(log, "clients", *clients),
+		Days:        parseInts(log, "days", *days),
+		Workers:     parseInts(log, "workers", *workers),
+		FaultRates:  parseFloats(log, "faultrates", *faultRates),
+		Sketch:      parseSketchAxis(log, *sketchAxis),
+		Vantages:    parseInts(log, "vantages", *vantages),
+		Backends:    parseInts(log, "backends", *backends),
+		Experiments: strings.Split(*experiments, ","),
+	}
+	cells := g.Cells()
+	log.Infof("sweep: %d cells -> %s (par %d, resume %v)", len(cells), *outDir, *par, *resume)
+
+	start := time.Now()
+	results, err := sweep.Run(ctx, g, sweep.Options{
+		OutDir: *outDir, Parallel: *par, Resume: *resume, Log: log,
+	})
+	if err != nil {
+		log.Errorf("sweep: %v", err)
+		os.Exit(1)
+	}
+	ran, skipped := 0, 0
+	for _, r := range results {
+		if r.Skipped {
+			skipped++
+		} else {
+			ran++
+		}
+	}
+	log.Infof("sweep: %d cells done in %v (%d run, %d resumed)",
+		len(results), time.Since(start).Round(time.Millisecond), ran, skipped)
+
+	path := *csvPath
+	if path == "" {
+		path = filepath.Join(*outDir, "sweep.csv")
+	}
+	if path == "-" {
+		if err := sweep.WriteCSV(os.Stdout, results); err != nil {
+			log.Errorf("sweep: csv: %v", err)
+			os.Exit(1)
+		}
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Errorf("sweep: csv: %v", err)
+		os.Exit(1)
+	}
+	if err := sweep.WriteCSV(f, results); err != nil {
+		f.Close()
+		log.Errorf("sweep: csv: %v", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		log.Errorf("sweep: csv: %v", err)
+		os.Exit(1)
+	}
+	log.Infof("sweep: merged CSV written to %s", path)
+}
+
+// runPerfGate measures the pinned set and either rewrites the baseline
+// or compares against it, returning the process exit code.
+func runPerfGate(log *obs.Logger, baselinePath string, update bool, note string, rounds int) int {
+	log.Infof("perfgate: measuring %d pinned benchmarks (%d rounds each)...",
+		len(perfgate.Benchmarks()), rounds)
+	cur := perfgate.Measure(perfgate.Benchmarks(), perfgate.MeasureOptions{
+		Rounds: rounds,
+		Logf:   log.Debugf,
+	})
+
+	if update {
+		b := perfgate.Baseline{Schema: perfgate.Schema, Note: note, Benchmarks: cur}
+		f, err := os.Create(baselinePath)
+		if err != nil {
+			log.Errorf("perfgate: %v", err)
+			return 1
+		}
+		if err := b.WriteJSON(f); err != nil {
+			f.Close()
+			log.Errorf("perfgate: %v", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			log.Errorf("perfgate: %v", err)
+			return 1
+		}
+		log.Infof("perfgate: baseline rewritten: %s (%d benchmarks)", baselinePath, len(cur))
+		return 0
+	}
+
+	base, err := perfgate.LoadBaseline(baselinePath)
+	if err != nil {
+		log.Errorf("perfgate: %v", err)
+		return 1
+	}
+	threshold := perfgate.DefaultThreshold + perfgate.Slack()
+	deltas, ok := perfgate.Compare(base, cur, threshold)
+	perfgate.WriteDeltaTable(os.Stderr, deltas, threshold)
+	if !ok {
+		log.Errorf("perfgate: FAIL — regression beyond %.0f%% (see table above)", threshold*100)
+		return 1
+	}
+	log.Infof("perfgate: ok (threshold %.0f%%)", threshold*100)
+	return 0
+}
+
+func parseList(log *obs.Logger, name, s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	if len(out) == 0 {
+		log.Errorf("sweep: -%s: empty list", name)
+		os.Exit(2)
+	}
+	return out
+}
+
+func parseInts(log *obs.Logger, name, s string) []int {
+	var out []int
+	for _, f := range parseList(log, name, s) {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			log.Errorf("sweep: -%s: %v", name, err)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseUints(log *obs.Logger, name, s string) []uint64 {
+	var out []uint64
+	for _, f := range parseList(log, name, s) {
+		v, err := strconv.ParseUint(f, 10, 64)
+		if err != nil {
+			log.Errorf("sweep: -%s: %v", name, err)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseFloats(log *obs.Logger, name, s string) []float64 {
+	var out []float64
+	for _, f := range parseList(log, name, s) {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			log.Errorf("sweep: -%s: %v", name, err)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseSketchAxis(log *obs.Logger, s string) []bool {
+	switch s {
+	case "exact", "off":
+		return []bool{false}
+	case "sketch", "on":
+		return []bool{true}
+	case "both":
+		return []bool{false, true}
+	}
+	log.Errorf("sweep: -sketch: %q (want exact, sketch, or both)", s)
+	os.Exit(2)
+	return nil
+}

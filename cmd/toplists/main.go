@@ -22,6 +22,9 @@
 //	-list       print the available experiments and exit
 //	-report     write a machine-readable JSON run report (telemetry
 //	            snapshot) to the given file
+//	-trace      write a Chrome trace_event JSON timeline of the run to the
+//	            given file (open in Perfetto or chrome://tracing); when
+//	            -report is also set, the report's meta records the path
 //	-debugaddr  serve /metrics and /debug/pprof/ on this address while
 //	            the run is in flight (e.g. localhost:6060)
 //	-quiet      suppress diagnostics and the end-of-run summary
@@ -69,6 +72,7 @@ func main() {
 		list       = flag.Bool("list", false, "list available experiments and exit")
 		outdir     = flag.String("outdir", "", "also write each artifact to <outdir>/<id>.txt")
 		reportPath = flag.String("report", "", "write a JSON run report (telemetry snapshot) to this file")
+		tracePath  = flag.String("trace", "", "write a Chrome trace_event JSON run timeline to this file")
 		debugAddr  = flag.String("debugaddr", "", "serve /metrics and /debug/pprof/ on this address (e.g. localhost:6060)")
 		quiet      = flag.Bool("quiet", false, "suppress diagnostics and the run summary (errors still print)")
 		verbose    = flag.Bool("v", false, "verbose diagnostics")
@@ -98,6 +102,12 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer(0)
+		reg.SetTracer(tracer)
+		tracer.Begin("run", "cmd")
+	}
 	if *debugAddr != "" {
 		srv, err := obs.ServeDebug(*debugAddr, reg)
 		if err != nil {
@@ -189,6 +199,15 @@ func main() {
 		fmt.Println()
 	}
 
+	if tracer != nil {
+		tracer.End("run", "cmd")
+		if err := writeTrace(tracer, *tracePath); err != nil {
+			log.Errorf("toplists: trace: %s", errText(err))
+			os.Exit(1)
+		}
+		log.Debugf("trace written to %s (%d events, %d dropped)", *tracePath, tracer.Len(), tracer.Dropped())
+	}
+
 	rep := reg.Snapshot()
 	rep.Meta = map[string]string{
 		"seed":       strconv.FormatUint(*seed, 10),
@@ -198,6 +217,9 @@ func main() {
 		"workers":    strconv.Itoa(*workers),
 		"experiment": *experiment,
 		"faultrate":  strconv.FormatFloat(*faultRate, 'g', -1, 64),
+	}
+	if *tracePath != "" {
+		rep.Meta["trace"] = *tracePath
 	}
 	if !*quiet {
 		fmt.Fprintln(os.Stderr)
@@ -240,6 +262,19 @@ func writeReport(rep *obs.Report, path string) error {
 		return err
 	}
 	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeTrace writes the run timeline as Chrome trace_event JSON to path.
+func writeTrace(t *obs.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
 		f.Close()
 		return err
 	}

@@ -35,6 +35,9 @@
 //	                recovering from the -checkpoint directory
 //	-readyfile      write the bound HTTP address to this file once
 //	                serving (for harnesses using -addr localhost:0)
+//	-trace          write a Chrome trace_event JSON timeline (tick
+//	                advances, per-day/per-shard simulate spans, checkpoint
+//	                writes) to this file on shutdown
 //	-debugaddr      serve /metrics and /debug/pprof/ on this address
 //	-quiet          suppress diagnostics (errors still print)
 //	-v              verbose diagnostics
@@ -118,6 +121,7 @@ func main() {
 		retain     = flag.Int("retain", 5, "checkpoint generations to keep")
 		restore    = flag.String("restore", "", "resume from this snapshot file (bypasses directory recovery)")
 		readyFile  = flag.String("readyfile", "", "write the bound HTTP address here once serving")
+		tracePath  = flag.String("trace", "", "write a Chrome trace_event JSON run timeline here on shutdown")
 		debugAddr  = flag.String("debugaddr", "", "serve /metrics and /debug/pprof/ on this address")
 		quiet      = flag.Bool("quiet", false, "suppress diagnostics (errors still print)")
 		verbose    = flag.Bool("v", false, "verbose diagnostics")
@@ -147,6 +151,11 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer(0)
+		reg.SetTracer(tracer)
+	}
 	if *debugAddr != "" {
 		srv, err := obs.ServeDebug(*debugAddr, reg)
 		if err != nil {
@@ -246,6 +255,21 @@ func main() {
 	if ckptDir != nil {
 		if _, _, err := srv.writeCheckpoint(); err != nil {
 			log.Errorf("toplistsd: shutdown checkpoint: %v", err)
+		}
+	}
+
+	if tracer != nil {
+		f, err := os.Create(*tracePath)
+		if err == nil {
+			err = tracer.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			log.Errorf("toplistsd: trace: %v", err)
+		} else {
+			log.Infof("trace written to %s (%d events, %d dropped)", *tracePath, tracer.Len(), tracer.Dropped())
 		}
 	}
 }

@@ -46,6 +46,14 @@ type server struct {
 	study *core.Study
 	log   *obs.Logger
 
+	// Request-level telemetry, shared by every instrumented route. All of
+	// it is Volatile: request traffic is process history, not simulation
+	// state, so it must never show up in the deterministic or
+	// resume-stable report subsets.
+	reqTotal             *obs.Counter
+	status2xx, status3xx *obs.Counter
+	status4xx, status5xx *obs.Counter
+
 	// ckptMu serializes checkpoint writes: generation numbering in the
 	// snapshot directory assumes one writer at a time.
 	ckptMu  sync.Mutex
@@ -65,12 +73,18 @@ func newServer(study *core.Study, dir *snapshot.Dir, retain int, log *obs.Logger
 	if log == nil {
 		log = obs.NewLogger(os.Stderr, obs.LevelError)
 	}
+	m := study.Metrics()
 	s := &server{
-		study:    study,
-		ckptDir:  dir,
-		retain:   retain,
-		log:      log,
-		writeSem: make(chan struct{}, writeSlots),
+		study:     study,
+		ckptDir:   dir,
+		retain:    retain,
+		log:       log,
+		writeSem:  make(chan struct{}, writeSlots),
+		reqTotal:  m.Counter("http.requests", obs.Volatile),
+		status2xx: m.Counter("http.status.2xx", obs.Volatile),
+		status3xx: m.Counter("http.status.3xx", obs.Volatile),
+		status4xx: m.Counter("http.status.4xx", obs.Volatile),
+		status5xx: m.Counter("http.status.5xx", obs.Volatile),
 	}
 	if spec := os.Getenv(crashpointEnv); spec != "" {
 		if nth, off, ok := parseCrashpoint(spec); ok {
@@ -109,19 +123,81 @@ func (s *server) handler() http.Handler {
 }
 
 // routes builds the API surface. Every handler answers JSON; errors are
-// {"error": "..."} with a meaningful status code.
+// {"error": "..."} with a meaningful status code. Each route is
+// individually instrumented (per-endpoint latency histogram, status-class
+// counters, access log), so the metric key set is fixed by the route
+// table, not by whatever paths clients probe.
 func (s *server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /readyz", s.handleReady)
-	mux.HandleFunc("GET /v1/status", s.handleStatus)
-	mux.HandleFunc("POST /v1/advance", s.handleAdvance)
-	mux.HandleFunc("GET /v1/vantages", s.handleVantages)
-	mux.HandleFunc("GET /v1/rankings/{list}", s.handleRankings)
-	mux.HandleFunc("GET /v1/diff", s.handleDiff)
-	mux.HandleFunc("GET /v1/report", s.handleReport)
-	mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
+	for pattern, h := range map[string]http.HandlerFunc{
+		"GET /healthz":            s.handleHealth,
+		"GET /readyz":             s.handleReady,
+		"GET /metrics":            s.handleMetrics,
+		"GET /v1/status":          s.handleStatus,
+		"POST /v1/advance":        s.handleAdvance,
+		"GET /v1/vantages":        s.handleVantages,
+		"GET /v1/rankings/{list}": s.handleRankings,
+		"GET /v1/diff":            s.handleDiff,
+		"GET /v1/report":          s.handleReport,
+		"POST /v1/checkpoint":     s.handleCheckpoint,
+	} {
+		mux.Handle(pattern, s.instrument(pattern, h))
+	}
 	return mux
+}
+
+// statusRecorder captures the status code and payload size a handler
+// produced, for the latency histograms and the access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (rec *statusRecorder) WriteHeader(code int) {
+	if rec.status == 0 {
+		rec.status = code
+	}
+	rec.ResponseWriter.WriteHeader(code)
+}
+
+func (rec *statusRecorder) Write(p []byte) (int, error) {
+	if rec.status == 0 {
+		rec.status = http.StatusOK
+	}
+	n, err := rec.ResponseWriter.Write(p)
+	rec.bytes += int64(n)
+	return n, err
+}
+
+// instrument wraps one route with request-level telemetry: a per-endpoint
+// latency histogram ("http.latency.<pattern>"), the shared status-class
+// counters, and a structured access log line (method, path, status,
+// bytes, duration) at debug level (-v).
+func (s *server) instrument(pattern string, h http.HandlerFunc) http.Handler {
+	lat := s.study.Metrics().Histogram("http.latency." + pattern)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		h(rec, r)
+		dur := time.Since(start)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		lat.Observe(dur)
+		s.reqTotal.Inc()
+		switch {
+		case rec.status < 300:
+			s.status2xx.Inc()
+		case rec.status < 400:
+			s.status3xx.Inc()
+		case rec.status < 500:
+			s.status4xx.Inc()
+		default:
+			s.status5xx.Inc()
+		}
+		s.log.Debugf("http: %s %s -> %d %dB %s", r.Method, r.URL.Path, rec.status, rec.bytes, dur.Round(time.Microsecond))
+	})
 }
 
 // withRecovery turns a handler panic into a JSON 500 and a volatile
@@ -132,7 +208,13 @@ func (s *server) withRecovery(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if v := recover(); v != nil {
-				s.study.Metrics().Counter("http.panics", obs.Volatile).Inc()
+				m := s.study.Metrics()
+				m.Counter("http.panics", obs.Volatile).Inc()
+				// Record the offending path so /metrics shows which
+				// endpoint is faulty, not just that something panicked.
+				// Panics are rare by construction, so the per-path key
+				// cardinality stays bounded in practice.
+				m.Counter("http.panics."+r.Method+" "+r.URL.Path, obs.Volatile).Inc()
 				s.log.Errorf("panic serving %s %s: %v", r.Method, r.URL.Path, v)
 				// Best effort: if the handler already wrote headers this
 				// is a no-op on a broken stream, which is all we can do.
@@ -480,6 +562,15 @@ func topKDiff(from, to *rank.Ranking, k int) (entered, left []string, jaccard fl
 	return entered, left, jaccard
 }
 
+// handleMetrics serves the full telemetry report on the main API port —
+// the same document -debugaddr's /metrics serves, here so the request
+// histograms and status counters are observable without a second
+// listener.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.study.Metrics().Snapshot().WriteJSON(w) //nolint:errcheck // client went away
+}
+
 // handleReport serves the telemetry run report: the full snapshot by
 // default, or with ?stable=1 only the resume-stable deterministic subset
 // — the bytes `make snapcheck` pins across checkpoint/restore.
@@ -625,7 +716,12 @@ func (s *server) tickLoop(ctx context.Context, interval time.Duration) {
 		if ctx.Err() != nil {
 			return
 		}
+		// phase.tick spans put each ticker-driven advance on the run
+		// timeline (and in the phase table) — the resident-mode view of
+		// where wall clock goes between checkpoints.
+		sp := s.study.Metrics().Span("phase.tick")
 		err := s.study.AdvanceDay(context.Background())
+		sp.End()
 		switch {
 		case err == nil:
 			s.log.Infof("advanced to day %d/%d", s.study.Day(), s.study.Cfg.Days)

@@ -138,7 +138,7 @@ func (a *Artifacts) memoized(key any, cm *obs.CacheMetrics, build func() *rank.R
 		start := time.Now()
 		e.r = build()
 		e.done.Store(true)
-		cm.ObserveBuild(time.Since(start))
+		cm.ObserveBuildSpan(start, time.Since(start))
 	})
 	return e.r
 }

@@ -68,6 +68,7 @@ func (s *Study) snapshotLocked(w io.Writer) error {
 	if s.aborted != nil {
 		return fmt.Errorf("core: cannot snapshot: %w", s.aborted)
 	}
+	defer s.obs.Span("phase.snapshot").End()
 	sw, err := snapshot.NewWriter(w)
 	if err != nil {
 		return err

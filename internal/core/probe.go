@@ -48,12 +48,14 @@ func (s *Study) probeSweep(ctx context.Context, hosts []string) (map[string]stru
 	}
 	cf := make(map[string]struct{})
 	pending := hosts
+	tracer := s.obs.Tracer()
 	for day := 0; day < probeSweepDays && len(pending) > 0; day++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		prober.Day = day
 		prober.ResetBreakers()
+		roundStart := time.Now()
 		var unknown []string
 		for _, r := range prober.ProbeAll(ctx, pending) {
 			switch {
@@ -63,6 +65,7 @@ func (s *Study) probeSweep(ctx context.Context, hosts []string) (map[string]stru
 				cf[r.Host] = struct{}{}
 			}
 		}
+		tracer.Span("probe.round", "probe", int64(day), roundStart, time.Since(roundStart))
 		pending = unknown
 	}
 	if err := ctx.Err(); err != nil {

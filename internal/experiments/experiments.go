@@ -160,6 +160,7 @@ func RunConcurrent(ctx context.Context, s *core.Study, runners []Runner, workers
 	m.Counter("eval.failed")
 	m.Counter("eval.panics")
 	queueWait := m.Histogram("eval.queue_wait")
+	tracer := m.Tracer()
 	defer m.Span("phase.evaluate").End()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -188,8 +189,10 @@ func RunConcurrent(ctx context.Context, s *core.Study, runners []Runner, workers
 		go func() {
 			defer wg.Done()
 			for sub := range idx {
-				queueWait.Observe(time.Since(sub.submittedAt))
+				wait := time.Since(sub.submittedAt)
+				queueWait.Observe(wait)
 				r := runners[sub.i]
+				tracer.Span("eval.queue_wait."+r.ID, "experiments", int64(sub.i), sub.submittedAt, wait)
 				res, err := safeRun(ctx, s, r)
 				out[sub.i] = Outcome{Runner: r, Result: res, Err: err}
 			}

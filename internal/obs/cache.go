@@ -22,6 +22,12 @@ type CacheMetrics struct {
 	Misses *Counter
 	Waits  *Counter
 	Build  *Histogram
+
+	// prefix and tracer put completed builds on the run timeline (one
+	// "<prefix>.build" span per distinct key) when a tracer was attached
+	// to the registry at registration time.
+	prefix string
+	tracer *Tracer
 }
 
 // NewCacheMetrics registers the family's metrics under prefix (e.g.
@@ -33,6 +39,8 @@ func NewCacheMetrics(r *Registry, prefix string) *CacheMetrics {
 		Misses: r.Counter(prefix + ".misses"),
 		Waits:  r.Counter(prefix+".waits", Volatile),
 		Build:  r.Histogram(prefix + ".build"),
+		prefix: prefix,
+		tracer: r.Tracer(),
 	}
 }
 
@@ -57,9 +65,22 @@ func (m *CacheMetrics) Wait() {
 	}
 }
 
-// ObserveBuild records one entry's build time. Safe on nil.
+// ObserveBuild records one entry's build time — and, when a tracer is
+// attached, a "<prefix>.build" span on the run timeline starting at
+// start. Safe on nil.
 func (m *CacheMetrics) ObserveBuild(d time.Duration) {
 	if m != nil {
 		m.Build.Observe(d)
 	}
+}
+
+// ObserveBuildSpan is ObserveBuild plus the timeline span; callers that
+// know the build's start time use this so the trace shows when the build
+// ran, not just how long it took. Safe on nil.
+func (m *CacheMetrics) ObserveBuildSpan(start time.Time, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.Build.Observe(d)
+	m.tracer.Span(m.prefix+".build", "artifacts", 0, start, d)
 }

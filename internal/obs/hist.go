@@ -95,7 +95,12 @@ func (h *Histogram) Sum() time.Duration {
 // quantile returns the approximate q-quantile (0..1) as the upper bound of
 // the bucket where the cumulative count crosses q.
 func (h *Histogram) quantile(q float64) int64 {
-	total := h.count.Load()
+	return bucketQuantile(h.count.Load(), &h.buckets, q)
+}
+
+// bucketQuantile is the shared quantile kernel for Histogram and Phase:
+// the upper bound of the log2 bucket where the cumulative count crosses q.
+func bucketQuantile(total int64, buckets *[NumBuckets]atomic.Int64, q float64) int64 {
 	if total == 0 {
 		return 0
 	}
@@ -105,7 +110,7 @@ func (h *Histogram) quantile(q float64) int64 {
 	}
 	var cum int64
 	for i := 0; i < NumBuckets; i++ {
-		cum += h.buckets[i].Load()
+		cum += buckets[i].Load()
 		if cum > target {
 			return BucketUpperBound(i)
 		}
@@ -114,13 +119,17 @@ func (h *Histogram) quantile(q float64) int64 {
 }
 
 // Phase accumulates span-style timings for one named phase of the run:
-// how many times it ran, total and maximum wall time. Record and the
-// Start/End pair are allocation-free.
+// how many times it ran, total and maximum wall time, plus the same log2
+// buckets as Histogram so the summary can report phase p50/p99. Record and
+// the Start/End pair are allocation-free. If the owning registry has a
+// Tracer attached, completed spans also land on the run timeline.
 type Phase struct {
 	name    string
 	count   atomic.Int64
 	totalNS atomic.Int64
 	maxNS   atomic.Int64
+	buckets [NumBuckets]atomic.Int64
+	tracer  atomic.Pointer[Tracer]
 }
 
 // Record adds one completed timing. Safe on nil.
@@ -131,12 +140,18 @@ func (p *Phase) Record(d time.Duration) {
 	ns := int64(d)
 	p.count.Add(1)
 	p.totalNS.Add(ns)
+	p.buckets[bucketIndex(d)].Add(1)
 	for {
 		cur := p.maxNS.Load()
 		if ns <= cur || p.maxNS.CompareAndSwap(cur, ns) {
 			return
 		}
 	}
+}
+
+// quantile returns the approximate q-quantile of recorded spans.
+func (p *Phase) quantile(q float64) int64 {
+	return bucketQuantile(p.count.Load(), &p.buckets, q)
 }
 
 // Total returns the accumulated wall time (0 on nil).
@@ -159,13 +174,18 @@ type SpanTimer struct {
 	start time.Time
 }
 
-// End closes the span, recording its duration into the phase. Safe on the
-// zero value.
+// End closes the span, recording its duration into the phase — and onto
+// the run timeline when a tracer is attached (one nil-check branch
+// otherwise). Safe on the zero value.
 func (s SpanTimer) End() {
 	if s.p == nil {
 		return
 	}
-	s.p.Record(time.Since(s.start))
+	d := time.Since(s.start)
+	s.p.Record(d)
+	if t := s.p.tracer.Load(); t != nil {
+		t.Phase(s.p.name, s.start, d)
+	}
 }
 
 // Span opens a span on the named phase of r. Safe on a nil registry (the

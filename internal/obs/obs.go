@@ -135,6 +135,7 @@ type Registry struct {
 	gaugeFns map[string]gaugeFn
 	hists    map[string]*Histogram
 	phases   map[string]*Phase
+	tracer   atomic.Pointer[Tracer]
 }
 
 type gaugeFn struct {
@@ -225,6 +226,7 @@ func (r *Registry) Phase(name string) *Phase {
 	p, ok := r.phases[name]
 	if !ok {
 		p = &Phase{name: name}
+		p.tracer.Store(r.tracer.Load())
 		r.phases[name] = p
 	}
 	return p

@@ -52,11 +52,14 @@ type DurationStats struct {
 	P99NS   int64 `json:"p99_ns"`
 }
 
-// PhaseStats summarizes one phase's spans.
+// PhaseStats summarizes one phase's spans. P50/P99 are log2 bucket upper
+// bounds, like DurationStats.
 type PhaseStats struct {
 	Count   int64 `json:"count"`
 	TotalNS int64 `json:"total_ns"`
 	MaxNS   int64 `json:"max_ns"`
+	P50NS   int64 `json:"p50_ns"`
+	P99NS   int64 `json:"p99_ns"`
 }
 
 // Snapshot captures the registry's current state. Safe on nil (returns an
@@ -141,6 +144,8 @@ func (r *Registry) Snapshot() *Report {
 			Count:   p.count.Load(),
 			TotalNS: p.totalNS.Load(),
 			MaxNS:   p.maxNS.Load(),
+			P50NS:   p.quantile(0.50),
+			P99NS:   p.quantile(0.99),
 		}
 	}
 	return rep
@@ -213,8 +218,8 @@ func (rep *Report) WriteSummary(w io.Writer) error {
 		}
 		for _, name := range sortedKeys(rep.Phases) {
 			p := rep.Phases[name]
-			fmt.Fprintf(w, "%-34s %10s  x%-5d max %-10s %4.1f%%\n",
-				name, fmtNS(p.TotalNS), p.Count, fmtNS(p.MaxNS),
+			fmt.Fprintf(w, "%-34s %10s  x%-5d p50 %-9s p99 %-9s max %-10s %4.1f%%\n",
+				name, fmtNS(p.TotalNS), p.Count, fmtNS(p.P50NS), fmtNS(p.P99NS), fmtNS(p.MaxNS),
 				100*float64(p.TotalNS)/float64(max64(total, 1)))
 		}
 	}

@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// decodeTrace parses a WriteJSON export, failing the test on malformed
+// JSON. Returned events carry Chrome field names (ts/dur in microseconds).
+type jsonTraceEvent struct {
+	Name string `json:"name"`
+	Cat  string `json:"cat"`
+	Ph   string `json:"ph"`
+	PID  int64  `json:"pid"`
+	TID  int64  `json:"tid"`
+	TS   int64  `json:"ts"`
+	Dur  int64  `json:"dur"`
+}
+
+func decodeTrace(t *testing.T, b []byte) []jsonTraceEvent {
+	t.Helper()
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []jsonTraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("trace export is not valid JSON: %v\n%s", err, b)
+	}
+	return doc.TraceEvents
+}
+
+// TestTraceExportValidity pins the export contract: the JSON is
+// well-formed, timestamps are monotonic and non-negative, durations are
+// non-negative, and every B has a matching E.
+func TestTraceExportValidity(t *testing.T) {
+	tr := NewTracer(128)
+	tr.Begin("run", "cmd")
+	base := time.Now()
+	for i := 0; i < 300; i++ { // overfill the ring: oldest spans drop
+		tr.Span("engine.shard", "engine", int64(i%4), base, time.Duration(i)*time.Microsecond)
+	}
+	tr.Phase("phase.simulate", base, 5*time.Millisecond)
+	tr.End("run", "cmd")
+	tr.Begin("dangling", "cmd") // must be balanced by a synthetic E
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	evs := decodeTrace(t, buf.Bytes())
+	if len(evs) == 0 {
+		t.Fatal("empty trace")
+	}
+	open := map[string]int{}
+	lastTS := int64(-1)
+	for i, ev := range evs {
+		if ev.TS < 0 {
+			t.Errorf("event %d (%s): negative ts %d", i, ev.Name, ev.TS)
+		}
+		if ev.Dur < 0 {
+			t.Errorf("event %d (%s): negative dur %d", i, ev.Name, ev.Dur)
+		}
+		// Synthetic balancing E events are appended after the sort; only
+		// require monotonicity over the sorted prefix.
+		if ev.Ph != "E" && ev.TS < lastTS {
+			t.Errorf("event %d (%s): ts %d < previous %d — not monotonic", i, ev.Name, ev.TS, lastTS)
+		}
+		if ev.Ph != "E" {
+			lastTS = ev.TS
+		}
+		switch ev.Ph {
+		case "B":
+			open[ev.Name+"\x00"+ev.Cat]++
+		case "E":
+			open[ev.Name+"\x00"+ev.Cat]--
+		case "X":
+		default:
+			t.Errorf("event %d: unexpected ph %q", i, ev.Ph)
+		}
+	}
+	for k, n := range open {
+		if n != 0 {
+			t.Errorf("unbalanced B/E for %q: %d", k, n)
+		}
+	}
+	if tr.Dropped() != 300-128 {
+		t.Errorf("Dropped = %d, want %d", tr.Dropped(), 300-128)
+	}
+}
+
+// TestTraceRingNeverDropsPhaseBoundaries floods the bounded ring far past
+// capacity and checks that every phase-boundary event — B/E marks and
+// completed phase spans — still exports.
+func TestTraceRingNeverDropsPhaseBoundaries(t *testing.T) {
+	tr := NewTracer(64)
+	base := time.Now()
+	const phases = 40 // well above what a 64-slot ring could retain alongside the flood
+	for i := 0; i < phases; i++ {
+		tr.Begin("phase.mark", "phase")
+		for j := 0; j < 100; j++ {
+			tr.Span("flood", "test", 0, base, time.Microsecond)
+		}
+		tr.Phase("phase.work", base, time.Millisecond)
+		tr.End("phase.mark", "phase")
+	}
+	var b, e, x int
+	for _, ev := range tr.Events() {
+		switch {
+		case ev.Ph == 'B' && ev.Name == "phase.mark":
+			b++
+		case ev.Ph == 'E' && ev.Name == "phase.mark":
+			e++
+		case ev.Ph == 'X' && ev.Name == "phase.work":
+			x++
+		}
+	}
+	if b != phases || e != phases || x != phases {
+		t.Fatalf("phase-boundary events dropped: B=%d E=%d X=%d, want %d each", b, e, x, phases)
+	}
+	if tr.Dropped() == 0 {
+		t.Fatal("expected the flood to overflow the ring")
+	}
+}
+
+// TestTraceConcurrentSpans hammers the ring from many goroutines (the
+// -race proof of the lock-free claim path), then checks the export still
+// holds exactly capacity events.
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := NewTracer(256)
+	base := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.Span("span", "test", int64(w), base, time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(tr.Events()); got != 256 {
+		t.Fatalf("Events() = %d, want full ring 256", got)
+	}
+	if tr.Dropped() != 8*1000-256 {
+		t.Fatalf("Dropped = %d, want %d", tr.Dropped(), 8*1000-256)
+	}
+}
+
+// TestTracerNilSafe: every method must be a no-op on a nil tracer, and a
+// nil export must still be valid JSON.
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Begin("a", "b")
+	tr.End("a", "b")
+	tr.Phase("p", time.Now(), time.Second)
+	tr.Span("s", "c", 0, time.Now(), time.Second)
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer holds state")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("nil WriteJSON: %v", err)
+	}
+	if evs := decodeTrace(t, buf.Bytes()); len(evs) != 0 {
+		t.Fatalf("nil tracer exported %d events", len(evs))
+	}
+}
+
+// TestTraceSpanZeroAlloc pins the event hot path: recording a ring span
+// allocates nothing whether a tracer is attached or not, and a phase span
+// through a registry without a tracer stays free.
+func TestTraceSpanZeroAlloc(t *testing.T) {
+	tr := NewTracer(1024)
+	base := time.Now()
+	if allocs := testing.AllocsPerRun(200, func() {
+		tr.Span("hot", "engine", 3, base, time.Microsecond)
+	}); allocs != 0 {
+		t.Errorf("attached Tracer.Span: %.1f allocs/op, want 0", allocs)
+	}
+	var nt *Tracer
+	if allocs := testing.AllocsPerRun(200, func() {
+		nt.Span("hot", "engine", 3, base, time.Microsecond)
+	}); allocs != 0 {
+		t.Errorf("nil Tracer.Span: %.1f allocs/op, want 0", allocs)
+	}
+	// Unattached registry: phase span start/stop must stay allocation-free
+	// (the pre-tracer contract — one extra nil-check branch only).
+	r := NewRegistry()
+	p := r.Phase("hot.phase")
+	if allocs := testing.AllocsPerRun(200, func() { p.Start().End() }); allocs != 0 {
+		t.Errorf("unattached phase span: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestRegistrySetTracer: phases created before and after attachment both
+// emit timeline events, and detaching is not required for snapshots.
+func TestRegistrySetTracer(t *testing.T) {
+	r := NewRegistry()
+	before := r.Phase("before")
+	tr := NewTracer(16)
+	r.SetTracer(tr)
+	if r.Tracer() != tr {
+		t.Fatal("Tracer() did not return the attached tracer")
+	}
+	after := r.Phase("after")
+	before.Start().End()
+	after.Start().End()
+	var names []string
+	for _, ev := range tr.Events() {
+		names = append(names, ev.Name)
+	}
+	if len(names) != 2 {
+		t.Fatalf("want 2 phase events, got %v", names)
+	}
+	// Nil registry: attachment is inert.
+	var nr *Registry
+	nr.SetTracer(tr)
+	if nr.Tracer() != nil {
+		t.Fatal("nil registry returned a tracer")
+	}
+}

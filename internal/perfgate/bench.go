@@ -1,0 +1,185 @@
+package perfgate
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"toplists"
+	"toplists/internal/names"
+	"toplists/internal/rank"
+	"toplists/internal/sketch"
+	"toplists/internal/snapshot"
+	"toplists/internal/stats"
+	"toplists/internal/traffic"
+	"toplists/internal/world"
+)
+
+// Benchmarks returns the pinned hot-path set the perf gate tracks. The
+// names are part of the baseline file contract: renaming one here
+// without regenerating BENCH_baseline.json fails the gate as "missing",
+// which is the point — the set only changes deliberately.
+//
+// Sizes are scaled so each Setup stays under a second while the timed
+// op is large enough to dominate harness overhead; the gate compares
+// against a baseline measured at the same sizes, so absolute scale only
+// needs to be representative, not paper-sized.
+func Benchmarks() []Benchmark {
+	return []Benchmark{
+		// The machine-speed reference (see RefBenchmark): fixed work
+		// whose true cost never changes, so any drift in its median is
+		// the machine, not the code.
+		{Name: RefBenchmark, Setup: setupRefSort},
+		// engine.day pins n: engine construction amortizes inside run(n),
+		// so a calibrated n would shift per-op cost between runs.
+		{Name: "engine.day", Setup: setupEngineDay, Iters: 16},
+		{Name: "renderall.warm", Setup: setupRenderAllWarm},
+		{Name: "rank.topset", Setup: setupRankTopSet},
+		{Name: "stats.jaccard", Setup: setupStatsJaccard},
+		{Name: "sketch.merge", Setup: setupSketchMerge},
+		{Name: "snapshot.encode", Setup: setupSnapshotEncode},
+	}
+}
+
+// refSink defeats dead-code elimination of the reference workload.
+var refSink int64
+
+// setupRefSort is the reference workload: allocate and sort a 32k-entry
+// pseudo-random slice. Allocation, pointer-free copying, cache misses,
+// and data-dependent branches give it the same sensitivity to memory
+// subsystem contention as the real benchmarks, which is what makes the
+// drift ratio transferable.
+func setupRefSort() func(n int) {
+	src := make([]int64, 32*1024)
+	x := uint64(0x9E3779B97F4A7C15)
+	for i := range src {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		src[i] = int64(x)
+	}
+	return func(n int) {
+		for i := 0; i < n; i++ {
+			work := make([]int64, len(src))
+			copy(work, src)
+			sort.Slice(work, func(a, b int) bool { return work[a] < work[b] })
+			refSink = work[0]
+		}
+	}
+}
+
+// setupEngineDay measures one simulated day end to end (client browsing,
+// bot floods, DNS fan-out) — the dominant cost of every study build. A
+// fresh engine is built per n days so day indices stay in range; its
+// construction is amortized across the round's n iterations.
+func setupEngineDay() func(n int) {
+	w := world.Generate(world.Config{Seed: 1, NumSites: 2000})
+	return func(n int) {
+		e := traffic.NewEngine(w, traffic.Config{Seed: 2, NumClients: 400, Days: n})
+		e.AddSink(&traffic.BaseSink{})
+		for d := 0; d < n; d++ {
+			e.RunDay(d)
+		}
+	}
+}
+
+// setupRenderAllWarm measures re-rendering every paper artifact from a
+// warm memoized artifact store — the interactive cost of toplistsd's
+// list endpoints and of re-running experiments after a checkpoint
+// restore. The first RenderAll (inside Measure's warm call) pays the
+// artifact builds; timed iterations are memo hits plus formatting.
+func setupRenderAllWarm() func(n int) {
+	study, err := toplists.Run(toplists.Config{
+		Seed: 11, Sites: 600, Clients: 150, Days: 2, Workers: 1,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("perfgate: renderall setup: %v", err))
+	}
+	return func(n int) {
+		for i := 0; i < n; i++ {
+			if err := study.RenderAll(io.Discard); err != nil {
+				panic(fmt.Sprintf("perfgate: renderall: %v", err))
+			}
+		}
+	}
+}
+
+// benchRankIDs builds a 20k-entry interned universe, mirroring the
+// rank package's own benchmarks.
+func benchRankIDs() (*names.Table, []names.ID) {
+	tab := names.NewTable()
+	ids := make([]names.ID, 20_000)
+	for i := range ids {
+		ids[i] = tab.Intern(fmt.Sprintf("site-%06d.example", i))
+	}
+	return tab, ids
+}
+
+// setupRankTopSet measures a cold top-k set build over a fresh ranking —
+// the kernel under every pairwise list comparison.
+func setupRankTopSet() func(n int) {
+	tab, ids := benchRankIDs()
+	k := len(ids) / 2
+	return func(n int) {
+		for i := 0; i < n; i++ {
+			r := rank.MustFromIDs(tab, ids)
+			if r.TopSetIDs(k).Len() != k {
+				panic("perfgate: bad topset")
+			}
+		}
+	}
+}
+
+// setupStatsJaccard measures similarity of two half-overlapping top
+// sets — the inner loop of fig2/fig3-style stability matrices.
+func setupStatsJaccard() func(n int) {
+	tab, ids := benchRankIDs()
+	a := rank.MustFromIDs(tab, ids).TopSetIDs(len(ids) / 2)
+	shifted := append([]names.ID(nil), ids[len(ids)/4:]...)
+	shifted = append(shifted, ids[:len(ids)/4]...)
+	b := rank.MustFromIDs(tab, shifted).TopSetIDs(len(ids) / 2)
+	return func(n int) {
+		for i := 0; i < n; i++ {
+			if v := stats.JaccardIDs(a, b); v <= 0 || v > 1 {
+				panic("perfgate: bad jaccard")
+			}
+		}
+	}
+}
+
+// setupSketchMerge measures the day-barrier aggregation combine: one
+// CountMin fold plus one SpaceSaving fold of populated summaries. The
+// destinations saturate after the first iteration, so steady-state cost
+// is what the rounds see.
+func setupSketchMerge() func(n int) {
+	srcCM := sketch.NewCountMin(1<<12, 4)
+	srcSS := sketch.NewSpaceSaving(1024)
+	for k := uint64(0); k < 8192; k++ {
+		srcCM.Add(k, k%97+1)
+		srcSS.Add(k, k%97+1)
+	}
+	dstCM := sketch.NewCountMin(1<<12, 4)
+	dstSS := sketch.NewSpaceSaving(1024)
+	return func(n int) {
+		for i := 0; i < n; i++ {
+			dstCM.Merge(srcCM)
+			dstSS.Merge(srcSS, nil)
+		}
+	}
+}
+
+// setupSnapshotEncode measures canonical-form encoding of a 20k-entry
+// ranking — the per-component cost of every checkpoint write.
+func setupSnapshotEncode() func(n int) {
+	tab, ids := benchRankIDs()
+	r := rank.MustFromIDs(tab, ids)
+	return func(n int) {
+		for i := 0; i < n; i++ {
+			var e snapshot.Encoder
+			rank.EncodeRanking(&e, r)
+			if _, err := e.WriteTo(io.Discard); err != nil {
+				panic(err)
+			}
+		}
+	}
+}

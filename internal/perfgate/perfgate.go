@@ -1,0 +1,380 @@
+// Package perfgate is the repo's enforced performance trajectory: a tiny
+// benchmark harness plus a comparator that gates CI on the committed
+// baseline (BENCH_baseline.json at the repo root).
+//
+// The harness deliberately does not depend on `go test -bench`: the gate
+// needs machine-readable medians, a pinned benchmark set, and an exit
+// code, and it runs from cmd/sweep so the whole perf surface ships in
+// one binary. Each Benchmark is a Setup function returning a run(n)
+// closure; Measure calibrates n until a round takes MinRoundTime, then
+// times Rounds rounds and keeps the median of the fastest half — a
+// median (not a mean) because CI machines hiccup, and over the fastest
+// half because scheduler noise is strictly additive: one preempted
+// round must not fail an honest build.
+//
+// Compare applies an asymmetric rule: a current median more than
+// threshold above baseline is a regression (gate fails), a median more
+// than threshold below is an improvement (gate passes, but the table
+// says so, inviting a baseline refresh); a benchmark present in the
+// baseline but missing from the run fails the gate (a silently deleted
+// benchmark is how perf work rots), while a new benchmark merely warns
+// until it is baselined.
+package perfgate
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Schema identifies the baseline file format.
+const Schema = "toplists-bench-baseline/v1"
+
+// DefaultThreshold is the allowed fractional slowdown before the gate
+// fails (0.15 = 15%). PERFGATE_SLACK adds to it (see Slack).
+const DefaultThreshold = 0.15
+
+// Result is one benchmark's measured outcome. RefRatio is the median of
+// per-round (benchmark / reference) cost ratios when the run carried the
+// reference benchmark; it is the drift-immune number the gate compares.
+type Result struct {
+	Name     string  `json:"name"`
+	MedianNS int64   `json:"median_ns"`
+	Rounds   int     `json:"rounds"`
+	Iters    int     `json:"iters"`
+	RefRatio float64 `json:"ref_ratio,omitempty"`
+}
+
+// Baseline is the committed reference file.
+type Baseline struct {
+	Schema     string            `json:"schema"`
+	Note       string            `json:"note,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// LoadBaseline reads and schema-checks a baseline file.
+func LoadBaseline(path string) (Baseline, error) {
+	var b Baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("perfgate: %s: %w", path, err)
+	}
+	if b.Schema != Schema {
+		return b, fmt.Errorf("perfgate: %s: schema %q, want %q", path, b.Schema, Schema)
+	}
+	return b, nil
+}
+
+// WriteJSON writes the baseline with stable key order (encoding/json
+// sorts map keys), so regenerating it produces minimal diffs.
+func (b Baseline) WriteJSON(w io.Writer) error {
+	b.Schema = Schema
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// Benchmark is one pinned hot-path measurement. Setup builds all state
+// outside the timer and returns the timed closure; run(n) must execute
+// the operation exactly n times. A non-zero Iters pins n instead of
+// calibrating it — used when per-op cost depends on n (amortized setup
+// inside run), so baseline and gate always compare at the same n.
+type Benchmark struct {
+	Name  string
+	Setup func() (run func(n int))
+	Iters int
+}
+
+// MeasureOptions tunes the harness; zero values pick CI-friendly
+// defaults.
+type MeasureOptions struct {
+	Rounds       int           // timing rounds per benchmark (default 5)
+	MinRoundTime time.Duration // calibrate iters until a round takes this long (default 50ms)
+	MaxIters     int           // calibration ceiling (default 1<<20)
+	Logf         func(format string, args ...any)
+}
+
+func (o MeasureOptions) withDefaults() MeasureOptions {
+	if o.Rounds <= 0 {
+		o.Rounds = 5
+	}
+	if o.MinRoundTime <= 0 {
+		o.MinRoundTime = 50 * time.Millisecond
+	}
+	if o.MaxIters <= 0 {
+		o.MaxIters = 1 << 20
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// calibrate doubles n until one round of run crosses minRound.
+func calibrate(run func(int), minRound time.Duration, maxIters int) int {
+	n := 1
+	for {
+		start := time.Now()
+		run(n)
+		roundDur := time.Since(start)
+		if roundDur >= minRound || n >= maxIters {
+			return n
+		}
+		// Jump toward the target round time, at least doubling, so
+		// sub-microsecond ops converge in a few rounds.
+		next := n * 2
+		if roundDur > 0 {
+			if want := int(int64(n) * int64(minRound) / int64(roundDur)); want > next {
+				next = want
+			}
+		}
+		if next > maxIters {
+			next = maxIters
+		}
+		n = next
+	}
+}
+
+// timeRound times one round of n iterations and returns per-op ns.
+func timeRound(run func(int), n int) int64 {
+	start := time.Now()
+	run(n)
+	return int64(time.Since(start)) / int64(n)
+}
+
+// fastestHalfMedian is the gate's point estimator: timing noise on
+// shared runners is one-sided (preemption and CPU steal only ever add
+// time), so the slow tail carries no signal — take the median of the
+// fastest half of rounds.
+func fastestHalfMedian(samples []int64) int64 {
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	keep := samples[:(len(samples)+1)/2]
+	med := keep[len(keep)/2]
+	if len(keep)%2 == 0 {
+		med = (keep[len(keep)/2-1] + keep[len(keep)/2]) / 2
+	}
+	return med
+}
+
+func medianFloat(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	sort.Float64s(v)
+	if len(v)%2 == 0 {
+		return (v[len(v)/2-1] + v[len(v)/2]) / 2
+	}
+	return v[len(v)/2]
+}
+
+// Measure runs every benchmark and returns per-op medians keyed by name.
+//
+// When the list carries RefBenchmark, every other benchmark's timed
+// rounds are interleaved with a reference round, and the result records
+// the median per-round cost ratio to the reference. Machine-speed drift
+// between two Measure invocations (baseline seeding vs. the gate,
+// minutes or months apart) shifts both sides of each adjacent pair
+// equally, so the ratio survives shared-runner turbulence that would
+// sink any absolute comparison.
+func Measure(benchs []Benchmark, opt MeasureOptions) map[string]Result {
+	opt = opt.withDefaults()
+	out := make(map[string]Result, len(benchs))
+
+	// Timed rounds run with the collector off and an explicit collection
+	// between rounds: when a round can trigger GC, the measurement
+	// becomes bimodal on the heap target previous benchmarks happened to
+	// leave behind. Rounds are short and bounded, so the paused heap
+	// stays small.
+	var refRun func(int)
+	refN := 0
+	for _, b := range benchs {
+		if b.Name != RefBenchmark {
+			continue
+		}
+		refRun = b.Setup()
+		refRun(1)
+		prevGC := debug.SetGCPercent(-1)
+		refN = calibrate(refRun, opt.MinRoundTime/4, opt.MaxIters)
+		samples := make([]int64, 0, opt.Rounds)
+		for r := 0; r < opt.Rounds; r++ {
+			runtime.GC()
+			samples = append(samples, timeRound(refRun, refN))
+		}
+		debug.SetGCPercent(prevGC)
+		runtime.GC()
+		med := fastestHalfMedian(samples)
+		out[b.Name] = Result{Name: b.Name, MedianNS: med, Rounds: opt.Rounds, Iters: refN, RefRatio: 1}
+		opt.Logf("perfgate: %-18s %12s/op  (n=%d x %d rounds, reference)",
+			b.Name, time.Duration(med), refN, opt.Rounds)
+		break
+	}
+
+	for _, b := range benchs {
+		if b.Name == RefBenchmark {
+			continue
+		}
+		run := b.Setup()
+		run(1) // warm: page in code and memoized state outside the timer
+
+		prevGC := debug.SetGCPercent(-1)
+		// Pick n: a pinned Iters gets one untimed warm round at full n;
+		// otherwise calibrate until a round crosses MinRoundTime.
+		n := b.Iters
+		if n > 0 {
+			run(n)
+		} else {
+			n = calibrate(run, opt.MinRoundTime, opt.MaxIters)
+		}
+
+		samples := make([]int64, 0, opt.Rounds)
+		ratios := make([]float64, 0, opt.Rounds)
+		for r := 0; r < opt.Rounds; r++ {
+			runtime.GC()
+			var refPer int64
+			if refRun != nil {
+				refPer = timeRound(refRun, refN)
+			}
+			per := timeRound(run, n)
+			samples = append(samples, per)
+			if refPer > 0 {
+				ratios = append(ratios, float64(per)/float64(refPer))
+			}
+		}
+		debug.SetGCPercent(prevGC)
+		runtime.GC()
+
+		med := fastestHalfMedian(samples)
+		out[b.Name] = Result{
+			Name: b.Name, MedianNS: med, Rounds: opt.Rounds, Iters: n,
+			RefRatio: medianFloat(ratios),
+		}
+		opt.Logf("perfgate: %-18s %12s/op  ratio %.2f  (n=%d x %d rounds)",
+			b.Name, time.Duration(med), out[b.Name].RefRatio, n, opt.Rounds)
+	}
+	return out
+}
+
+// RefBenchmark names the machine-speed reference benchmark that makes
+// the committed baseline transferable across machine moods: Measure
+// interleaves it with every other benchmark's rounds and records cost
+// ratios (see Result.RefRatio), and Compare judges ratios rather than
+// raw nanoseconds whenever both sides carry them. The reference itself
+// never gates. Its workload (allocate + sort, see bench.go) mirrors the
+// pinned set's mix of allocator, cache, and branch traffic — shared
+// runner slowdowns come from the memory subsystem as much as the cores,
+// so a pure-ALU spin would cancel only part of the drift.
+const RefBenchmark = "ref.sort"
+
+// Delta is one row of the comparison table.
+type Delta struct {
+	Name   string  `json:"name"`
+	BaseNS int64   `json:"base_ns"`
+	CurNS  int64   `json:"cur_ns"`
+	Frac   float64 `json:"delta"`         // fractional change; via says of what
+	Via    string  `json:"via,omitempty"` // "ratio" (drift-immune) or "median"
+	Status string  `json:"status"`        // ok | regressed | improved | new | missing | ref
+}
+
+// Compare evaluates the current run against the baseline. ok is false
+// iff any benchmark regressed beyond threshold or went missing. Each
+// delta is computed from reference ratios when both sides have them
+// (machine drift cancels) and from raw medians otherwise. Rows come
+// back name-sorted so the table is stable.
+func Compare(base Baseline, cur map[string]Result, threshold float64) (deltas []Delta, ok bool) {
+	ok = true
+	names := make(map[string]bool, len(base.Benchmarks)+len(cur))
+	for name := range base.Benchmarks {
+		names[name] = true
+	}
+	for name := range cur {
+		names[name] = true
+	}
+	for name := range names {
+		b, inBase := base.Benchmarks[name]
+		c, inCur := cur[name]
+		d := Delta{Name: name, BaseNS: b.MedianNS, CurNS: c.MedianNS}
+		switch {
+		case name == RefBenchmark:
+			d.Status = "ref"
+			if inBase && inCur && b.MedianNS > 0 {
+				d.Frac = float64(c.MedianNS-b.MedianNS) / float64(b.MedianNS)
+			}
+		case !inCur:
+			d.Status = "missing"
+			ok = false
+		case !inBase:
+			d.Status = "new"
+		default:
+			if b.RefRatio > 0 && c.RefRatio > 0 {
+				d.Via = "ratio"
+				d.Frac = (c.RefRatio - b.RefRatio) / b.RefRatio
+			} else {
+				d.Via = "median"
+				d.Frac = float64(c.MedianNS-b.MedianNS) / float64(b.MedianNS)
+			}
+			switch {
+			case d.Frac > threshold:
+				d.Status = "regressed"
+				ok = false
+			case d.Frac < -threshold:
+				d.Status = "improved"
+			default:
+				d.Status = "ok"
+			}
+		}
+		deltas = append(deltas, d)
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name })
+	return deltas, ok
+}
+
+// WriteDeltaTable renders the per-benchmark comparison for humans; CI
+// logs show exactly which benchmark moved and by how much.
+func WriteDeltaTable(w io.Writer, deltas []Delta, threshold float64) {
+	note := ""
+	for _, d := range deltas {
+		if d.Status == "ref" && d.BaseNS > 0 && d.CurNS > 0 {
+			note = fmt.Sprintf(", machine x%.2f vs baseline; deltas are %s-relative ratios",
+				float64(d.CurNS)/float64(d.BaseNS), d.Name)
+		}
+	}
+	fmt.Fprintf(w, "perf gate (threshold %+.0f%%%s)\n", threshold*100, note)
+	fmt.Fprintf(w, "  %-20s %14s %14s %9s  %s\n", "benchmark", "baseline", "current", "delta", "status")
+	for _, d := range deltas {
+		baseS, curS, fracS := "-", "-", "-"
+		if d.BaseNS > 0 {
+			baseS = time.Duration(d.BaseNS).String()
+		}
+		if d.CurNS > 0 {
+			curS = time.Duration(d.CurNS).String()
+		}
+		if d.Status != "new" && d.Status != "missing" {
+			fracS = fmt.Sprintf("%+.1f%%", d.Frac*100)
+		}
+		fmt.Fprintf(w, "  %-20s %14s %14s %9s  %s\n", d.Name, baseS, curS, fracS, d.Status)
+	}
+}
+
+// Slack returns the additive threshold slack from PERFGATE_SLACK
+// (a fraction, e.g. "0.10"). CI sets it to keep the gate advisory on
+// shared runners; locally it defaults to zero and the gate bites.
+func Slack() float64 {
+	s := os.Getenv("PERFGATE_SLACK")
+	if s == "" {
+		return 0
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v < 0 {
+		return 0
+	}
+	return v
+}

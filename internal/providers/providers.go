@@ -130,7 +130,7 @@ func (m *NormMemo) Normalized(l List, day int) (*rank.Ranking, rank.NormalizeSta
 		start := time.Now()
 		defer func() {
 			e.done.Store(true)
-			cm.ObserveBuild(time.Since(start))
+			cm.ObserveBuildSpan(start, time.Since(start))
 		}()
 		if in, ok := l.(internNormalized); ok && m.nz != nil {
 			e.r, e.stats = in.NormalizedIn(day, m.nz)

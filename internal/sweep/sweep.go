@@ -1,0 +1,493 @@
+// Package sweep is the declarative grid runner behind cmd/sweep: it
+// expands a parameter grid over {seed, clients, sites, days, workers,
+// faultrate, sketch, vantages×backends} into cells, executes each cell as
+// one full study + evaluation on a bounded pool, and leaves behind one
+// toplists-run-report/v1 JSON per cell plus a merged CSV.
+//
+// Two properties make the sweep usable as the paper-grid regeneration
+// entry point (ROADMAP item 5):
+//
+//   - Cells are resumable: a cell whose report file already exists and
+//     parses is skipped, so an interrupted sweep picks up where it
+//     stopped and a finished sweep re-run is free.
+//
+//   - Cell reports carry the deterministic counter subset, so any two
+//     cells that differ only in Workers must agree byte-for-byte on it
+//     (TestSweepCellDeterminism pins this), and every cell stamps a
+//     render hash over its experiment output for cross-config
+//     fingerprinting.
+package sweep
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"toplists"
+	"toplists/internal/obs"
+)
+
+// Cell is one point of the grid: a complete study configuration plus the
+// experiment set to evaluate on it.
+type Cell struct {
+	Seed        uint64
+	Sites       int
+	Clients     int
+	Days        int
+	Workers     int
+	FaultRate   float64
+	Sketch      bool
+	Vantages    int
+	Backends    int
+	Experiments []string // expanded experiment IDs ("all" already resolved)
+}
+
+// Name returns the cell's filename-safe identity slug; the per-cell
+// report is written to <outdir>/<Name>.json. Every grid axis appears, so
+// two distinct cells can never collide.
+func (c Cell) Name() string {
+	mode := "exact"
+	if c.Sketch {
+		mode = "sketch"
+	}
+	return fmt.Sprintf("seed%d_n%d_c%d_d%d_w%d_f%s_%s_v%d_b%d",
+		c.Seed, c.Sites, c.Clients, c.Days, c.Workers,
+		strconv.FormatFloat(c.FaultRate, 'g', -1, 64), mode, c.Vantages, c.Backends)
+}
+
+// meta returns the cell parameters as report Meta entries.
+func (c Cell) meta() map[string]string {
+	mode := "exact"
+	if c.Sketch {
+		mode = "sketch"
+	}
+	return map[string]string{
+		"cell":        c.Name(),
+		"seed":        strconv.FormatUint(c.Seed, 10),
+		"sites":       strconv.Itoa(c.Sites),
+		"clients":     strconv.Itoa(c.Clients),
+		"days":        strconv.Itoa(c.Days),
+		"workers":     strconv.Itoa(c.Workers),
+		"faultrate":   strconv.FormatFloat(c.FaultRate, 'g', -1, 64),
+		"mode":        mode,
+		"vantages":    strconv.Itoa(c.Vantages),
+		"backends":    strconv.Itoa(c.Backends),
+		"experiments": strings.Join(c.Experiments, ","),
+	}
+}
+
+// Grid is the declarative cross-product specification. Empty axes take
+// the single default value noted on each field; Cells expands the full
+// cross product in canonical (row-major, declaration order) order.
+type Grid struct {
+	Seeds      []uint64  // default {2022}
+	Sites      []int     // default {20000}
+	Clients    []int     // default {3000}
+	Days       []int     // default {14}
+	Workers    []int     // default {0} (one per CPU)
+	FaultRates []float64 // default {0}
+	Sketch     []bool    // default {false}
+	Vantages   []int     // default {1}
+	Backends   []int     // default {1}
+
+	// Experiments is the evaluation set per cell; "all" expands to every
+	// paper experiment. Default {"all"}.
+	Experiments []string
+}
+
+func (g Grid) withDefaults() Grid {
+	if len(g.Seeds) == 0 {
+		g.Seeds = []uint64{2022}
+	}
+	if len(g.Sites) == 0 {
+		g.Sites = []int{20000}
+	}
+	if len(g.Clients) == 0 {
+		g.Clients = []int{3000}
+	}
+	if len(g.Days) == 0 {
+		g.Days = []int{14}
+	}
+	if len(g.Workers) == 0 {
+		g.Workers = []int{0}
+	}
+	if len(g.FaultRates) == 0 {
+		g.FaultRates = []float64{0}
+	}
+	if len(g.Sketch) == 0 {
+		g.Sketch = []bool{false}
+	}
+	if len(g.Vantages) == 0 {
+		g.Vantages = []int{1}
+	}
+	if len(g.Backends) == 0 {
+		g.Backends = []int{1}
+	}
+	if len(g.Experiments) == 0 {
+		g.Experiments = []string{"all"}
+	}
+	return g
+}
+
+// ExpandExperiments resolves "all" to the full canonical experiment list.
+func ExpandExperiments(ids []string) []string {
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		if id != "all" {
+			out = append(out, id)
+			continue
+		}
+		for _, e := range toplists.Experiments() {
+			out = append(out, e.ID)
+		}
+	}
+	return out
+}
+
+// Cells expands the grid's cross product.
+func (g Grid) Cells() []Cell {
+	g = g.withDefaults()
+	exps := ExpandExperiments(g.Experiments)
+	var cells []Cell
+	for _, seed := range g.Seeds {
+		for _, sites := range g.Sites {
+			for _, clients := range g.Clients {
+				for _, days := range g.Days {
+					for _, workers := range g.Workers {
+						for _, fr := range g.FaultRates {
+							for _, sk := range g.Sketch {
+								for _, v := range g.Vantages {
+									for _, b := range g.Backends {
+										cells = append(cells, Cell{
+											Seed: seed, Sites: sites, Clients: clients,
+											Days: days, Workers: workers, FaultRate: fr,
+											Sketch: sk, Vantages: v, Backends: b,
+											Experiments: exps,
+										})
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// Options configures a sweep run.
+type Options struct {
+	// OutDir receives one <cell>.json report per cell plus, via WriteCSV,
+	// the merged CSV. Created if missing.
+	OutDir string
+	// Parallel is how many cells run concurrently (default 1; each cell
+	// already parallelizes internally via its Workers setting, so cell-
+	// level parallelism pays off mainly for grids of small cells).
+	Parallel int
+	// Resume skips cells whose report file already exists and parses,
+	// loading the existing report for the merged CSV instead of re-running.
+	Resume bool
+	// Log receives per-cell progress (nil is silent).
+	Log *obs.Logger
+}
+
+// CellResult is one cell's outcome.
+type CellResult struct {
+	Cell    Cell
+	Path    string      // report file location
+	Skipped bool        // true when Resume found a valid existing report
+	WallNS  int64       // cell wall time (0 when skipped)
+	Report  *obs.Report // the written (or reloaded) report
+	Err     error
+}
+
+// Run executes every cell of the grid, honoring resume, and returns one
+// result per cell in grid order. Cell failures don't abort the sweep;
+// the first error is returned after all cells settle (ctx cancellation
+// aborts promptly).
+func Run(ctx context.Context, g Grid, opt Options) ([]CellResult, error) {
+	cells := g.Cells()
+	if opt.OutDir == "" {
+		return nil, fmt.Errorf("sweep: Options.OutDir is required")
+	}
+	if err := os.MkdirAll(opt.OutDir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	par := opt.Parallel
+	if par < 1 {
+		par = 1
+	}
+	results := make([]CellResult, len(cells))
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for i, c := range cells {
+		wg.Add(1)
+		go func(i int, c Cell) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = runOne(ctx, c, opt)
+		}(i, c)
+	}
+	wg.Wait()
+	var firstErr error
+	for i := range results {
+		if results[i].Err != nil {
+			firstErr = fmt.Errorf("sweep: cell %s: %w", results[i].Cell.Name(), results[i].Err)
+			break
+		}
+	}
+	return results, firstErr
+}
+
+// runOne executes (or resumes) one cell and persists its report.
+func runOne(ctx context.Context, c Cell, opt Options) CellResult {
+	res := CellResult{Cell: c, Path: filepath.Join(opt.OutDir, c.Name()+".json")}
+	if opt.Resume {
+		if rep, err := LoadReport(res.Path); err == nil {
+			res.Skipped = true
+			res.Report = rep
+			opt.Log.Infof("cell %s: report exists, skipping", c.Name())
+			return res
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		return res
+	}
+	opt.Log.Infof("cell %s: running", c.Name())
+	start := time.Now()
+	rep, err := RunCell(ctx, c)
+	res.WallNS = int64(time.Since(start))
+	if err != nil {
+		res.Err = err
+		opt.Log.Errorf("cell %s: %v", c.Name(), err)
+		return res
+	}
+	rep.Meta["wall_ns"] = strconv.FormatInt(res.WallNS, 10)
+	res.Report = rep
+	if err := writeReportAtomic(rep, res.Path); err != nil {
+		res.Err = err
+		return res
+	}
+	opt.Log.Infof("cell %s: done in %v", c.Name(), time.Duration(res.WallNS).Round(time.Millisecond))
+	return res
+}
+
+// RunCell executes one cell in isolation: fresh registry, full study
+// build, concurrent experiment evaluation, render-to-hash, and a report
+// snapshot stamped with the cell parameters, the render hash, wall-phase
+// totals, and peak RSS. The deterministic subset of the returned report
+// is a pure function of the cell with Workers excluded — byte-identical
+// at every worker count.
+func RunCell(ctx context.Context, c Cell) (*obs.Report, error) {
+	reg := obs.NewRegistry()
+	// fig8 needs the 21-combination tracking; turning it on only when the
+	// cell evaluates fig8 keeps every other cell at the 7-metric cost.
+	allCombos := false
+	for _, id := range c.Experiments {
+		if id == "fig8" {
+			allCombos = true
+		}
+	}
+	study, err := toplists.RunContext(ctx, toplists.Config{
+		Seed:      c.Seed,
+		Sites:     c.Sites,
+		Clients:   c.Clients,
+		Days:      c.Days,
+		Workers:   c.Workers,
+		FaultRate: c.FaultRate,
+		Sketch:    c.Sketch,
+		Vantages:  c.Vantages,
+		Backends:  c.Backends,
+		AllCombos: allCombos,
+		Obs:       reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer study.Close()
+	outcomes, err := study.RunExperimentsContext(ctx, c.Experiments)
+	if err != nil {
+		return nil, err
+	}
+	h := sha256.New()
+	for _, oc := range outcomes {
+		if oc.Err != nil {
+			return nil, fmt.Errorf("experiment %s: %w", oc.ID, oc.Err)
+		}
+		if err := oc.Result.Render(h); err != nil {
+			return nil, fmt.Errorf("experiment %s: render: %w", oc.ID, err)
+		}
+	}
+	rep := reg.Snapshot()
+	rep.Meta = c.meta()
+	rep.Meta["render_sha256"] = hex.EncodeToString(h.Sum(nil))
+	if rss := maxRSSKB(); rss > 0 {
+		// Process-wide high-water mark: with Parallel > 1 concurrent
+		// cells share the number, so treat it as an upper bound.
+		rep.Meta["rss_hwm_kb"] = strconv.FormatInt(rss, 10)
+	}
+	return rep, nil
+}
+
+// LoadReport reads a per-cell report back, verifying the schema. Used by
+// resume and by CSV merging over previously completed cells.
+func LoadReport(path string) (*obs.Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep obs.Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, fmt.Errorf("sweep: %s: %w", path, err)
+	}
+	if rep.Schema != obs.Schema {
+		return nil, fmt.Errorf("sweep: %s: schema %q, want %q", path, rep.Schema, obs.Schema)
+	}
+	return &rep, nil
+}
+
+// writeReportAtomic writes the report via a temp file + rename, so a
+// crash mid-write can never leave a truncated file that resume would
+// mistake for a completed cell (LoadReport would reject it anyway, but a
+// clean directory beats a torn one).
+func writeReportAtomic(rep *obs.Report, path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".cell-*.tmp")
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// maxRSSKB reads the process's peak resident set (VmHWM) in KiB from
+// /proc/self/status; 0 when unavailable (non-Linux).
+func maxRSSKB() int64 {
+	b, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb
+	}
+	return 0
+}
+
+// cellColumns is the canonical cell-parameter column order for the
+// merged CSV.
+var cellColumns = []string{
+	"cell", "seed", "sites", "clients", "days", "workers", "faultrate",
+	"mode", "vantages", "backends", "experiments", "render_sha256",
+	"wall_ns", "rss_hwm_kb",
+}
+
+// WriteCSV merges the sweep's reports into one CSV: cell parameter
+// columns, wall/RSS, then the sorted union of every deterministic counter
+// and gauge, then per-phase wall totals as phase:<name>_ns. Cells missing
+// a metric (failed, or a different mode) leave the field empty.
+func WriteCSV(w io.Writer, results []CellResult) error {
+	countersU := map[string]struct{}{}
+	phasesU := map[string]struct{}{}
+	for _, r := range results {
+		if r.Report == nil {
+			continue
+		}
+		for k := range r.Report.Counters {
+			countersU[k] = struct{}{}
+		}
+		for k := range r.Report.Gauges {
+			countersU[k] = struct{}{}
+		}
+		for k := range r.Report.Phases {
+			phasesU[k] = struct{}{}
+		}
+	}
+	counterCols := make([]string, 0, len(countersU))
+	for k := range countersU {
+		counterCols = append(counterCols, k)
+	}
+	sort.Strings(counterCols)
+	phaseCols := make([]string, 0, len(phasesU))
+	for k := range phasesU {
+		phaseCols = append(phaseCols, k)
+	}
+	sort.Strings(phaseCols)
+
+	header := append([]string{}, cellColumns...)
+	header = append(header, counterCols...)
+	for _, p := range phaseCols {
+		header = append(header, "phase:"+p+"_ns")
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for _, r := range results {
+		if r.Report == nil {
+			continue
+		}
+		row := make([]string, 0, len(header))
+		for _, col := range cellColumns {
+			row = append(row, csvField(r.Report.Meta[col]))
+		}
+		for _, col := range counterCols {
+			if v, ok := r.Report.Counters[col]; ok {
+				row = append(row, strconv.FormatInt(v, 10))
+			} else if v, ok := r.Report.Gauges[col]; ok {
+				row = append(row, strconv.FormatInt(v, 10))
+			} else {
+				row = append(row, "")
+			}
+		}
+		for _, col := range phaseCols {
+			if p, ok := r.Report.Phases[col]; ok {
+				row = append(row, strconv.FormatInt(p.TotalNS, 10))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// csvField quotes a value when it contains CSV metacharacters (the
+// experiments list carries commas).
+func csvField(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

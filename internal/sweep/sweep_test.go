@@ -1,0 +1,188 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testCell is a deliberately tiny configuration so the grid tests stay
+// fast; the full-size path is exercised by cmd/sweep in CI's sweepsmoke.
+func testCell(workers int) Cell {
+	return Cell{
+		Seed: 11, Sites: 600, Clients: 150, Days: 2,
+		Workers: workers, Vantages: 1, Backends: 1,
+		Experiments: []string{"tab2"},
+	}
+}
+
+// TestSweepCellDeterminism pins the cell contract: the same cell run at
+// workers {1, 4, auto} yields a byte-identical deterministic report
+// subset and an identical render hash — the property that makes CSV rows
+// comparable across machines with different core counts.
+func TestSweepCellDeterminism(t *testing.T) {
+	ctx := context.Background()
+	base, err := RunCell(ctx, testCell(4))
+	if err != nil {
+		t.Fatalf("RunCell(workers=4): %v", err)
+	}
+	baseDet, err := base.Deterministic()
+	if err != nil {
+		t.Fatalf("Deterministic: %v", err)
+	}
+	for _, workers := range []int{1, 0} {
+		rep, err := RunCell(ctx, testCell(workers))
+		if err != nil {
+			t.Fatalf("RunCell(workers=%d): %v", workers, err)
+		}
+		det, err := rep.Deterministic()
+		if err != nil {
+			t.Fatalf("Deterministic: %v", err)
+		}
+		if !bytes.Equal(det, baseDet) {
+			t.Errorf("workers=%d: deterministic subset differs from workers=4", workers)
+		}
+		if rep.Meta["render_sha256"] != base.Meta["render_sha256"] {
+			t.Errorf("workers=%d: render hash %s != %s", workers,
+				rep.Meta["render_sha256"], base.Meta["render_sha256"])
+		}
+	}
+}
+
+// TestSweepRunResumeCSV drives a 2-cell grid end to end: every cell gets
+// a valid report file, re-running skips all completed cells, deleting one
+// report re-runs exactly that cell, and the merged CSV carries the cell
+// parameters and deterministic counters.
+func TestSweepRunResumeCSV(t *testing.T) {
+	dir := t.TempDir()
+	g := Grid{
+		Seeds: []uint64{11, 12}, Sites: []int{600}, Clients: []int{150},
+		Days: []int{2}, Experiments: []string{"tab2"},
+	}
+	opt := Options{OutDir: dir, Parallel: 2, Resume: true}
+
+	results, err := Run(context.Background(), g, opt)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	for _, r := range results {
+		if r.Skipped {
+			t.Errorf("cell %s: skipped on a fresh directory", r.Cell.Name())
+		}
+		rep, err := LoadReport(r.Path)
+		if err != nil {
+			t.Fatalf("cell %s: report invalid: %v", r.Cell.Name(), err)
+		}
+		if rep.Meta["cell"] != r.Cell.Name() {
+			t.Errorf("cell %s: meta cell = %q", r.Cell.Name(), rep.Meta["cell"])
+		}
+		if rep.Counters["engine.events.pageload"] == 0 {
+			t.Errorf("cell %s: no pageload counter in report", r.Cell.Name())
+		}
+	}
+
+	// Re-run: every cell must be skipped, reports reloaded for the CSV.
+	again, err := Run(context.Background(), g, opt)
+	if err != nil {
+		t.Fatalf("Run (resume): %v", err)
+	}
+	for _, r := range again {
+		if !r.Skipped {
+			t.Errorf("cell %s: re-ran despite existing report", r.Cell.Name())
+		}
+		if r.Report == nil {
+			t.Errorf("cell %s: skipped cell did not reload its report", r.Cell.Name())
+		}
+	}
+
+	// Delete one report: only that cell re-runs.
+	if err := os.Remove(again[0].Path); err != nil {
+		t.Fatal(err)
+	}
+	third, err := Run(context.Background(), g, opt)
+	if err != nil {
+		t.Fatalf("Run (partial resume): %v", err)
+	}
+	if third[0].Skipped || !third[1].Skipped {
+		t.Errorf("partial resume: skipped = {%v, %v}, want {false, true}",
+			third[0].Skipped, third[1].Skipped)
+	}
+
+	var csv bytes.Buffer
+	if err := WriteCSV(&csv, third); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want header + 2 rows:\n%s", len(lines), csv.String())
+	}
+	header := strings.Split(lines[0], ",")
+	if header[0] != "cell" || header[1] != "seed" {
+		t.Errorf("CSV header starts %v", header[:2])
+	}
+	if !strings.Contains(lines[0], "engine.events.pageload") {
+		t.Errorf("CSV header missing deterministic counters: %s", lines[0])
+	}
+	if !strings.Contains(lines[0], "phase:phase.amalgam_ns") {
+		t.Errorf("CSV header missing phase totals: %s", lines[0])
+	}
+	for i, row := range lines[1:] {
+		if cols := strings.Count(row, ","); cols != strings.Count(lines[0], ",") {
+			t.Errorf("row %d has %d separators, header has %d", i, cols, strings.Count(lines[0], ","))
+		}
+	}
+
+	// Both seeds must produce the same metric key set but different
+	// render hashes (different worlds).
+	if third[0].Report.Meta["render_sha256"] == third[1].Report.Meta["render_sha256"] {
+		t.Error("distinct seeds produced identical render hashes")
+	}
+}
+
+// TestGridCellsDefaults: an empty grid is one default cell; axes multiply.
+func TestGridCellsDefaults(t *testing.T) {
+	cells := Grid{}.Cells()
+	if len(cells) != 1 {
+		t.Fatalf("empty grid expands to %d cells, want 1", len(cells))
+	}
+	c := cells[0]
+	if c.Seed != 2022 || c.Sites != 20000 || c.Clients != 3000 || c.Days != 14 {
+		t.Errorf("default cell = %+v", c)
+	}
+	if len(c.Experiments) < 8 {
+		t.Errorf("default experiments = %v, want the full paper set", c.Experiments)
+	}
+	grid := Grid{Seeds: []uint64{1, 2, 3}, Sketch: []bool{false, true}}
+	if got := len(grid.Cells()); got != 6 {
+		t.Errorf("3 seeds x 2 modes = %d cells, want 6", got)
+	}
+	names := map[string]bool{}
+	for _, c := range grid.Cells() {
+		if names[c.Name()] {
+			t.Errorf("duplicate cell name %s", c.Name())
+		}
+		names[c.Name()] = true
+	}
+}
+
+// TestWriteReportAtomic: a torn temp file is never visible under the
+// report name, and LoadReport rejects junk.
+func TestWriteReportAtomic(t *testing.T) {
+	dir := t.TempDir()
+	junk := filepath.Join(dir, "junk.json")
+	if err := os.WriteFile(junk, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadReport(junk); err == nil {
+		t.Error("LoadReport accepted junk")
+	}
+	if _, err := LoadReport(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("LoadReport accepted a missing file")
+	}
+}

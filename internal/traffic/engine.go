@@ -253,6 +253,10 @@ type engineMetrics struct {
 	// contiguous client sharding is leaving workers idle.
 	skewPctMax *obs.Gauge // engine.shard.skew_pct_max (volatile)
 	simPhase   *obs.Phase // phase.simulate
+
+	// tracer, when attached, receives per-day and per-shard timeline spans.
+	// Nil (the common case) costs one branch per span site.
+	tracer *obs.Tracer
 }
 
 // SetObs attaches the engine to a run registry. Call before Run; without
@@ -269,6 +273,7 @@ func (e *Engine) SetObs(reg *obs.Registry) {
 		shardTime:   reg.Histogram("engine.shard"),
 		skewPctMax:  reg.Gauge("engine.shard.skew_pct_max", obs.Volatile),
 		simPhase:    reg.Phase("phase.simulate"),
+		tracer:      reg.Tracer(),
 	}
 }
 
@@ -597,7 +602,9 @@ func (e *Engine) runDay(ctx context.Context, d int) error {
 		shardStart := time.Now()
 		out := shardOut{sinks: e.sinks, humanReqs: e.humanReqs}
 		err = e.simulateShard(ctx, 0, d, weekend, daySrc, e.serialScratch, &out, 0, len(e.Clients))
-		e.metrics.shardTime.Observe(time.Since(shardStart))
+		shardDur := time.Since(shardStart)
+		e.metrics.shardTime.Observe(shardDur)
+		e.metrics.tracer.Span("engine.shard", "engine", 0, shardStart, shardDur)
 		out.flushCounts(&e.metrics)
 	}
 	if err != nil {
@@ -609,7 +616,9 @@ func (e *Engine) runDay(ctx context.Context, d int) error {
 		s.EndDay(d)
 	}
 	e.metrics.days.Inc()
-	e.metrics.dayTime.Observe(time.Since(dayStart))
+	dayDur := time.Since(dayStart)
+	e.metrics.dayTime.Observe(dayDur)
+	e.metrics.tracer.Span("engine.day", "engine", int64(d), dayStart, dayDur)
 	return nil
 }
 

@@ -3,6 +3,7 @@ package traffic
 import (
 	"testing"
 
+	"toplists/internal/obs"
 	"toplists/internal/world"
 )
 
@@ -322,18 +323,33 @@ func (s *catSink) OnBotBatch(bb *BotBatch) {
 	s.bots[s.w.Site(bb.Site).Category] += bb.Requests
 }
 
-func BenchmarkEngineDay(b *testing.B) {
+func BenchmarkEngineDay(b *testing.B)       { benchEngineDay(b, false) }
+func BenchmarkEngineDayTraced(b *testing.B) { benchEngineDay(b, true) }
+
+// benchEngineDay measures one simulated day; with traced set, a live
+// Tracer is attached through the registry, so the pair pins the cost of
+// run-timeline tracing on the engine's hottest path (the budget is <=2%,
+// recorded in BENCH_trace.json).
+func benchEngineDay(b *testing.B, traced bool) {
 	w := world.Generate(world.Config{Seed: 1, NumSites: 5000})
-	e := NewEngine(w, Config{Seed: 2, NumClients: 1000, Days: 28})
-	e.AddSink(&BaseSink{})
+	reg := obs.NewRegistry()
+	if traced {
+		reg.SetTracer(obs.NewTracer(0))
+	}
+	fresh := func() *Engine {
+		e := NewEngine(w, Config{Seed: 2, NumClients: 1000, Days: 28})
+		e.AddSink(&BaseSink{})
+		e.SetObs(reg)
+		return e
+	}
+	e := fresh()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if e.Day() == e.Cfg.Days {
 			// Days advance in order exactly once; refresh the engine
 			// off-clock to measure another month.
 			b.StopTimer()
-			e = NewEngine(w, Config{Seed: 2, NumClients: 1000, Days: 28})
-			e.AddSink(&BaseSink{})
+			e = fresh()
 			b.StartTimer()
 		}
 		e.RunDay(e.Day())

@@ -273,7 +273,9 @@ func (e *Engine) runDayClientsParallel(ctx context.Context, d int, weekend bool,
 			out := shardOut{buffered: true, buf: &ws.buf, humanReqs: ws.humanReqs}
 			errs[w] = e.simulateShard(ctx, w, d, weekend, daySrc, ws.scratch, &out, lo, hi)
 			out.flushCounts(&e.metrics)
-			shardNS[w] = int64(time.Since(start))
+			dur := time.Since(start)
+			shardNS[w] = int64(dur)
+			e.metrics.tracer.Span("engine.shard", "engine", int64(w), start, dur)
 		}(w, ws, r.Lo, r.Hi)
 	}
 	wg.Wait()

@@ -88,7 +88,9 @@ func (e *Engine) runDayClientsSharded(ctx context.Context, d int, weekend bool, 
 		}
 		errs[si] = e.simulateShard(ctx, si, d, weekend, daySrc, ls.scratch, &out, shards[si].Lo, shards[si].Hi)
 		out.flushCounts(&e.metrics)
-		shardNS[si] = int64(time.Since(start))
+		dur := time.Since(start)
+		shardNS[si] = int64(dur)
+		e.metrics.tracer.Span("engine.shard", "engine", int64(si), start, dur)
 	}
 	if nw <= 1 {
 		for si := range shards {

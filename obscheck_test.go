@@ -3,6 +3,8 @@ package toplists
 import (
 	"strings"
 	"testing"
+
+	"toplists/internal/obs"
 )
 
 // TestObsDeterminism is the oracle behind `make obscheck`: telemetry must
@@ -18,6 +20,12 @@ import (
 // Timing-valued metrics (durations, phases, queue waits) and the
 // explicitly Volatile counters are excluded from the subset by
 // Report.Deterministic, which is exactly what makes this test possible.
+//
+// The same must hold with a Tracer attached: tracing is observation, not
+// behavior, so a traced run at any worker count renders byte-identically
+// to the untraced workers=4 baseline and carries the same deterministic
+// subset — while actually recording events (an empty trace would make
+// the "tracing is free" claim vacuous).
 func TestObsDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds three full studies")
@@ -27,9 +35,16 @@ func TestObsDeterminism(t *testing.T) {
 		render string
 		det    string
 	}
-	run := func(workers int) runOut {
+	run := func(workers int, traced bool) runOut {
 		c := cfg
 		c.Workers = workers
+		var tracer *obs.Tracer
+		if traced {
+			reg := obs.NewRegistry()
+			tracer = obs.NewTracer(0)
+			reg.SetTracer(tracer)
+			c.Obs = reg
+		}
 		s, err := Run(c)
 		if err != nil {
 			t.Fatal(err)
@@ -39,6 +54,9 @@ func TestObsDeterminism(t *testing.T) {
 		if err := s.RenderAll(&b); err != nil {
 			t.Fatal(err)
 		}
+		if traced && tracer.Len() == 0 {
+			t.Errorf("workers=%d: attached tracer recorded no events", workers)
+		}
 		det, err := s.Metrics().Snapshot().Deterministic()
 		if err != nil {
 			t.Fatal(err)
@@ -46,7 +64,7 @@ func TestObsDeterminism(t *testing.T) {
 		return runOut{render: b.String(), det: string(det)}
 	}
 
-	base := run(4)
+	base := run(4, false)
 	// The subset must actually carry the instrumented counts — an
 	// accidentally empty report would pass the comparison below vacuously.
 	for _, key := range []string{
@@ -59,15 +77,21 @@ func TestObsDeterminism(t *testing.T) {
 		}
 	}
 
-	for _, workers := range []int{1, 0} {
-		got := run(workers)
+	for _, variant := range []struct {
+		workers int
+		traced  bool
+	}{
+		{1, false}, {0, false},
+		{4, true}, {1, true}, {0, true},
+	} {
+		got := run(variant.workers, variant.traced)
 		if got.render != base.render {
-			t.Errorf("rendered output differs between workers=4 and workers=%d (lens %d vs %d)",
-				workers, len(base.render), len(got.render))
+			t.Errorf("rendered output differs between workers=4 and workers=%d traced=%v (lens %d vs %d)",
+				variant.workers, variant.traced, len(base.render), len(got.render))
 		}
 		if got.det != base.det {
-			t.Errorf("deterministic report subset differs between workers=4 and workers=%d:\n%s",
-				workers, firstDiffLine(base.det, got.det))
+			t.Errorf("deterministic report subset differs between workers=4 and workers=%d traced=%v:\n%s",
+				variant.workers, variant.traced, firstDiffLine(base.det, got.det))
 		}
 	}
 }
